@@ -1,0 +1,163 @@
+package cfsf_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"cfsf"
+)
+
+// testData generates a compact dataset once per test binary.
+var testData = func() *cfsf.SynthDataset {
+	cfg := cfsf.DefaultSynthConfig()
+	cfg.Users = 150
+	cfg.Items = 200
+	cfg.MinPerUser = 15
+	cfg.MeanPerUser = 30
+	cfg.Archetypes = 10
+	return cfsf.GenerateSynthetic(cfg)
+}()
+
+func testConfig() cfsf.Config {
+	cfg := cfsf.DefaultConfig()
+	cfg.M = 25
+	cfg.K = 12
+	cfg.Clusters = 10
+	return cfg
+}
+
+func TestTrainPredictRecommend(t *testing.T) {
+	model, err := cfsf.Train(testData.Matrix, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := model.Predict(3, 7)
+	if v < 1 || v > 5 || math.IsNaN(v) {
+		t.Fatalf("Predict = %g outside scale", v)
+	}
+	recs := model.Recommend(3, 5)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	p := model.PredictDetailed(3, 7)
+	if p.Value != v {
+		t.Errorf("PredictDetailed.Value %g != Predict %g", p.Value, v)
+	}
+}
+
+func TestPredictorAdapter(t *testing.T) {
+	p := cfsf.NewPredictor(testConfig())
+	if p.Model() != nil {
+		t.Error("Model() must be nil before Fit")
+	}
+	if err := p.Fit(testData.Matrix); err != nil {
+		t.Fatal(err)
+	}
+	if p.Model() == nil {
+		t.Error("Model() must be set after Fit")
+	}
+	if v := p.Predict(0, 0); v < 1 || v > 5 {
+		t.Errorf("adapter Predict = %g", v)
+	}
+}
+
+func TestNewBaselineNames(t *testing.T) {
+	for _, name := range cfsf.BaselineNames() {
+		p, err := cfsf.NewBaseline(name)
+		if err != nil {
+			t.Fatalf("NewBaseline(%q): %v", name, err)
+		}
+		if p == nil {
+			t.Fatalf("NewBaseline(%q) returned nil", name)
+		}
+	}
+	if _, err := cfsf.NewBaseline("nope"); err == nil {
+		t.Error("unknown baseline must error")
+	}
+}
+
+func TestEvaluateFacade(t *testing.T) {
+	split, err := cfsf.MLSplit(testData.Matrix, 100, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cfsf.Evaluate(cfsf.NewPredictor(testConfig()), split, cfsf.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.MAE) || res.MAE <= 0 || res.MAE > 2.5 {
+		t.Errorf("implausible MAE %g", res.MAE)
+	}
+	if res.RMSE < res.MAE {
+		t.Errorf("RMSE %g < MAE %g", res.RMSE, res.MAE)
+	}
+}
+
+// TestHeadlineResult is the integration check of the paper's central
+// claim on this repository's dataset: CFSF beats both traditional
+// baselines under the Given-10 protocol.
+func TestHeadlineResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size dataset")
+	}
+	data := cfsf.GenerateSynthetic(cfsf.DefaultSynthConfig())
+	split, err := cfsf.MLSplit(data.Matrix, 300, 200, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mae := map[string]float64{}
+	res, err := cfsf.Evaluate(cfsf.NewPredictor(cfsf.DefaultConfig()), split, cfsf.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mae["cfsf"] = res.MAE
+	for _, name := range []string{"sur", "sir"} {
+		b, err := cfsf.NewBaseline(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := cfsf.Evaluate(b, split, cfsf.EvalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mae[name] = r.MAE
+	}
+	if mae["cfsf"] >= mae["sur"] || mae["cfsf"] >= mae["sir"] {
+		t.Errorf("CFSF %.4f must beat SUR %.4f and SIR %.4f (paper Table II)",
+			mae["cfsf"], mae["sur"], mae["sir"])
+	}
+}
+
+func TestMatrixBuilderFacade(t *testing.T) {
+	b := cfsf.NewMatrixBuilder(2, 3)
+	if err := b.Add(0, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	m := b.Build()
+	if m.NumUsers() != 2 || m.NumItems() != 3 || m.NumRatings() != 1 {
+		t.Error("builder facade mismatch")
+	}
+}
+
+func TestUDataFacadeRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "u.data")
+	if err := cfsf.WriteUDataFile(path, testData.Matrix); err != nil {
+		t.Fatal(err)
+	}
+	m, err := cfsf.ReadUDataFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRatings() != testData.Matrix.NumRatings() {
+		t.Errorf("round trip ratings %d, want %d", m.NumRatings(), testData.Matrix.NumRatings())
+	}
+}
+
+func TestGenerateSyntheticErr(t *testing.T) {
+	bad := cfsf.DefaultSynthConfig()
+	bad.Users = 0
+	if _, err := cfsf.GenerateSyntheticErr(bad); err == nil {
+		t.Error("invalid synth config must error")
+	}
+}

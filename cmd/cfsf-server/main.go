@@ -1,0 +1,73 @@
+// cfsf-server is a minimal JSON-over-HTTP recommendation service built on
+// the public API; the handlers live in internal/server. The expensive
+// offline phase runs once at startup, the cheap online phase serves every
+// request from the immutable model.
+//
+// Usage:
+//
+//	cfsf-server -addr :8080 -data u.data
+//	cfsf-server -model model.gob            # load a saved model instead
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"cfsf"
+	"cfsf/internal/core"
+	"cfsf/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cfsf-server: ")
+
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		data      = flag.String("data", "", "u.data path, or empty/synth for the built-in dataset")
+		modelPath = flag.String("model", "", "load a model saved with `cfsf save` instead of training")
+		seed      = flag.Int64("seed", 1, "synthetic dataset seed")
+	)
+	flag.Parse()
+
+	var model *cfsf.Model
+	var titles []string
+	if *modelPath != "" {
+		t := time.Now()
+		var err error
+		model, err = core.LoadFile(*modelPath)
+		if err != nil {
+			log.Fatalf("load model: %v", err)
+		}
+		log.Printf("loaded model in %v (%d users × %d items)",
+			time.Since(t).Round(time.Millisecond),
+			model.Matrix().NumUsers(), model.Matrix().NumItems())
+	} else {
+		var m *cfsf.Matrix
+		if *data == "" || *data == "synth" {
+			cfg := cfsf.DefaultSynthConfig()
+			cfg.Seed = *seed
+			d := cfsf.GenerateSynthetic(cfg)
+			m, titles = d.Matrix, d.ItemTitles
+		} else {
+			var err error
+			m, err = cfsf.ReadUDataFile(*data)
+			if err != nil {
+				log.Fatalf("load %s: %v", *data, err)
+			}
+		}
+		t := time.Now()
+		var err error
+		model, err = cfsf.Train(m, cfsf.DefaultConfig())
+		if err != nil {
+			log.Fatalf("train: %v", err)
+		}
+		log.Printf("offline phase complete in %v (%d users × %d items)",
+			time.Since(t).Round(time.Millisecond), m.NumUsers(), m.NumItems())
+	}
+
+	log.Printf("listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New(model, titles).Handler()))
+}

@@ -1,0 +1,110 @@
+package cfsf_test
+
+import (
+	"fmt"
+
+	"cfsf"
+)
+
+// exampleData is a tiny deterministic dataset shared by the runnable
+// documentation examples below.
+func exampleData() *cfsf.SynthDataset {
+	cfg := cfsf.DefaultSynthConfig()
+	cfg.Users = 60
+	cfg.Items = 80
+	cfg.MinPerUser = 10
+	cfg.MeanPerUser = 20
+	cfg.Archetypes = 6
+	cfg.Seed = 7
+	return cfsf.GenerateSynthetic(cfg)
+}
+
+func exampleConfig() cfsf.Config {
+	cfg := cfsf.DefaultConfig()
+	cfg.M = 15
+	cfg.K = 8
+	cfg.Clusters = 6
+	return cfg
+}
+
+// ExampleTrain shows the minimal train-and-predict flow.
+func ExampleTrain() {
+	data := exampleData()
+	model, err := cfsf.Train(data.Matrix, exampleConfig())
+	if err != nil {
+		panic(err)
+	}
+	p := model.Predict(3, 14)
+	fmt.Println(p >= 1 && p <= 5)
+	// Output: true
+}
+
+// ExampleModel_Recommend shows top-N recommendation.
+func ExampleModel_Recommend() {
+	data := exampleData()
+	model, err := cfsf.Train(data.Matrix, exampleConfig())
+	if err != nil {
+		panic(err)
+	}
+	recs := model.Recommend(3, 3)
+	fmt.Println(len(recs))
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].Score < recs[i].Score {
+			fmt.Println("unsorted!")
+		}
+	}
+	// Output: 3
+}
+
+// ExampleEvaluate shows the paper's Given-N protocol on a baseline.
+func ExampleEvaluate() {
+	data := exampleData()
+	split, err := cfsf.MLSplit(data.Matrix, 40, 20, 5)
+	if err != nil {
+		panic(err)
+	}
+	sur, err := cfsf.NewBaseline("sur")
+	if err != nil {
+		panic(err)
+	}
+	res, err := cfsf.Evaluate(sur, split, cfsf.EvalOptions{Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.MAE > 0 && res.MAE < 2)
+	// Output: true
+}
+
+// ExampleModel_WithUpdates shows the incremental refresh (paper §VI
+// future work): fold a new rating in without retraining.
+func ExampleModel_WithUpdates() {
+	data := exampleData()
+	model, err := cfsf.Train(data.Matrix, exampleConfig())
+	if err != nil {
+		panic(err)
+	}
+	next, err := model.WithUpdates([]cfsf.RatingUpdate{{User: 0, Item: 5, Value: 5}})
+	if err != nil {
+		panic(err)
+	}
+	r, ok := next.Matrix().Rating(0, 5)
+	fmt.Println(r, ok)
+	// Output: 5 true
+}
+
+// ExampleNewBaseline lists the algorithms shipped for the paper's
+// comparison tables.
+func ExampleNewBaseline() {
+	for _, name := range cfsf.BaselineNames()[:3] {
+		p, err := cfsf.NewBaseline(name)
+		if err != nil {
+			panic(err)
+		}
+		_ = p
+		fmt.Println(name)
+	}
+	// Output:
+	// sir
+	// sur
+	// sf
+}

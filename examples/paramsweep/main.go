@@ -1,0 +1,69 @@
+// paramsweep reproduces the paper's sensitivity analysis (§V-E) in
+// miniature: it sweeps λ, δ, the smoothed-rating weight w, and the local
+// matrix dimensions M and K on one Given-10 split, printing each curve
+// with the best setting marked. Use it to re-tune CFSF for a new dataset.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cfsf"
+)
+
+func main() {
+	cfg := cfsf.DefaultSynthConfig()
+	cfg.Users = 300
+	cfg.Items = 500
+	cfg.MeanPerUser = 60
+	data := cfsf.GenerateSynthetic(cfg)
+
+	split, err := cfsf.MLSplit(data.Matrix, 180, 120, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweeping on %d users × %d items, %d held-out targets\n\n",
+		data.Matrix.NumUsers(), data.Matrix.NumItems(), len(split.Targets))
+
+	sweep(split, "lambda (SUR' share)", []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0},
+		func(c *cfsf.Config, v float64) { c.Lambda = v })
+	sweep(split, "delta (SUIR' share)", []float64{0, 0.1, 0.2, 0.4, 0.7, 1.0},
+		func(c *cfsf.Config, v float64) { c.Delta = v })
+	sweep(split, "w (smoothed-rating weight, 1-epsilon)", []float64{0.05, 0.15, 0.25, 0.4, 0.6, 0.8},
+		func(c *cfsf.Config, v float64) { c.OriginalWeight = 1 - v })
+	sweep(split, "M (similar items)", []float64{5, 20, 50, 95, 140},
+		func(c *cfsf.Config, v float64) { c.M = int(v) })
+	sweep(split, "K (like-minded users)", []float64{5, 15, 25, 40, 70, 100},
+		func(c *cfsf.Config, v float64) { c.K = int(v) })
+	sweep(split, "C (user clusters)", []float64{5, 15, 30, 50, 80},
+		func(c *cfsf.Config, v float64) { c.Clusters = int(v) })
+}
+
+func sweep(split *cfsf.GivenNSplit, name string, values []float64, set func(*cfsf.Config, float64)) {
+	fmt.Printf("%s:\n", name)
+	bestV, bestMAE := 0.0, 99.0
+	type point struct {
+		v, mae float64
+	}
+	var pts []point
+	for _, v := range values {
+		cfg := cfsf.DefaultConfig()
+		set(&cfg, v)
+		res, err := cfsf.Evaluate(cfsf.NewPredictor(cfg), split, cfsf.EvalOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts = append(pts, point{v, res.MAE})
+		if res.MAE < bestMAE {
+			bestV, bestMAE = v, res.MAE
+		}
+	}
+	for _, p := range pts {
+		marker := ""
+		if p.v == bestV {
+			marker = "  <- best"
+		}
+		fmt.Printf("  %6g  MAE %.4f%s\n", p.v, p.mae, marker)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,3 @@
+module cfsf
+
+go 1.22

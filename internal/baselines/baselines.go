@@ -1,0 +1,65 @@
+// Package baselines implements the comparison CF algorithms of the
+// paper's evaluation (Tables II and III), each from its primary source:
+//
+//	SIR    — item-based CF with PCC (Eq. 1; Sarwar et al. '01 style)
+//	SUR    — user-based CF with PCC (Eq. 2; Resnick-style centring)
+//	SF     — similarity fusion over the full matrix (Wang et al. '06)
+//	SCBPCC — cluster-based smoothing CF (Xue et al. '05)
+//	EMDP   — effective missing-data prediction (Ma et al. '07)
+//	PD     — personality diagnosis (Pennock et al. '00)
+//	AM     — latent aspect model trained by EM (Hofmann '04 style)
+//
+// Every predictor implements the eval.Predictor contract: Fit once, then
+// concurrency-safe Predict.
+package baselines
+
+import (
+	"sync/atomic"
+
+	"cfsf/internal/mathx"
+	"cfsf/internal/ratings"
+)
+
+// fallback is the shared cold-start chain: user mean, item mean, global
+// mean, middle of the scale.
+func fallback(m *ratings.Matrix, u, i int) float64 {
+	if u >= 0 && u < m.NumUsers() && len(m.UserRatings(u)) > 0 {
+		return m.UserMean(u)
+	}
+	if i >= 0 && i < m.NumItems() && len(m.ItemRatings(i)) > 0 {
+		return m.ItemMean(i)
+	}
+	if g := m.GlobalMean(); g != 0 {
+		return g
+	}
+	return (m.MinRating() + m.MaxRating()) / 2
+}
+
+func clampTo(m *ratings.Matrix, v float64) float64 {
+	return mathx.Clamp(v, m.MinRating(), m.MaxRating())
+}
+
+func inRange(m *ratings.Matrix, u, i int) bool {
+	return u >= 0 && u < m.NumUsers() && i >= 0 && i < m.NumItems()
+}
+
+// userSimCache lazily computes and caches a per-user value (typically a
+// similarity vector) in a concurrency-safe way. Multiple goroutines may
+// compute the same entry once; the first store wins and duplicates are
+// discarded, which is harmless because the computation is deterministic.
+type userSimCache[T any] struct {
+	slots []atomic.Pointer[T]
+}
+
+func newUserSimCache[T any](n int) *userSimCache[T] {
+	return &userSimCache[T]{slots: make([]atomic.Pointer[T], n)}
+}
+
+func (c *userSimCache[T]) get(u int, compute func() T) T {
+	if p := c.slots[u].Load(); p != nil {
+		return *p
+	}
+	v := compute()
+	c.slots[u].CompareAndSwap(nil, &v)
+	return *c.slots[u].Load()
+}

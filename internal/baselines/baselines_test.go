@@ -1,0 +1,351 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cfsf/internal/eval"
+	"cfsf/internal/ratings"
+	"cfsf/internal/synth"
+)
+
+func smallSynth() synth.Config {
+	cfg := synth.DefaultConfig()
+	cfg.Users = 120
+	cfg.Items = 150
+	cfg.MinPerUser = 15
+	cfg.MeanPerUser = 30
+	cfg.Archetypes = 8
+	return cfg
+}
+
+// all returns one fresh instance of every baseline.
+func all() map[string]eval.Predictor {
+	return map[string]eval.Predictor{
+		"sir":    &SIR{},
+		"sur":    NewSUR(),
+		"sf":     NewSF(),
+		"scbpcc": NewSCBPCC(),
+		"emdp":   NewEMDP(),
+		"pd":     NewPD(),
+		"am":     NewAM(),
+	}
+}
+
+// TestAllBaselinesContract exercises the Fit/Predict contract shared by
+// every algorithm: fit succeeds, predictions are in scale, deterministic,
+// and tolerant of out-of-range ids.
+func TestAllBaselinesContract(t *testing.T) {
+	d := synth.MustGenerate(smallSynth())
+	m := d.Matrix
+	for name, p := range all() {
+		t.Run(name, func(t *testing.T) {
+			if err := p.Fit(m); err != nil {
+				t.Fatalf("Fit: %v", err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			for n := 0; n < 200; n++ {
+				u, i := rng.Intn(m.NumUsers()), rng.Intn(m.NumItems())
+				v := p.Predict(u, i)
+				if math.IsNaN(v) || v < m.MinRating() || v > m.MaxRating() {
+					t.Fatalf("Predict(%d,%d) = %g outside scale", u, i, v)
+				}
+				if v2 := p.Predict(u, i); v2 != v {
+					t.Fatalf("Predict(%d,%d) not deterministic: %g vs %g", u, i, v, v2)
+				}
+			}
+			for _, pair := range [][2]int{{-1, 0}, {0, -1}, {m.NumUsers(), 0}, {0, m.NumItems()}} {
+				v := p.Predict(pair[0], pair[1])
+				if math.IsNaN(v) || v < m.MinRating() || v > m.MaxRating() {
+					t.Fatalf("out-of-range Predict(%d,%d) = %g", pair[0], pair[1], v)
+				}
+			}
+		})
+	}
+}
+
+// TestBaselinesConcurrentPredict verifies the harness contract that
+// Predict is safe and consistent under concurrency after Fit.
+func TestBaselinesConcurrentPredict(t *testing.T) {
+	d := synth.MustGenerate(smallSynth())
+	m := d.Matrix
+	for name, p := range all() {
+		t.Run(name, func(t *testing.T) {
+			if err := p.Fit(m); err != nil {
+				t.Fatal(err)
+			}
+			ref := make([]float64, 60)
+			for k := range ref {
+				ref[k] = p.Predict(k%m.NumUsers(), (3*k)%m.NumItems())
+			}
+			var wg sync.WaitGroup
+			errs := make(chan string, 8)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for k := range ref {
+						if got := p.Predict(k%m.NumUsers(), (3*k)%m.NumItems()); got != ref[k] {
+							errs <- "diverged"
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			if msg, open := <-errs; open {
+				t.Fatal(msg)
+			}
+		})
+	}
+}
+
+// TestBaselinesBeatGlobalMean: every algorithm must beat the trivial
+// global-mean predictor on a Given-10 split of structured data.
+func TestBaselinesBeatGlobalMean(t *testing.T) {
+	d := synth.MustGenerate(smallSynth())
+	split, err := ratings.MLSplit(d.Matrix, 80, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gm float64
+	{
+		g := split.Matrix.GlobalMean()
+		var sum float64
+		for _, tg := range split.Targets {
+			sum += math.Abs(g - tg.Actual)
+		}
+		gm = sum / float64(len(split.Targets))
+	}
+	for name, p := range all() {
+		t.Run(name, func(t *testing.T) {
+			res, err := eval.Evaluate(p, split, eval.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.MAE >= gm {
+				t.Errorf("%s MAE %.4f does not beat global mean %.4f", name, res.MAE, gm)
+			}
+		})
+	}
+}
+
+func TestSIREq1OnHandMatrix(t *testing.T) {
+	// Items 0 and 1 perfectly correlated; item 2 uncorrelated noise.
+	b := ratings.NewBuilder(5, 3)
+	for u := 0; u < 4; u++ {
+		b.MustAdd(u, 0, float64(u+1))
+		b.MustAdd(u, 1, float64(u+1))
+	}
+	b.MustAdd(4, 1, 4) // active user rated only item 1
+	m := b.Build()
+	s := &SIR{}
+	if err := s.Fit(m); err != nil {
+		t.Fatal(err)
+	}
+	// Predicting item 0 for user 4: only neighbour rated is item 1 with
+	// sim 1 → prediction = r(4,1) = 4.
+	if got := s.Predict(4, 0); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Predict = %g, want 4", got)
+	}
+}
+
+func TestSIRNeighborhoodCap(t *testing.T) {
+	d := synth.MustGenerate(smallSynth())
+	s := &SIR{Neighborhood: 3}
+	if err := s.Fit(d.Matrix); err != nil {
+		t.Fatal(err)
+	}
+	v := s.Predict(0, 0)
+	if v < 1 || v > 5 {
+		t.Errorf("capped-neighbourhood prediction %g out of scale", v)
+	}
+}
+
+func TestSURCenteredVsPlain(t *testing.T) {
+	d := synth.MustGenerate(smallSynth())
+	split, err := ratings.MLSplit(d.Matrix, 80, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centered := NewSUR()
+	plain := &SUR{Centered: false}
+	rc, err := eval.Evaluate(centered, split, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := eval.Evaluate(plain, split, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With style diversity in the data, centring must help.
+	if rc.MAE >= rp.MAE {
+		t.Errorf("centred SUR %.4f not better than plain %.4f", rc.MAE, rp.MAE)
+	}
+}
+
+func TestSURFallbackForIsolatedUser(t *testing.T) {
+	// User 2 shares no items with anyone → prediction falls back.
+	b := ratings.NewBuilder(3, 4)
+	b.MustAdd(0, 0, 5)
+	b.MustAdd(1, 0, 3)
+	b.MustAdd(2, 3, 2)
+	m := b.Build()
+	s := NewSUR()
+	if err := s.Fit(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Predict(2, 0); math.Abs(got-2) > 1e-9 {
+		t.Errorf("isolated user prediction %g, want own mean 2", got)
+	}
+}
+
+func TestPDExpectationVsMode(t *testing.T) {
+	d := synth.MustGenerate(smallSynth())
+	exp := NewPD()
+	mode := &PD{Sigma: 1.0, Expectation: false}
+	if err := exp.Fit(d.Matrix); err != nil {
+		t.Fatal(err)
+	}
+	if err := mode.Fit(d.Matrix); err != nil {
+		t.Fatal(err)
+	}
+	// Mode predictions are discrete rating levels.
+	for u := 0; u < 20; u++ {
+		v := mode.Predict(u, u)
+		if v != math.Trunc(v) {
+			t.Fatalf("MAP prediction %g is not a discrete level", v)
+		}
+	}
+}
+
+func TestPDLevelsFollowScale(t *testing.T) {
+	b := ratings.NewBuilder(2, 2)
+	b.SetScale(1, 10)
+	b.MustAdd(0, 0, 7)
+	b.MustAdd(0, 1, 9)
+	b.MustAdd(1, 0, 8)
+	m := b.Build()
+	p := NewPD()
+	if err := p.Fit(m); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.levels) != 10 {
+		t.Errorf("levels = %d, want 10 for a 1..10 scale", len(p.levels))
+	}
+}
+
+func TestAMTrainsAndImproves(t *testing.T) {
+	d := synth.MustGenerate(smallSynth())
+	split, err := ratings.MLSplit(d.Matrix, 80, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := &AM{Z: 8, Iterations: 1, PriorStrength: 1}
+	long := &AM{Z: 8, Iterations: 30, PriorStrength: 1}
+	rs, err := eval.Evaluate(short, split, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := eval.Evaluate(long, split, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.MAE > rs.MAE+0.02 {
+		t.Errorf("more EM iterations made AM clearly worse: %.4f vs %.4f", rl.MAE, rs.MAE)
+	}
+}
+
+func TestAMEmptyMatrix(t *testing.T) {
+	if err := NewAM().Fit(ratings.NewBuilder(2, 2).Build()); err == nil {
+		t.Error("AM must reject an empty matrix")
+	}
+}
+
+func TestEMDPThresholdsFallback(t *testing.T) {
+	// Impossibly high thresholds force the mean-blend fallback.
+	d := synth.MustGenerate(smallSynth())
+	e := &EMDP{Lambda: 0.7, Eta: 0.999, Theta: 0.999, GammaUser: 1, GammaItem: 1}
+	if err := e.Fit(d.Matrix); err != nil {
+		t.Fatal(err)
+	}
+	m := d.Matrix
+	u, i := 3, 7
+	want := 0.7*m.UserMean(u) + 0.3*m.ItemMean(i)
+	want = math.Max(1, math.Min(5, want))
+	if got := e.Predict(u, i); math.Abs(got-want) > 1e-9 {
+		t.Errorf("threshold fallback = %g, want %g", got, want)
+	}
+}
+
+func TestSCBPCCSlowerButClusterAware(t *testing.T) {
+	d := synth.MustGenerate(smallSynth())
+	s := NewSCBPCC()
+	s.Clusters = 8
+	if err := s.Fit(d.Matrix); err != nil {
+		t.Fatal(err)
+	}
+	v := s.Predict(0, 0)
+	if v < 1 || v > 5 {
+		t.Fatalf("prediction %g out of scale", v)
+	}
+}
+
+func TestSFFusesComponents(t *testing.T) {
+	d := synth.MustGenerate(smallSynth())
+	split, err := ratings.MLSplit(d.Matrix, 80, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := NewSF()
+	rFull, err := eval.Evaluate(full, split, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate SF with δ=0, λ=1 is plain user-based; fusion should not
+	// be dramatically worse than it.
+	degen := NewSF()
+	degen.Lambda, degen.Delta = 1, 0
+	rDegen, err := eval.Evaluate(degen, split, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rFull.MAE > rDegen.MAE+0.05 {
+		t.Errorf("SF fusion %.4f much worse than its own SUR part %.4f", rFull.MAE, rDegen.MAE)
+	}
+}
+
+func TestFallbackChain(t *testing.T) {
+	b := ratings.NewBuilder(2, 2)
+	b.MustAdd(0, 0, 4)
+	m := b.Build()
+	if got := fallback(m, 0, 1); got != 4 {
+		t.Errorf("user with ratings: fallback %g, want user mean 4", got)
+	}
+	if got := fallback(m, 1, 0); got != 4 {
+		t.Errorf("empty user, rated item: fallback %g, want item mean 4", got)
+	}
+	if got := fallback(m, 1, 1); got != 4 {
+		t.Errorf("empty user+item: fallback %g, want global mean 4", got)
+	}
+	empty := ratings.NewBuilder(1, 1).Build()
+	if got := fallback(empty, 0, 0); got != 3 {
+		t.Errorf("empty matrix fallback %g, want mid-scale 3", got)
+	}
+}
+
+func TestUserSimCacheSingleComputation(t *testing.T) {
+	c := newUserSimCache[int](4)
+	calls := 0
+	v := c.get(2, func() int { calls++; return 42 })
+	if v != 42 || calls != 1 {
+		t.Fatalf("first get = %d (%d calls)", v, calls)
+	}
+	v = c.get(2, func() int { calls++; return 99 })
+	if v != 42 || calls != 1 {
+		t.Errorf("cached get = %d (%d calls), want 42 (1)", v, calls)
+	}
+}

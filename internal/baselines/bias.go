@@ -1,0 +1,60 @@
+package baselines
+
+import (
+	"cfsf/internal/ratings"
+)
+
+// Bias is the damped baseline predictor r̂(u,i) = μ + b_i + b_u, where
+// b_i is the item's damped deviation from the global mean and b_u is the
+// user's damped deviation from (μ + b_i) averaged over their ratings.
+// Every serious CF comparison needs this floor: a personalised method
+// that cannot beat Bias is not learning collaborative structure.
+type Bias struct {
+	// Damping is the shrinkage pseudo-count (default 5, the classic
+	// "bias model" setting).
+	Damping float64
+
+	m      *ratings.Matrix
+	mu     float64
+	bu, bi []float64
+}
+
+// NewBias returns a Bias baseline with default damping.
+func NewBias() *Bias { return &Bias{Damping: 5} }
+
+// Fit computes the damped biases in two passes.
+func (b *Bias) Fit(m *ratings.Matrix) error {
+	b.m = m
+	b.mu = m.GlobalMean()
+	d := b.Damping
+	if d < 0 {
+		d = 0
+	}
+	b.bi = make([]float64, m.NumItems())
+	for i := 0; i < m.NumItems(); i++ {
+		col := m.ItemRatings(i)
+		var sum float64
+		for _, e := range col {
+			sum += e.Value - b.mu
+		}
+		b.bi[i] = sum / (d + float64(len(col)))
+	}
+	b.bu = make([]float64, m.NumUsers())
+	for u := 0; u < m.NumUsers(); u++ {
+		row := m.UserRatings(u)
+		var sum float64
+		for _, e := range row {
+			sum += e.Value - b.mu - b.bi[e.Index]
+		}
+		b.bu[u] = sum / (d + float64(len(row)))
+	}
+	return nil
+}
+
+// Predict returns μ + b_i + b_u clamped to the scale.
+func (b *Bias) Predict(u, i int) float64 {
+	if !inRange(b.m, u, i) {
+		return fallback(b.m, u, i)
+	}
+	return clampTo(b.m, b.mu+b.bi[i]+b.bu[u])
+}

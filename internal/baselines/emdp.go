@@ -1,0 +1,122 @@
+package baselines
+
+import (
+	"cfsf/internal/ratings"
+	"cfsf/internal/similarity"
+)
+
+// EMDP is the effective-missing-data-prediction baseline (Ma, King, Lyu,
+// SIGIR '07): user-based and item-based components are combined, but a
+// neighbour only participates if its significance-weighted PCC exceeds a
+// threshold (η for users, θ for items); when neither side has confident
+// neighbours the prediction falls back to the mean blend. This is the
+// threshold-driven method the paper's related work criticises as
+// "computer-intensive" to tune.
+type EMDP struct {
+	// Lambda balances the user-based against the item-based component
+	// when both are available (default 0.7).
+	Lambda float64
+	// Eta is the user-similarity threshold (default 0.4).
+	Eta float64
+	// Theta is the item-similarity threshold (default 0.4).
+	Theta float64
+	// GammaUser and GammaItem are the significance-weighting supports
+	// (Ma's γ=30 for users, δ=25 for items).
+	GammaUser int
+	GammaItem int
+	// Workers bounds Fit parallelism.
+	Workers int
+
+	m     *ratings.Matrix
+	gis   *similarity.GIS
+	cache *userSimCache[[]float64]
+}
+
+// NewEMDP returns EMDP with thresholds re-tuned for the synthetic
+// dataset (Ma et al. published η=θ=0.4, γ=30, δ=25 for MovieLens; on our
+// sparser co-rating structure those filter out nearly every neighbour).
+func NewEMDP() *EMDP {
+	return &EMDP{Lambda: 0.7, Eta: 0.12, Theta: 0.12, GammaUser: 15, GammaItem: 25}
+}
+
+// Fit precomputes significance-weighted item similarities.
+func (e *EMDP) Fit(m *ratings.Matrix) error {
+	e.m = m
+	e.gis = similarity.BuildGIS(m, similarity.GISOptions{
+		Metric:            similarity.PCC,
+		TopN:              0,
+		MinCoRatings:      2,
+		SignificanceGamma: e.GammaItem,
+		Workers:           e.Workers,
+	})
+	e.cache = newUserSimCache[[]float64](m.NumUsers())
+	return nil
+}
+
+func (e *EMDP) sims(u int) []float64 {
+	return e.cache.get(u, func() []float64 {
+		out := make([]float64, e.m.NumUsers())
+		for v := 0; v < e.m.NumUsers(); v++ {
+			if v == u {
+				continue
+			}
+			sim, co := similarity.UserPCC(e.m, u, v)
+			out[v] = similarity.Significance(sim, co, e.GammaUser)
+		}
+		return out
+	})
+}
+
+// Predict combines the thresholded user- and item-based components.
+func (e *EMDP) Predict(u, i int) float64 {
+	if !inRange(e.m, u, i) {
+		return fallback(e.m, u, i)
+	}
+	// User-based part: raters of i whose similarity exceeds η.
+	usims := e.sims(u)
+	var uNum, uDen float64
+	for _, r := range e.m.ItemRatings(i) {
+		sim := usims[r.Index]
+		if sim <= e.Eta {
+			continue
+		}
+		uNum += sim * (r.Value - e.m.UserMean(int(r.Index)))
+		uDen += sim
+	}
+	hasUser := uDen > 0
+	userPred := 0.0
+	if hasUser {
+		userPred = e.m.UserMean(u) + uNum/uDen
+	}
+
+	// Item-based part: items u rated whose similarity to i exceeds θ.
+	var iNum, iDen float64
+	for _, n := range e.gis.Neighbors(i) {
+		if n.Score <= e.Theta {
+			break // neighbours are sorted descending
+		}
+		r, ok := e.m.Rating(u, int(n.Index))
+		if !ok {
+			continue
+		}
+		iNum += n.Score * (r - e.m.ItemMean(int(n.Index)))
+		iDen += n.Score
+	}
+	hasItem := iDen > 0
+	itemPred := 0.0
+	if hasItem {
+		itemPred = e.m.ItemMean(i) + iNum/iDen
+	}
+
+	switch {
+	case hasUser && hasItem:
+		return clampTo(e.m, e.Lambda*userPred+(1-e.Lambda)*itemPred)
+	case hasUser:
+		return clampTo(e.m, userPred)
+	case hasItem:
+		return clampTo(e.m, itemPred)
+	default:
+		// Ma's fallback: blend of the user and item means.
+		return clampTo(e.m, e.Lambda*e.m.UserMean(u)+(1-e.Lambda)*e.m.ItemMean(i))
+	}
+}

@@ -1,0 +1,196 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"cfsf/internal/eval"
+	"cfsf/internal/ratings"
+	"cfsf/internal/synth"
+)
+
+// extras returns the extension baselines (not part of the paper's
+// Table III) for the shared contract checks.
+func extras() map[string]eval.Predictor {
+	return map[string]eval.Predictor{
+		"mf":       NewMF(),
+		"slopeone": NewSlopeOne(),
+		"bias":     NewBias(),
+		"svd":      NewSVDCF(),
+	}
+}
+
+func TestExtraBaselinesContract(t *testing.T) {
+	d := synth.MustGenerate(smallSynth())
+	m := d.Matrix
+	for name, p := range extras() {
+		t.Run(name, func(t *testing.T) {
+			if err := p.Fit(m); err != nil {
+				t.Fatalf("Fit: %v", err)
+			}
+			for n := 0; n < 200; n++ {
+				u, i := n%m.NumUsers(), (n*7)%m.NumItems()
+				v := p.Predict(u, i)
+				if math.IsNaN(v) || v < m.MinRating() || v > m.MaxRating() {
+					t.Fatalf("Predict(%d,%d) = %g out of scale", u, i, v)
+				}
+				if v2 := p.Predict(u, i); v2 != v {
+					t.Fatalf("not deterministic at (%d,%d)", u, i)
+				}
+			}
+			for _, pair := range [][2]int{{-1, 0}, {0, -1}, {m.NumUsers(), 0}, {0, m.NumItems()}} {
+				if v := p.Predict(pair[0], pair[1]); math.IsNaN(v) {
+					t.Fatalf("out-of-range Predict NaN")
+				}
+			}
+		})
+	}
+}
+
+func TestExtraBaselinesBeatGlobalMean(t *testing.T) {
+	d := synth.MustGenerate(smallSynth())
+	split, err := ratings.MLSplit(d.Matrix, 80, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := split.Matrix.GlobalMean()
+	var gm float64
+	for _, tg := range split.Targets {
+		gm += math.Abs(g - tg.Actual)
+	}
+	gm /= float64(len(split.Targets))
+	for name, p := range extras() {
+		t.Run(name, func(t *testing.T) {
+			res, err := eval.Evaluate(p, split, eval.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.MAE >= gm {
+				t.Errorf("%s MAE %.4f does not beat global mean %.4f", name, res.MAE, gm)
+			}
+		})
+	}
+}
+
+func TestMFLearnsStructure(t *testing.T) {
+	// MF with factors must beat the pure bias model on structured data
+	// (there is real user×item interaction signal to learn).
+	d := synth.MustGenerate(smallSynth())
+	split, err := ratings.MLSplit(d.Matrix, 80, 40, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mfRes, err := eval.Evaluate(NewMF(), split, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	biasRes, err := eval.Evaluate(NewBias(), split, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mfRes.MAE >= biasRes.MAE {
+		t.Errorf("MF %.4f does not beat Bias %.4f", mfRes.MAE, biasRes.MAE)
+	}
+}
+
+func TestMFDeterministicAcrossFits(t *testing.T) {
+	d := synth.MustGenerate(smallSynth())
+	a, b := NewMF(), NewMF()
+	if err := a.Fit(d.Matrix); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(d.Matrix); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 50; n++ {
+		u, i := n%d.Matrix.NumUsers(), (n*3)%d.Matrix.NumItems()
+		if a.Predict(u, i) != b.Predict(u, i) {
+			t.Fatalf("MF not deterministic across fits at (%d,%d)", u, i)
+		}
+	}
+}
+
+func TestMFEmptyMatrix(t *testing.T) {
+	if err := NewMF().Fit(ratings.NewBuilder(2, 2).Build()); err == nil {
+		t.Error("MF must reject an empty matrix")
+	}
+}
+
+func TestSlopeOneHandComputed(t *testing.T) {
+	// Classic Slope One example: two items, deviation dev(1,0) = mean of
+	// (r1 - r0) = ((3-1) + (4-2)) / 2 = 2.
+	b := ratings.NewBuilder(3, 2)
+	b.MustAdd(0, 0, 1)
+	b.MustAdd(0, 1, 3)
+	b.MustAdd(1, 0, 2)
+	b.MustAdd(1, 1, 4)
+	b.MustAdd(2, 0, 2) // active user rated only item 0
+	m := b.Build()
+	s := NewSlopeOne()
+	if err := s.Fit(m); err != nil {
+		t.Fatal(err)
+	}
+	// Predict item 1 for user 2: r(2,0) + dev = 2 + 2 = 4.
+	if got := s.Predict(2, 1); math.Abs(got-4) > 1e-12 {
+		t.Errorf("SlopeOne predict = %g, want 4", got)
+	}
+}
+
+func TestSlopeOneMinSupport(t *testing.T) {
+	// Only one co-rating user: with MinSupport 2 the pair is dropped and
+	// prediction falls back to the user mean.
+	b := ratings.NewBuilder(2, 2)
+	b.MustAdd(0, 0, 1)
+	b.MustAdd(0, 1, 5)
+	b.MustAdd(1, 0, 3)
+	m := b.Build()
+	s := NewSlopeOne()
+	if err := s.Fit(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Predict(1, 1); math.Abs(got-3) > 1e-12 {
+		t.Errorf("unsupported pair should fall back to user mean 3, got %g", got)
+	}
+	relaxed := &SlopeOne{MinSupport: 1}
+	if err := relaxed.Fit(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := relaxed.Predict(1, 1); math.Abs(got-5) > 1e-12 {
+		t.Errorf("with support 1: 3 + dev(1,0)=4 → clamped... got %g, want 5", got)
+	}
+}
+
+func TestBiasHandComputed(t *testing.T) {
+	// With damping 0 the biases are exact means.
+	b := ratings.NewBuilder(2, 2)
+	b.MustAdd(0, 0, 5)
+	b.MustAdd(0, 1, 3)
+	b.MustAdd(1, 0, 1)
+	m := b.Build()
+	p := &Bias{Damping: 0}
+	if err := p.Fit(m); err != nil {
+		t.Fatal(err)
+	}
+	mu := 3.0
+	bi0 := ((5 - mu) + (1 - mu)) / 2 // 0
+	bu1 := (1 - mu - bi0) / 1        // -2
+	want := mu + bi0 + bu1           // 1
+	if got := p.Predict(1, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Bias predict = %g, want %g", got, want)
+	}
+}
+
+func TestBiasDampingShrinks(t *testing.T) {
+	b := ratings.NewBuilder(2, 1)
+	b.MustAdd(0, 0, 5)
+	b.MustAdd(1, 0, 1)
+	m := b.Build()
+	heavy := &Bias{Damping: 100}
+	if err := heavy.Fit(m); err != nil {
+		t.Fatal(err)
+	}
+	// With huge damping everything shrinks to the global mean.
+	if got := heavy.Predict(0, 0); math.Abs(got-3) > 0.2 {
+		t.Errorf("heavily damped prediction %g should be near global mean 3", got)
+	}
+}

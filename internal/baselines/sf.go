@@ -1,0 +1,142 @@
+package baselines
+
+import (
+	"math"
+
+	"cfsf/internal/mathx"
+	"cfsf/internal/ratings"
+	"cfsf/internal/similarity"
+)
+
+// SF is the similarity-fusion baseline (Wang, de Vries, Reinders,
+// SIGIR '06) as characterised by the paper: a UI-based method that fuses
+// SIR, SUR and SUIR computed over the *entire* matrix — no clustering, no
+// smoothing, no local reduction — which is why it is accurate but slow.
+// Only observed ratings participate.
+type SF struct {
+	// TopItems / TopUsers bound the neighbourhoods entering the fusion.
+	TopItems int
+	TopUsers int
+	// Lambda and Delta play the same roles as in Eq. 14.
+	Lambda float64
+	Delta  float64
+	// MinCoRatings filters unreliable similarities.
+	MinCoRatings int
+	// Workers bounds Fit parallelism.
+	Workers int
+
+	m     *ratings.Matrix
+	gis   *similarity.GIS
+	cache *userSimCache[[]float64]
+}
+
+// NewSF returns SF with the configuration used in the paper's comparison.
+func NewSF() *SF {
+	return &SF{TopItems: 50, TopUsers: 50, Lambda: 0.7, Delta: 0.15, MinCoRatings: 2}
+}
+
+// Fit precomputes item similarities; user similarities are lazy.
+func (s *SF) Fit(m *ratings.Matrix) error {
+	s.m = m
+	s.gis = similarity.BuildGIS(m, similarity.GISOptions{
+		Metric:       similarity.PCC,
+		TopN:         0,
+		MinCoRatings: s.MinCoRatings,
+		Workers:      s.Workers,
+	})
+	s.cache = newUserSimCache[[]float64](m.NumUsers())
+	return nil
+}
+
+func (s *SF) sims(u int) []float64 {
+	return s.cache.get(u, func() []float64 {
+		out := make([]float64, s.m.NumUsers())
+		for v := 0; v < s.m.NumUsers(); v++ {
+			if v == u {
+				continue
+			}
+			sim, co := similarity.UserPCC(s.m, u, v)
+			if co >= s.MinCoRatings {
+				out[v] = sim
+			}
+		}
+		return out
+	})
+}
+
+// Predict fuses the three full-matrix components.
+func (s *SF) Predict(u, i int) float64 {
+	if !inRange(s.m, u, i) {
+		return fallback(s.m, u, i)
+	}
+	items := s.gis.Neighbors(i)
+	if s.TopItems > 0 && len(items) > s.TopItems {
+		items = items[:s.TopItems]
+	}
+	usims := s.sims(u)
+	topUsers := mathx.NewTopK(topOrAll(s.TopUsers, len(s.m.ItemRatings(i))))
+	for _, e := range s.m.ItemRatings(i) {
+		if sim := usims[e.Index]; sim > 0 {
+			topUsers.Push(e.Index, sim)
+		}
+	}
+	users := topUsers.Sorted()
+
+	// SIR over observed ratings of u on similar items.
+	var sirNum, sirDen float64
+	for _, n := range items {
+		if r, ok := s.m.Rating(u, int(n.Index)); ok {
+			sirNum += n.Score * r
+			sirDen += n.Score
+		}
+	}
+	// SUR (centred) over similar users' observed ratings of i.
+	var surNum, surDen float64
+	for _, n := range users {
+		r, _ := s.m.Rating(int(n.Index), i)
+		surNum += n.Score * (r - s.m.UserMean(int(n.Index)))
+		surDen += n.Score
+	}
+	// SUIR over observed ratings of similar users on similar items,
+	// pair-weighted as in Eq. 3/13.
+	var suirNum, suirDen float64
+	for _, un := range users {
+		for _, in := range items {
+			r, ok := s.m.Rating(int(un.Index), int(in.Index))
+			if !ok {
+				continue
+			}
+			d := math.Sqrt(in.Score*in.Score + un.Score*un.Score)
+			if d == 0 {
+				continue
+			}
+			w := in.Score * un.Score / d
+			if w <= 0 {
+				continue
+			}
+			suirNum += w * r
+			suirDen += w
+		}
+	}
+
+	wSIR := (1 - s.Delta) * (1 - s.Lambda)
+	wSUR := (1 - s.Delta) * s.Lambda
+	wSUIR := s.Delta
+	var num, den float64
+	if sirDen > 0 {
+		num += wSIR * (sirNum / sirDen)
+		den += wSIR
+	}
+	if surDen > 0 {
+		num += wSUR * (s.m.UserMean(u) + surNum/surDen)
+		den += wSUR
+	}
+	if suirDen > 0 {
+		num += wSUIR * (suirNum / suirDen)
+		den += wSUIR
+	}
+	if den == 0 {
+		return fallback(s.m, u, i)
+	}
+	return clampTo(s.m, num/den)
+}

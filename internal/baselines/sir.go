@@ -1,0 +1,64 @@
+package baselines
+
+import (
+	"cfsf/internal/ratings"
+	"cfsf/internal/similarity"
+)
+
+// SIR is the traditional item-based CF baseline of Eq. 1: the prediction
+// for (u, i) is the similarity-weighted average of u's ratings on the
+// items most similar to i, with item–item PCC computed over the entire
+// matrix at Fit time.
+type SIR struct {
+	// Neighborhood caps how many of i's most similar items that u has
+	// rated enter the average (0 = all with positive similarity).
+	Neighborhood int
+	// MinCoRatings filters unreliable similarities (default 2).
+	MinCoRatings int
+	// Workers bounds Fit parallelism.
+	Workers int
+
+	m   *ratings.Matrix
+	gis *similarity.GIS
+}
+
+// Fit precomputes the full item–item similarity lists.
+func (s *SIR) Fit(m *ratings.Matrix) error {
+	s.m = m
+	minCo := s.MinCoRatings
+	if minCo == 0 {
+		minCo = 2
+	}
+	s.gis = similarity.BuildGIS(m, similarity.GISOptions{
+		Metric:       similarity.PCC,
+		TopN:         0, // keep every positive neighbour; Eq. 1 has no local reduction
+		MinCoRatings: minCo,
+		Workers:      s.Workers,
+	})
+	return nil
+}
+
+// Predict implements Eq. 1 with a fallback chain for cold cases.
+func (s *SIR) Predict(u, i int) float64 {
+	if !inRange(s.m, u, i) {
+		return fallback(s.m, u, i)
+	}
+	var num, den float64
+	used := 0
+	for _, n := range s.gis.Neighbors(i) {
+		if s.Neighborhood > 0 && used >= s.Neighborhood {
+			break
+		}
+		r, ok := s.m.Rating(u, int(n.Index))
+		if !ok {
+			continue
+		}
+		num += n.Score * r
+		den += n.Score
+		used++
+	}
+	if den <= 0 {
+		return fallback(s.m, u, i)
+	}
+	return clampTo(s.m, num/den)
+}

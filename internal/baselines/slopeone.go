@@ -1,0 +1,87 @@
+package baselines
+
+import (
+	"cfsf/internal/parallel"
+	"cfsf/internal/ratings"
+)
+
+// SlopeOne is the weighted Slope One predictor (Lemire & Maclachlan '05):
+// for every item pair it learns the average rating difference over
+// co-rating users, and predicts r̂(u,j) as the support-weighted average
+// of r(u,i) + dev(j,i) over the items i the user rated. It is a classic
+// cheap item-based scheme included as an extension reference point.
+type SlopeOne struct {
+	// MinSupport drops item pairs with fewer co-rating users (default 2).
+	MinSupport int
+	// Workers bounds Fit parallelism.
+	Workers int
+
+	m *ratings.Matrix
+	// dev[j] maps co-rated item i -> (sum of r_j - r_i, count).
+	dev []map[int32]devEntry
+}
+
+type devEntry struct {
+	sum   float64
+	count int32
+}
+
+// NewSlopeOne returns a SlopeOne baseline with default support.
+func NewSlopeOne() *SlopeOne { return &SlopeOne{MinSupport: 2} }
+
+// Fit accumulates pairwise deviations. The pass is parallel over target
+// items: for item j, iterate its raters' rows, which visits each
+// co-rating pair exactly once per direction.
+func (s *SlopeOne) Fit(m *ratings.Matrix) error {
+	s.m = m
+	q := m.NumItems()
+	s.dev = make([]map[int32]devEntry, q)
+	minSup := s.MinSupport
+	if minSup <= 0 {
+		minSup = 2
+	}
+	parallel.For(q, s.Workers, func(j int) {
+		acc := map[int32]devEntry{}
+		for _, ue := range m.ItemRatings(j) {
+			u := int(ue.Index)
+			for _, ie := range m.UserRatings(u) {
+				if int(ie.Index) == j {
+					continue
+				}
+				e := acc[ie.Index]
+				e.sum += ue.Value - ie.Value
+				e.count++
+				acc[ie.Index] = e
+			}
+		}
+		for i, e := range acc {
+			if int(e.count) < minSup {
+				delete(acc, i)
+			}
+		}
+		s.dev[j] = acc
+	})
+	return nil
+}
+
+// Predict implements weighted Slope One.
+func (s *SlopeOne) Predict(u, j int) float64 {
+	if !inRange(s.m, u, j) {
+		return fallback(s.m, u, j)
+	}
+	devs := s.dev[j]
+	var num, den float64
+	for _, e := range s.m.UserRatings(u) {
+		d, ok := devs[e.Index]
+		if !ok {
+			continue
+		}
+		c := float64(d.count)
+		num += (e.Value + d.sum/c) * c
+		den += c
+	}
+	if den == 0 {
+		return fallback(s.m, u, j)
+	}
+	return clampTo(s.m, num/den)
+}

@@ -1,0 +1,335 @@
+// Package cluster implements the user clustering step of the CFSF
+// offline phase (paper §IV-C): K-means over user rating profiles, using
+// the PCC similarity of Eq. 6 (converted to a distance) between a user's
+// sparse rating vector and a cluster centroid. K-means++ seeding and
+// empty-cluster repair keep the result stable; assignment is parallel
+// over users and fully deterministic for a fixed seed.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cfsf/internal/parallel"
+	"cfsf/internal/ratings"
+)
+
+// Metric selects the distance used between a user and a centroid.
+type Metric int
+
+const (
+	// PCCDistance is 1 − PCC(user, centroid), the paper's choice (Eq. 6).
+	PCCDistance Metric = iota
+	// Euclidean is the RMS difference over the items the user rated,
+	// provided as a baseline/ablation metric.
+	Euclidean
+)
+
+func (m Metric) String() string {
+	switch m {
+	case PCCDistance:
+		return "pcc"
+	case Euclidean:
+		return "euclidean"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures Run.
+type Options struct {
+	K       int    // number of clusters (paper default C = 30)
+	MaxIter int    // iteration cap (0 = 100)
+	Seed    int64  // PRNG seed for k-means++ initialisation
+	Metric  Metric // user↔centroid distance
+	Workers int    // parallelism for the assignment step (<=0 = GOMAXPROCS)
+}
+
+// Result is a completed clustering.
+type Result struct {
+	// Assign maps each user to a cluster in [0, K).
+	Assign []int
+	// Members lists the users of each cluster.
+	Members [][]int
+	// Mean[c][i] is the average rating cluster c's members gave item i
+	// (meaningful only where Count[c][i] > 0).
+	Mean [][]float64
+	// Count[c][i] is how many members of cluster c rated item i.
+	Count [][]int32
+	// Iterations is the number of Lloyd iterations executed.
+	Iterations int
+	// Inertia is the summed distance of each user to its centroid at
+	// convergence (lower is tighter).
+	Inertia float64
+	// K is the cluster count the result was built with.
+	K int
+}
+
+// Run clusters the users of m. It returns an error for an invalid K.
+func Run(m *ratings.Matrix, opts Options) (*Result, error) {
+	p := m.NumUsers()
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("cluster: K must be positive, got %d", opts.K)
+	}
+	k := opts.K
+	if k > p {
+		k = p
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	c := newCentroids(k, m.NumItems())
+	c.seedPlusPlus(m, rng, opts)
+
+	assign := make([]int, p)
+	for i := range assign {
+		assign[i] = -1
+	}
+	dist := make([]float64, p)
+
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		moved := assignAll(m, c, assign, dist, opts)
+		c.recompute(m, assign)
+		c.repairEmpty(m, assign, dist)
+		if moved == 0 {
+			break
+		}
+	}
+
+	res := &Result{
+		Assign:     assign,
+		Members:    make([][]int, k),
+		Mean:       c.mean,
+		Count:      c.count,
+		Iterations: iter + 1,
+		K:          k,
+	}
+	for u, cl := range assign {
+		res.Members[cl] = append(res.Members[cl], u)
+		res.Inertia += dist[u]
+	}
+	return res, nil
+}
+
+// centroids holds per-cluster per-item rating means and support counts.
+type centroids struct {
+	k     int
+	q     int
+	mean  [][]float64
+	count [][]int32
+	// overall mean of each centroid over its covered items, used to
+	// centre the centroid in the PCC computation.
+	overall []float64
+}
+
+func newCentroids(k, q int) *centroids {
+	c := &centroids{k: k, q: q,
+		mean:    make([][]float64, k),
+		count:   make([][]int32, k),
+		overall: make([]float64, k),
+	}
+	for i := 0; i < k; i++ {
+		c.mean[i] = make([]float64, q)
+		c.count[i] = make([]int32, q)
+	}
+	return c
+}
+
+// setFromUser initialises centroid cl to a single user's profile.
+func (c *centroids) setFromUser(m *ratings.Matrix, cl, u int) {
+	mean, count := c.mean[cl], c.count[cl]
+	for i := range mean {
+		mean[i], count[i] = 0, 0
+	}
+	var sum float64
+	row := m.UserRatings(u)
+	for _, e := range row {
+		mean[e.Index] = e.Value
+		count[e.Index] = 1
+		sum += e.Value
+	}
+	if len(row) > 0 {
+		c.overall[cl] = sum / float64(len(row))
+	}
+}
+
+// distance computes the user↔centroid distance per the chosen metric over
+// the items the user rated that the centroid covers. Users with no
+// overlap get the maximum distance for the metric.
+func (c *centroids) distance(m *ratings.Matrix, u, cl int, metric Metric) float64 {
+	mean, count := c.mean[cl], c.count[cl]
+	switch metric {
+	case Euclidean:
+		var ss float64
+		n := 0
+		for _, e := range m.UserRatings(u) {
+			if count[e.Index] == 0 {
+				continue
+			}
+			d := e.Value - mean[e.Index]
+			ss += d * d
+			n++
+		}
+		if n == 0 {
+			return math.Inf(1)
+		}
+		return math.Sqrt(ss / float64(n))
+	default: // PCCDistance
+		um := m.UserMean(u)
+		cm := c.overall[cl]
+		var sxy, sxx, syy float64
+		n := 0
+		for _, e := range m.UserRatings(u) {
+			if count[e.Index] == 0 {
+				continue
+			}
+			dx := e.Value - um
+			dy := mean[e.Index] - cm
+			sxy += dx * dy
+			sxx += dx * dx
+			syy += dy * dy
+			n++
+		}
+		if n == 0 || sxx == 0 || syy == 0 {
+			return 1 // PCC 0 → neutral distance
+		}
+		return 1 - sxy/(math.Sqrt(sxx)*math.Sqrt(syy)) // in [0, 2]
+	}
+}
+
+// seedPlusPlus runs k-means++ initialisation.
+func (c *centroids) seedPlusPlus(m *ratings.Matrix, rng *rand.Rand, opts Options) {
+	p := m.NumUsers()
+	first := rng.Intn(p)
+	c.setFromUser(m, 0, first)
+	d2 := make([]float64, p)
+	for cl := 1; cl < c.k; cl++ {
+		var total float64
+		for u := 0; u < p; u++ {
+			best := math.Inf(1)
+			for prev := 0; prev < cl; prev++ {
+				if d := c.distance(m, u, prev, opts.Metric); d < best {
+					best = d
+				}
+			}
+			if math.IsInf(best, 1) {
+				best = 2
+			}
+			d2[u] = best * best
+			total += d2[u]
+		}
+		pick := 0
+		if total > 0 {
+			target := rng.Float64() * total
+			acc := 0.0
+			for u := 0; u < p; u++ {
+				acc += d2[u]
+				if acc >= target {
+					pick = u
+					break
+				}
+			}
+		} else {
+			pick = rng.Intn(p)
+		}
+		c.setFromUser(m, cl, pick)
+	}
+}
+
+// assignAll reassigns every user to its nearest centroid, returning how
+// many users changed cluster. dist[u] receives the chosen distance.
+func assignAll(m *ratings.Matrix, c *centroids, assign []int, dist []float64, opts Options) int {
+	p := m.NumUsers()
+	movedPer := parallel.MapReduce(p, opts.Workers, func() int { return 0 }, func(moved, u int) int {
+		best, bestCl := math.Inf(1), 0
+		for cl := 0; cl < c.k; cl++ {
+			if d := c.distance(m, u, cl, opts.Metric); d < best {
+				best, bestCl = d, cl
+			}
+		}
+		dist[u] = best
+		if math.IsInf(best, 1) {
+			dist[u] = 2
+		}
+		if assign[u] != bestCl {
+			assign[u] = bestCl
+			moved++
+		}
+		return moved
+	})
+	moved := 0
+	for _, m := range movedPer {
+		moved += m
+	}
+	return moved
+}
+
+// recompute rebuilds centroid means and counts from the assignment.
+func (c *centroids) recompute(m *ratings.Matrix, assign []int) {
+	for cl := 0; cl < c.k; cl++ {
+		mean, count := c.mean[cl], c.count[cl]
+		for i := range mean {
+			mean[i], count[i] = 0, 0
+		}
+	}
+	for u, cl := range assign {
+		mean, count := c.mean[cl], c.count[cl]
+		for _, e := range m.UserRatings(u) {
+			mean[e.Index] += e.Value
+			count[e.Index]++
+		}
+	}
+	for cl := 0; cl < c.k; cl++ {
+		mean, count := c.mean[cl], c.count[cl]
+		var sum float64
+		n := 0
+		for i := range mean {
+			if count[i] > 0 {
+				mean[i] /= float64(count[i])
+				sum += mean[i]
+				n++
+			}
+		}
+		if n > 0 {
+			c.overall[cl] = sum / float64(n)
+		} else {
+			c.overall[cl] = 0
+		}
+	}
+}
+
+// repairEmpty moves the globally farthest user into each empty cluster so
+// every cluster stays populated (smoothing needs non-empty clusters).
+func (c *centroids) repairEmpty(m *ratings.Matrix, assign []int, dist []float64) {
+	size := make([]int, c.k)
+	for _, cl := range assign {
+		size[cl]++
+	}
+	for cl := 0; cl < c.k; cl++ {
+		if size[cl] > 0 {
+			continue
+		}
+		far, farU := -1.0, -1
+		for u := range assign {
+			if size[assign[u]] <= 1 {
+				continue // do not empty another cluster
+			}
+			if dist[u] > far {
+				far, farU = dist[u], u
+			}
+		}
+		if farU < 0 {
+			continue
+		}
+		size[assign[farU]]--
+		assign[farU] = cl
+		size[cl]++
+		c.setFromUser(m, cl, farU)
+		dist[farU] = 0
+	}
+}

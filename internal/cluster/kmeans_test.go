@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"testing"
+
+	"cfsf/internal/ratings"
+	"cfsf/internal/synth"
+)
+
+// blockMatrix builds users in two obvious taste blocks: block A loves the
+// first half of the items, block B loves the second half.
+func blockMatrix(p, q int) *ratings.Matrix {
+	b := ratings.NewBuilder(p, q)
+	for u := 0; u < p; u++ {
+		lovesFirst := u < p/2
+		for i := 0; i < q; i++ {
+			var r float64
+			if (i < q/2) == lovesFirst {
+				r = 5
+			} else {
+				r = 1
+			}
+			// Leave some holes so rows are not identical.
+			if (u+i)%5 == 0 {
+				continue
+			}
+			b.MustAdd(u, i, r)
+		}
+	}
+	return b.Build()
+}
+
+func TestKMeansSeparatesBlocks(t *testing.T) {
+	m := blockMatrix(40, 20)
+	res, err := Run(m, Options{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All users in the same block must share a cluster.
+	for u := 1; u < 20; u++ {
+		if res.Assign[u] != res.Assign[0] {
+			t.Fatalf("block A split: user %d in %d, user 0 in %d", u, res.Assign[u], res.Assign[0])
+		}
+	}
+	for u := 21; u < 40; u++ {
+		if res.Assign[u] != res.Assign[20] {
+			t.Fatalf("block B split: user %d in %d, user 20 in %d", u, res.Assign[u], res.Assign[20])
+		}
+	}
+	if res.Assign[0] == res.Assign[20] {
+		t.Fatal("blocks A and B merged into one cluster")
+	}
+}
+
+func TestKMeansAssignInRangeAndMembersConsistent(t *testing.T) {
+	d := synth.MustGenerate(smallSynth())
+	res, err := Run(d.Matrix, Options{K: 7, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 7 {
+		t.Fatalf("K = %d, want 7", res.K)
+	}
+	count := 0
+	for c, members := range res.Members {
+		for _, u := range members {
+			if res.Assign[u] != c {
+				t.Fatalf("user %d listed in cluster %d but assigned %d", u, c, res.Assign[u])
+			}
+			count++
+		}
+	}
+	if count != d.Matrix.NumUsers() {
+		t.Fatalf("members cover %d users, want %d", count, d.Matrix.NumUsers())
+	}
+	for u, c := range res.Assign {
+		if c < 0 || c >= res.K {
+			t.Fatalf("user %d assigned out-of-range cluster %d", u, c)
+		}
+	}
+}
+
+func TestKMeansNoEmptyClusters(t *testing.T) {
+	d := synth.MustGenerate(smallSynth())
+	res, err := Run(d.Matrix, Options{K: 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, members := range res.Members {
+		if len(members) == 0 {
+			t.Errorf("cluster %d is empty", c)
+		}
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	d := synth.MustGenerate(smallSynth())
+	a, err := Run(d.Matrix, Options{K: 5, Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(d.Matrix, Options{K: 5, Seed: 11, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range a.Assign {
+		if a.Assign[u] != b.Assign[u] {
+			t.Fatalf("assignment differs across worker counts at user %d", u)
+		}
+	}
+}
+
+func TestKMeansKExceedsUsers(t *testing.T) {
+	m := blockMatrix(6, 10)
+	res, err := Run(m, Options{K: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 6 {
+		t.Fatalf("K clamped to %d, want 6", res.K)
+	}
+}
+
+func TestKMeansInvalidK(t *testing.T) {
+	m := blockMatrix(6, 10)
+	if _, err := Run(m, Options{K: 0}); err == nil {
+		t.Error("K=0 must error")
+	}
+	if _, err := Run(m, Options{K: -3}); err == nil {
+		t.Error("negative K must error")
+	}
+}
+
+func TestKMeansCentroidStats(t *testing.T) {
+	m := blockMatrix(20, 10)
+	res, err := Run(m, Options{K: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute centroid means manually from the assignment.
+	for c := 0; c < res.K; c++ {
+		sum := make([]float64, m.NumItems())
+		cnt := make([]int32, m.NumItems())
+		for _, u := range res.Members[c] {
+			for _, e := range m.UserRatings(u) {
+				sum[e.Index] += e.Value
+				cnt[e.Index]++
+			}
+		}
+		for i := 0; i < m.NumItems(); i++ {
+			if cnt[i] != res.Count[c][i] {
+				t.Fatalf("cluster %d item %d count %d, want %d", c, i, res.Count[c][i], cnt[i])
+			}
+			if cnt[i] > 0 {
+				want := sum[i] / float64(cnt[i])
+				if diff := res.Mean[c][i] - want; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("cluster %d item %d mean %g, want %g", c, i, res.Mean[c][i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestKMeansEuclideanMetric(t *testing.T) {
+	m := blockMatrix(30, 16)
+	res, err := Run(m, Options{K: 2, Seed: 4, Metric: Euclidean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assign[0] == res.Assign[29] {
+		t.Error("euclidean metric failed to separate opposite blocks")
+	}
+}
+
+func TestKMeansInertiaNonNegative(t *testing.T) {
+	d := synth.MustGenerate(smallSynth())
+	res, err := Run(d.Matrix, Options{K: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia < 0 {
+		t.Errorf("inertia %g < 0", res.Inertia)
+	}
+	if res.Iterations < 1 {
+		t.Errorf("iterations %d < 1", res.Iterations)
+	}
+}
+
+func TestMetricStrings(t *testing.T) {
+	if PCCDistance.String() != "pcc" || Euclidean.String() != "euclidean" || Metric(42).String() != "unknown" {
+		t.Error("Metric.String() mismatch")
+	}
+}
+
+// TestKMeansRecoverArchetypes checks cluster purity on synthetic data:
+// most users of an archetype should land in the same cluster.
+func TestKMeansRecoverArchetypes(t *testing.T) {
+	cfg := smallSynth()
+	cfg.Archetypes = 4
+	cfg.Users = 120
+	d := synth.MustGenerate(cfg)
+	res, err := Run(d.Matrix, Options{K: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each archetype find its majority cluster; purity = fraction of
+	// users in their archetype's majority cluster.
+	counts := map[[2]int]int{}
+	for u, a := range d.UserArchetype {
+		counts[[2]int{a, res.Assign[u]}]++
+	}
+	pure := 0
+	for a := 0; a < 4; a++ {
+		best := 0
+		for c := 0; c < res.K; c++ {
+			if n := counts[[2]int{a, c}]; n > best {
+				best = n
+			}
+		}
+		pure += best
+	}
+	if frac := float64(pure) / float64(cfg.Users); frac < 0.7 {
+		t.Errorf("cluster purity %.2f < 0.7", frac)
+	}
+}
+
+func smallSynth() synth.Config {
+	cfg := synth.DefaultConfig()
+	cfg.Users = 100
+	cfg.Items = 150
+	cfg.MinPerUser = 15
+	cfg.MeanPerUser = 30
+	cfg.Archetypes = 8
+	return cfg
+}

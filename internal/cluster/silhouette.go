@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"math"
+
+	"cfsf/internal/parallel"
+	"cfsf/internal/ratings"
+)
+
+// Silhouette computes the mean silhouette coefficient of the clustering
+// under the PCC distance: for each user, (b − a) / max(a, b) with a =
+// mean distance to own-cluster members and b = the smallest mean
+// distance to another cluster. Values near 1 mean tight, well-separated
+// clusters; near 0, overlapping ones. It quantifies how well a chosen C
+// matches the data's latent structure (the Fig. 4 analysis).
+//
+// Distances are computed user↔user with Eq. 6 PCC (1 − sim, neutral 1
+// when there is no co-rated overlap). Cost is O(P²·overlap); fine at the
+// paper's 500-user scale.
+func Silhouette(m *ratings.Matrix, res *Result) float64 {
+	p := m.NumUsers()
+	if p < 2 || res.K < 2 {
+		return 0
+	}
+
+	// Pairwise distance matrix (symmetric).
+	dist := make([][]float64, p)
+	for u := range dist {
+		dist[u] = make([]float64, p)
+	}
+	parallel.For(p, 0, func(u int) {
+		for v := u + 1; v < p; v++ {
+			d := pccUserDistance(m, u, v)
+			dist[u][v] = d
+		}
+	})
+	for u := 0; u < p; u++ {
+		for v := 0; v < u; v++ {
+			dist[u][v] = dist[v][u]
+		}
+	}
+
+	var total float64
+	counted := 0
+	for u := 0; u < p; u++ {
+		own := res.Assign[u]
+		if len(res.Members[own]) < 2 {
+			continue // silhouette undefined for singleton clusters
+		}
+		var a float64
+		bBest := math.Inf(1)
+		for c := 0; c < res.K; c++ {
+			members := res.Members[c]
+			if len(members) == 0 {
+				continue
+			}
+			var sum float64
+			n := 0
+			for _, v := range members {
+				if v == u {
+					continue
+				}
+				sum += dist[u][v]
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			mean := sum / float64(n)
+			if c == own {
+				a = mean
+			} else if mean < bBest {
+				bBest = mean
+			}
+		}
+		if math.IsInf(bBest, 1) {
+			continue
+		}
+		den := a
+		if bBest > den {
+			den = bBest
+		}
+		if den > 0 {
+			total += (bBest - a) / den
+			counted++
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// pccUserDistance is 1 − PCC(u, v) over co-rated items, neutral 1 when
+// undefined (range [0, 2]).
+func pccUserDistance(m *ratings.Matrix, u, v int) float64 {
+	um, vm := m.UserMean(u), m.UserMean(v)
+	var sxy, sxx, syy float64
+	n := 0
+	m.CoRatedItems(u, v, func(_ int32, ru, rv float64) {
+		du, dv := ru-um, rv-vm
+		sxy += du * dv
+		sxx += du * du
+		syy += dv * dv
+		n++
+	})
+	if n == 0 || sxx == 0 || syy == 0 {
+		return 1
+	}
+	return 1 - sxy/(math.Sqrt(sxx)*math.Sqrt(syy))
+}

@@ -1,0 +1,89 @@
+package core
+
+// RecommendDiverse re-ranks the top recommendations with maximal
+// marginal relevance (MMR): each pick maximises
+//
+//	tradeoff·score − (1−tradeoff)·maxSimToAlreadyPicked
+//
+// using the GIS as the item–item similarity source, so the returned list
+// trades a little predicted rating for breadth across the catalogue.
+// tradeoff = 1 reproduces Recommend's pure relevance order; 0 is pure
+// diversity. The candidate pool is the top 4×n items by predicted score.
+func (mod *Model) RecommendDiverse(user, n int, tradeoff float64) []Recommendation {
+	if n <= 0 {
+		return nil
+	}
+	if tradeoff < 0 {
+		tradeoff = 0
+	}
+	if tradeoff > 1 {
+		tradeoff = 1
+	}
+	pool := mod.Recommend(user, 4*n)
+	if len(pool) == 0 {
+		return nil
+	}
+
+	// Normalise scores into [0,1] so the relevance and similarity terms
+	// are commensurable.
+	lo, hi := pool[len(pool)-1].Score, pool[0].Score
+	span := hi - lo
+	rel := make([]float64, len(pool))
+	for i, r := range pool {
+		if span > 0 {
+			rel[i] = (r.Score - lo) / span
+		} else {
+			rel[i] = 1
+		}
+	}
+
+	picked := make([]Recommendation, 0, n)
+	pickedIdx := make([]int, 0, n)
+	used := make([]bool, len(pool))
+	for len(picked) < n && len(picked) < len(pool) {
+		bestIdx, bestVal := -1, 0.0
+		for i := range pool {
+			if used[i] {
+				continue
+			}
+			maxSim := 0.0
+			for _, j := range pickedIdx {
+				if s, ok := mod.gis.Sim(pool[i].Item, pool[j].Item); ok && s > maxSim {
+					maxSim = s
+				}
+			}
+			val := tradeoff*rel[i] - (1-tradeoff)*maxSim
+			if bestIdx == -1 || val > bestVal ||
+				(val == bestVal && pool[i].Item < pool[bestIdx].Item) {
+				bestIdx, bestVal = i, val
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		used[bestIdx] = true
+		picked = append(picked, pool[bestIdx])
+		pickedIdx = append(pickedIdx, bestIdx)
+	}
+	return picked
+}
+
+// IntraListSimilarity measures the diversity of a recommendation list:
+// the mean pairwise GIS similarity (lower = more diverse). Pairs the GIS
+// does not cover count as 0.
+func (mod *Model) IntraListSimilarity(recs []Recommendation) float64 {
+	if len(recs) < 2 {
+		return 0
+	}
+	var sum float64
+	pairs := 0
+	for i := 0; i < len(recs); i++ {
+		for j := i + 1; j < len(recs); j++ {
+			if s, ok := mod.gis.Sim(recs[i].Item, recs[j].Item); ok {
+				sum += s
+			}
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}

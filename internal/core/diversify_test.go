@@ -1,0 +1,87 @@
+package core
+
+import "testing"
+
+func TestRecommendDiversePureRelevanceMatchesRecommend(t *testing.T) {
+	mod, _ := trainSmall(t)
+	plain := mod.Recommend(4, 6)
+	diverse := mod.RecommendDiverse(4, 6, 1)
+	if len(plain) != len(diverse) {
+		t.Fatalf("lengths differ: %d vs %d", len(plain), len(diverse))
+	}
+	for i := range plain {
+		if plain[i].Item != diverse[i].Item {
+			t.Fatalf("tradeoff=1 diverged at rank %d: %d vs %d", i, plain[i].Item, diverse[i].Item)
+		}
+	}
+}
+
+func TestRecommendDiverseReducesIntraListSimilarity(t *testing.T) {
+	mod, _ := trainSmall(t)
+	found := false
+	for u := 0; u < 20; u++ {
+		plain := mod.Recommend(u, 8)
+		diverse := mod.RecommendDiverse(u, 8, 0.5)
+		if len(plain) < 8 || len(diverse) < 8 {
+			continue
+		}
+		ps := mod.IntraListSimilarity(plain)
+		ds := mod.IntraListSimilarity(diverse)
+		if ps == 0 {
+			continue // nothing to diversify away
+		}
+		found = true
+		if ds > ps+1e-9 {
+			t.Fatalf("user %d: diverse list less diverse (%g) than plain (%g)", u, ds, ps)
+		}
+	}
+	if !found {
+		t.Skip("no user with similar items in the top list")
+	}
+}
+
+func TestRecommendDiverseProperties(t *testing.T) {
+	mod, d := trainSmall(t)
+	recs := mod.RecommendDiverse(3, 5, 0.3)
+	if len(recs) == 0 {
+		t.Fatal("no diverse recommendations")
+	}
+	seen := map[int]bool{}
+	rated := map[int]bool{}
+	for _, e := range d.Matrix.UserRatings(3) {
+		rated[int(e.Index)] = true
+	}
+	for _, r := range recs {
+		if seen[r.Item] {
+			t.Fatalf("duplicate item %d", r.Item)
+		}
+		seen[r.Item] = true
+		if rated[r.Item] {
+			t.Fatalf("already-rated item %d recommended", r.Item)
+		}
+	}
+}
+
+func TestRecommendDiverseEdgeCases(t *testing.T) {
+	mod, _ := trainSmall(t)
+	if mod.RecommendDiverse(0, 0, 0.5) != nil {
+		t.Error("n=0 must return nil")
+	}
+	// Out-of-range tradeoffs clamp rather than fail.
+	if len(mod.RecommendDiverse(0, 3, -2)) == 0 {
+		t.Error("tradeoff<0 must still recommend")
+	}
+	if len(mod.RecommendDiverse(0, 3, 7)) == 0 {
+		t.Error("tradeoff>1 must still recommend")
+	}
+}
+
+func TestIntraListSimilarityEdge(t *testing.T) {
+	mod, _ := trainSmall(t)
+	if s := mod.IntraListSimilarity(nil); s != 0 {
+		t.Errorf("empty list similarity %g, want 0", s)
+	}
+	if s := mod.IntraListSimilarity([]Recommendation{{Item: 1}}); s != 0 {
+		t.Errorf("singleton similarity %g, want 0", s)
+	}
+}

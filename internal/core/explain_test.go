@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExplainWeightsSumToOne(t *testing.T) {
+	mod, _ := trainSmall(t)
+	ex := mod.Explain(2, 9, 0)
+	if len(ex.ItemEvidence) == 0 && len(ex.UserEvidence) == 0 {
+		t.Skip("no evidence for this cell")
+	}
+	var itemSum, userSum float64
+	for _, e := range ex.ItemEvidence {
+		if e.Weight < 0 {
+			t.Fatalf("negative item weight %g", e.Weight)
+		}
+		itemSum += e.Weight
+	}
+	for _, e := range ex.UserEvidence {
+		if e.Weight < 0 {
+			t.Fatalf("negative user weight %g", e.Weight)
+		}
+		userSum += e.Weight
+	}
+	if len(ex.ItemEvidence) > 0 && math.Abs(itemSum-1) > 1e-9 {
+		t.Errorf("item weights sum to %g, want 1", itemSum)
+	}
+	if len(ex.UserEvidence) > 0 && math.Abs(userSum-1) > 1e-9 {
+		t.Errorf("user weights sum to %g, want 1", userSum)
+	}
+}
+
+func TestExplainSortedAndTruncated(t *testing.T) {
+	mod, _ := trainSmall(t)
+	ex := mod.Explain(2, 9, 3)
+	if len(ex.ItemEvidence) > 3 || len(ex.UserEvidence) > 3 {
+		t.Fatalf("truncation failed: %d items, %d users", len(ex.ItemEvidence), len(ex.UserEvidence))
+	}
+	for i := 1; i < len(ex.ItemEvidence); i++ {
+		if ex.ItemEvidence[i-1].Weight < ex.ItemEvidence[i].Weight {
+			t.Fatal("item evidence not sorted by weight")
+		}
+	}
+	for i := 1; i < len(ex.UserEvidence); i++ {
+		if ex.UserEvidence[i-1].Weight < ex.UserEvidence[i].Weight {
+			t.Fatal("user evidence not sorted by weight")
+		}
+	}
+}
+
+func TestExplainMatchesPredict(t *testing.T) {
+	mod, _ := trainSmall(t)
+	for u := 0; u < 10; u++ {
+		ex := mod.Explain(u, u+3, 5)
+		if got := mod.Predict(u, u+3); got != ex.Prediction.Value {
+			t.Fatalf("Explain prediction %g != Predict %g", ex.Prediction.Value, got)
+		}
+	}
+}
+
+// TestExplainReconstructsSUR verifies the evidence is the actual SUR′
+// arithmetic: Σ w_norm·(r − ū_t) + ū_b must equal the component.
+func TestExplainReconstructsSUR(t *testing.T) {
+	mod, _ := trainSmall(t)
+	found := false
+	for u := 0; u < 20 && !found; u++ {
+		for i := 0; i < 20; i++ {
+			ex := mod.Explain(u, i, 0)
+			if !ex.Prediction.HasSUR || len(ex.UserEvidence) == 0 {
+				continue
+			}
+			found = true
+			var sum float64
+			for _, e := range ex.UserEvidence {
+				sum += e.Weight * (e.Rating - mod.m.UserMean(e.User))
+			}
+			want := mod.m.UserMean(u) + sum
+			if math.Abs(want-ex.Prediction.SUR) > 1e-9 {
+				t.Fatalf("evidence reconstructs SUR'=%g, component says %g", want, ex.Prediction.SUR)
+			}
+			break
+		}
+	}
+	if !found {
+		t.Skip("no SUR evidence found")
+	}
+}
+
+// TestExplainReconstructsSIR does the same for the item side.
+func TestExplainReconstructsSIR(t *testing.T) {
+	mod, _ := trainSmall(t)
+	ex := mod.Explain(1, 4, 0)
+	if !ex.Prediction.HasSIR || len(ex.ItemEvidence) == 0 {
+		t.Skip("no SIR evidence")
+	}
+	var sum float64
+	for _, e := range ex.ItemEvidence {
+		sum += e.Weight * e.Rating
+	}
+	if math.Abs(sum-ex.Prediction.SIR) > 1e-9 {
+		t.Errorf("evidence reconstructs SIR'=%g, component says %g", sum, ex.Prediction.SIR)
+	}
+}
+
+func TestExplainOutOfRange(t *testing.T) {
+	mod, _ := trainSmall(t)
+	ex := mod.Explain(-1, 0, 5)
+	if len(ex.ItemEvidence) != 0 || len(ex.UserEvidence) != 0 {
+		t.Error("out-of-range explain must carry no evidence")
+	}
+}
+
+func TestExplanationString(t *testing.T) {
+	mod, _ := trainSmall(t)
+	s := mod.Explain(2, 9, 2).String()
+	if !strings.Contains(s, "predict(user=2, item=9)") {
+		t.Errorf("missing header:\n%s", s)
+	}
+	if !strings.Contains(s, "observed") && !strings.Contains(s, "smoothed") {
+		t.Errorf("missing provenance:\n%s", s)
+	}
+}

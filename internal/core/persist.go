@@ -1,0 +1,104 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"cfsf/internal/cluster"
+	"cfsf/internal/ratings"
+	"cfsf/internal/similarity"
+	"cfsf/internal/smoothing"
+)
+
+// modelWire is the on-disk form of a trained model. It stores the
+// expensive offline artefacts (matrix, GIS, clustering) and rebuilds the
+// cheap ones (smoothing tables, iCluster rankings) at load time, which
+// keeps snapshots small and forward-compatible.
+type modelWire struct {
+	Version  int
+	Config   Config
+	Matrix   *ratings.Matrix
+	GIS      similarity.Snapshot
+	Clusters *cluster.Result
+}
+
+const modelWireVersion = 1
+
+// Save serialises the model to w in gob format. The snapshot contains
+// the training matrix, the GIS and the clustering; Load rebuilds the
+// rest of the offline state.
+func (mod *Model) Save(w io.Writer) error {
+	wire := modelWire{
+		Version:  modelWireVersion,
+		Config:   mod.cfg,
+		Matrix:   mod.m,
+		GIS:      mod.gis.Snapshot(),
+		Clusters: mod.clusters,
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("cfsf: save model: %w", err)
+	}
+	return nil
+}
+
+// SaveFile saves the model to a file created at path.
+func (mod *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := mod.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reconstructs a model saved with Save. Smoothing tables, iCluster
+// rankings and the neighbour cache are rebuilt, so the loaded model
+// predicts identically to the one that was saved.
+func Load(r io.Reader) (*Model, error) {
+	var wire modelWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("cfsf: load model: %w", err)
+	}
+	if wire.Version != modelWireVersion {
+		return nil, fmt.Errorf("cfsf: unsupported model snapshot version %d", wire.Version)
+	}
+	if err := wire.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("cfsf: corrupt model snapshot: %w", err)
+	}
+	if wire.Matrix == nil || wire.Clusters == nil {
+		return nil, fmt.Errorf("cfsf: corrupt model snapshot: missing matrix or clustering")
+	}
+
+	start := time.Now()
+	mod := &Model{
+		cfg:      wire.Config,
+		m:        wire.Matrix,
+		gis:      similarity.FromSnapshot(wire.GIS),
+		clusters: wire.Clusters,
+	}
+	mod.buildDecay()
+	mod.sm = smoothing.NewWeighted(mod.m, mod.clusters, mod.decay)
+	mod.ic = smoothing.BuildICluster(mod.sm, mod.cfg.Workers)
+	mod.neighborCache = make([]atomic.Pointer[[]likeMinded], mod.m.NumUsers())
+	mod.stats.GISNeighbors = mod.gis.TotalNeighbors()
+	mod.stats.ClusterIters = wire.Clusters.Iterations
+	mod.stats.TotalDuration = time.Since(start)
+	return mod, nil
+}
+
+// LoadFile loads a model saved with SaveFile.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	mod, d := trainSmall(t)
+
+	var buf bytes.Buffer
+	if err := mod.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The loaded model must predict identically.
+	for u := 0; u < 30; u++ {
+		for i := 0; i < 20; i++ {
+			a, b := mod.Predict(u, i), loaded.Predict(u, i)
+			if a != b {
+				t.Fatalf("Predict(%d,%d): %g != %g after load", u, i, a, b)
+			}
+		}
+	}
+	lc, mc := loaded.Config(), mod.Config()
+	if lc.M != mc.M || lc.K != mc.K || lc.Clusters != mc.Clusters ||
+		lc.Lambda != mc.Lambda || lc.Delta != mc.Delta ||
+		lc.OriginalWeight != mc.OriginalWeight {
+		t.Error("config did not round-trip")
+	}
+	if loaded.Matrix().NumRatings() != d.Matrix.NumRatings() {
+		t.Error("matrix did not round-trip")
+	}
+	if loaded.GIS().TotalNeighbors() != mod.GIS().TotalNeighbors() {
+		t.Error("GIS did not round-trip")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	mod, _ := trainSmall(t)
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := mod.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.Predict(1, 2), mod.Predict(1, 2); got != want {
+		t.Errorf("file round trip: %g != %g", got, want)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Error("garbage input must error")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input must error")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestLoadedModelSupportsUpdates(t *testing.T) {
+	mod, _ := trainSmall(t)
+	var buf bytes.Buffer
+	if err := mod.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := loaded.WithUpdates([]RatingUpdate{{User: 0, Item: 5, Value: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := next.Matrix().Rating(0, 5); !ok || r != 4 {
+		t.Errorf("update after load: %g,%v", r, ok)
+	}
+}

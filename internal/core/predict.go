@@ -1,0 +1,361 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"cfsf/internal/mathx"
+	"cfsf/internal/parallel"
+	"cfsf/internal/ratings"
+)
+
+// Prediction breaks a fused prediction into the paper's components.
+type Prediction struct {
+	// SIR, SUR, SUIR are the Eq. 12 components computed over the local
+	// matrix; the matching Has* flag reports whether the component had
+	// any support.
+	SIR, SUR, SUIR          float64
+	HasSIR, HasSUR, HasSUIR bool
+	// Value is the Eq. 14 fusion, clamped to the rating scale.
+	Value float64
+	// ItemsUsed and UsersUsed are the local matrix dimensions actually
+	// available (≤ M and ≤ K).
+	ItemsUsed, UsersUsed int
+}
+
+// Predict returns the fused CFSF prediction for (user, item), clamped to
+// the training matrix's rating scale. It is safe for concurrent use.
+func (mod *Model) Predict(user, item int) float64 {
+	return mod.PredictDetailed(user, item).Value
+}
+
+// PredictDetailed computes the online phase for one (user, item) pair and
+// returns the component breakdown.
+func (mod *Model) PredictDetailed(user, item int) Prediction {
+	var p Prediction
+	if user < 0 || user >= mod.m.NumUsers() || item < 0 || item >= mod.m.NumItems() {
+		p.Value = mod.fallback(user, item)
+		return p
+	}
+
+	items := mod.topItems(item)
+	users := mod.likeMindedUsers(user)
+	p.ItemsUsed = len(items)
+	p.UsersUsed = len(users)
+
+	// The local-matrix sums iterate sorted user rows merged against the
+	// item neighbourhood, so sort the top-M once by item id here.
+	sorted := make([]mathx.Scored, len(items))
+	copy(sorted, items)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Index < sorted[b].Index })
+
+	p.SIR, p.HasSIR = mod.sirLocal(user, sorted)
+	p.SUR, p.HasSUR = mod.surLocal(user, item, users)
+	p.SUIR, p.HasSUIR = mod.suirLocal(sorted, users)
+
+	// Eq. 14 with renormalisation over the available components, so a
+	// missing component never silently pulls the prediction toward 0.
+	wSIR := (1 - mod.cfg.Delta) * (1 - mod.cfg.Lambda)
+	wSUR := (1 - mod.cfg.Delta) * mod.cfg.Lambda
+	wSUIR := mod.cfg.Delta
+
+	var num, den float64
+	if p.HasSIR {
+		num += wSIR * p.SIR
+		den += wSIR
+	}
+	if p.HasSUR {
+		num += wSUR * p.SUR
+		den += wSUR
+	}
+	if p.HasSUIR {
+		num += wSUIR * p.SUIR
+		den += wSUIR
+	}
+	if den == 0 {
+		p.Value = mod.fallback(user, item)
+		return p
+	}
+	p.Value = mathx.Clamp(num/den, mod.m.MinRating(), mod.m.MaxRating())
+	return p
+}
+
+// fallback is the cold-start chain: user mean, then item mean, then the
+// global mean.
+func (mod *Model) fallback(user, item int) float64 {
+	if user >= 0 && user < mod.m.NumUsers() && len(mod.m.UserRatings(user)) > 0 {
+		return mod.m.UserMean(user)
+	}
+	if item >= 0 && item < mod.m.NumItems() && len(mod.m.ItemRatings(item)) > 0 {
+		return mod.m.ItemMean(item)
+	}
+	g := mod.m.GlobalMean()
+	if g == 0 {
+		return (mod.m.MinRating() + mod.m.MaxRating()) / 2
+	}
+	return g
+}
+
+// forEachLocalRating merges user u's sorted row against the id-sorted
+// item neighbourhood, yielding every local-matrix cell of u's row: the
+// observed rating where one exists, the Eq. 7 smoothed fill otherwise
+// (unless smoothing is disabled, in which case missing cells are
+// skipped). w11 is the Eq. 11 weight of the cell, including the
+// time-decay multiplier for original ratings. This is the O(M + |row|)
+// hot path of the online phase.
+func (mod *Model) forEachLocalRating(u int, sorted []mathx.Scored, fn func(k int, r float64, original bool, w11 float64)) {
+	row := mod.m.UserRatings(u)
+	j := 0
+	for k := range sorted {
+		idx := sorted[k].Index
+		for j < len(row) && row[j].Index < idx {
+			j++
+		}
+		if j < len(row) && row[j].Index == idx {
+			fn(k, row[j].Value, true, mod.cfg.OriginalWeight*mod.decayAt(u, j))
+			continue
+		}
+		if mod.cfg.DisableSmoothing {
+			continue
+		}
+		fn(k, mod.sm.Fill(u, int(idx)), false, 1-mod.cfg.OriginalWeight)
+	}
+}
+
+// sirLocal computes SIR′ (Eq. 12, first line): the w-weighted
+// similarity-weighted average of the active user's (smoothed) ratings on
+// the top-M similar items.
+func (mod *Model) sirLocal(user int, sorted []mathx.Scored) (float64, bool) {
+	var num, den float64
+	mod.forEachLocalRating(user, sorted, func(k int, r float64, orig bool, w11 float64) {
+		w := w11 * sorted[k].Score
+		num += w * r
+		den += w
+	})
+	if den <= 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+// surLocal computes SUR′ (Eq. 12, second line): the mean-centred,
+// w-weighted average of the like-minded users' (smoothed) ratings on the
+// active item, re-anchored at the active user's mean.
+func (mod *Model) surLocal(user, item int, users []likeMinded) (float64, bool) {
+	var num, den float64
+	for _, lm := range users {
+		t := int(lm.user)
+		r, w11, ok := mod.ratingWithW(t, item)
+		if !ok {
+			continue
+		}
+		w := w11 * lm.sim
+		num += w * (r - mod.m.UserMean(t))
+		den += w
+	}
+	if den <= 0 {
+		return 0, false
+	}
+	return mod.m.UserMean(user) + num/den, true
+}
+
+// suirLocal computes SUIR′ (Eq. 12, third line) with the Eq. 13 pair
+// weight: ratings that like-minded users gave to similar items.
+func (mod *Model) suirLocal(sorted []mathx.Scored, users []likeMinded) (float64, bool) {
+	var num, den float64
+	for _, lm := range users {
+		sim := lm.sim
+		mod.forEachLocalRating(int(lm.user), sorted, func(k int, r float64, orig bool, w11 float64) {
+			ps := pairSim(sorted[k].Score, sim)
+			if ps <= 0 {
+				return
+			}
+			w := w11 * ps
+			num += w * r
+			den += w
+		})
+	}
+	if den <= 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+// pairSim implements Eq. 13.
+func pairSim(itemSim, userSim float64) float64 {
+	d := math.Sqrt(itemSim*itemSim + userSim*userSim)
+	if d == 0 {
+		return 0
+	}
+	return itemSim * userSim / d
+}
+
+// likeMindedUsers returns the active user's top-K neighbours per
+// Eq. 10–11, using (and filling) the per-user cache.
+func (mod *Model) likeMindedUsers(user int) []likeMinded {
+	if !mod.cfg.DisableCache {
+		if p := mod.neighborCache[user].Load(); p != nil {
+			return *p
+		}
+	}
+	sel := mod.selectLikeMinded(user)
+	if !mod.cfg.DisableCache {
+		mod.neighborCache[user].Store(&sel)
+	}
+	return sel
+}
+
+// selectLikeMinded builds the candidate set in iCluster order (§IV-E2)
+// and scores each candidate with Eq. 10, keeping the top K positive
+// similarities.
+func (mod *Model) selectLikeMinded(user int) []likeMinded {
+	var candidates []int
+	if mod.cfg.FullUserSearch {
+		candidates = make([]int, 0, mod.m.NumUsers()-1)
+		for u := 0; u < mod.m.NumUsers(); u++ {
+			if u != user {
+				candidates = append(candidates, u)
+			}
+		}
+	} else {
+		factor := mod.cfg.CandidateFactor
+		if factor <= 0 {
+			factor = 4
+		}
+		want := factor * mod.cfg.K
+		for _, c := range mod.ic.Order[user] {
+			for _, u := range mod.clusters.Members[c] {
+				if u != user {
+					candidates = append(candidates, u)
+				}
+			}
+			if len(candidates) >= want {
+				break
+			}
+		}
+	}
+
+	top := mathx.NewTopK(mod.cfg.K)
+	for _, cand := range candidates {
+		if s := mod.eq10Sim(user, cand); s > 0 {
+			top.Push(int32(cand), s)
+		}
+	}
+	scored := top.Sorted()
+	out := make([]likeMinded, len(scored))
+	for i, s := range scored {
+		out[i] = likeMinded{user: s.Index, sim: s.Score}
+	}
+	return out
+}
+
+// eq10Sim computes the w-weighted PCC of Eq. 10 between the active user a
+// and candidate u, over the items a rated. The candidate side uses
+// smoothed ratings with the Eq. 11 weight; the active side uses only its
+// observed ratings (f ranges over I{u_a}). Both rows are sorted, so the
+// candidate lookup is a single merge pass.
+func (mod *Model) eq10Sim(active, cand int) float64 {
+	am := mod.m.UserMean(active)
+	cm := mod.m.UserMean(cand)
+	rowC := mod.m.UserRatings(cand)
+	j := 0
+	var num, denA, denC float64
+	for _, e := range mod.m.UserRatings(active) {
+		for j < len(rowC) && rowC[j].Index < e.Index {
+			j++
+		}
+		var rc, w float64
+		if j < len(rowC) && rowC[j].Index == e.Index {
+			rc = rowC[j].Value
+			w = mod.cfg.OriginalWeight * mod.decayAt(cand, j)
+		} else if mod.cfg.DisableSmoothing {
+			continue
+		} else {
+			rc = mod.sm.Fill(cand, int(e.Index))
+			w = 1 - mod.cfg.OriginalWeight
+		}
+		dc := rc - cm
+		da := e.Value - am
+		num += w * dc * da
+		denC += w * w * dc * dc
+		denA += da * da
+	}
+	if denA == 0 || denC == 0 {
+		return 0
+	}
+	return num / (math.Sqrt(denC) * math.Sqrt(denA))
+}
+
+// Pair identifies one prediction request in a batch.
+type Pair struct {
+	User, Item int
+}
+
+// PredictBatch predicts every pair in parallel and returns the fused
+// values in input order.
+func (mod *Model) PredictBatch(pairs []Pair) []float64 {
+	out := make([]float64, len(pairs))
+	parallel.For(len(pairs), mod.cfg.Workers, func(i int) {
+		out[i] = mod.Predict(pairs[i].User, pairs[i].Item)
+	})
+	return out
+}
+
+// Recommendation is one ranked item for a user.
+type Recommendation struct {
+	Item  int
+	Score float64
+}
+
+// Recommend returns the n items with the highest predicted rating for
+// the user, excluding items the user already rated. Ties break by item
+// id for determinism.
+func (mod *Model) Recommend(user, n int) []Recommendation {
+	if n <= 0 || user < 0 || user >= mod.m.NumUsers() {
+		return nil
+	}
+	rated := make(map[int]bool, len(mod.m.UserRatings(user)))
+	for _, e := range mod.m.UserRatings(user) {
+		rated[int(e.Index)] = true
+	}
+	type cand struct {
+		item  int
+		score float64
+	}
+	q := mod.m.NumItems()
+	cands := make([]cand, q)
+	parallel.For(q, mod.cfg.Workers, func(i int) {
+		if rated[i] || len(mod.m.ItemRatings(i)) == 0 {
+			cands[i] = cand{i, math.Inf(-1)}
+			return
+		}
+		cands[i] = cand{i, mod.Predict(user, i)}
+	})
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].score != cands[b].score {
+			return cands[a].score > cands[b].score
+		}
+		return cands[a].item < cands[b].item
+	})
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]Recommendation, 0, n)
+	for _, c := range cands[:n] {
+		if math.IsInf(c.score, -1) {
+			break
+		}
+		out = append(out, Recommendation{Item: c.item, Score: c.score})
+	}
+	return out
+}
+
+// EvalOn predicts every target of a split and returns predictions in
+// target order (a convenience for the evaluation harness and tests).
+func (mod *Model) EvalOn(targets []ratings.Target) []float64 {
+	pairs := make([]Pair, len(targets))
+	for i, t := range targets {
+		pairs[i] = Pair{t.User, t.Item}
+	}
+	return mod.PredictBatch(pairs)
+}

@@ -1,0 +1,226 @@
+// Package eval implements the evaluation harness of the paper's §V: the
+// MAE metric (Eq. 15), the Given-N protocol runner, parameter sweeps and
+// the response-time scalability measurement of Fig. 5, plus a small text
+// table renderer used by cmd/cfsf-bench to print paper-shaped tables.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"cfsf/internal/parallel"
+	"cfsf/internal/ratings"
+)
+
+// Predictor is the minimal algorithm contract the harness evaluates.
+// Fit trains on an observable matrix; Predict must be safe for concurrent
+// use after Fit returns.
+type Predictor interface {
+	// Fit trains the predictor on the observable matrix.
+	Fit(m *ratings.Matrix) error
+	// Predict returns the estimated rating of user u for item i, already
+	// clamped to the matrix's rating scale.
+	Predict(u, i int) float64
+}
+
+// MAE computes Eq. 15 over parallel slices of predictions and truths.
+// It panics if the lengths differ (programmer error) and returns NaN for
+// empty input.
+func MAE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("eval: MAE length mismatch %d vs %d", len(pred), len(truth)))
+	}
+	if len(pred) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := range pred {
+		s += math.Abs(pred[i] - truth[i])
+	}
+	return s / float64(len(pred))
+}
+
+// RMSE computes the root mean squared error over parallel slices.
+func RMSE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("eval: RMSE length mismatch %d vs %d", len(pred), len(truth)))
+	}
+	if len(pred) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
+// Result is one completed evaluation.
+type Result struct {
+	MAE         float64
+	RMSE        float64
+	NumTargets  int
+	FitTime     time.Duration
+	PredictTime time.Duration
+}
+
+// Options configures Evaluate.
+type Options struct {
+	// Workers parallelises prediction (<= 0 = GOMAXPROCS; 1 = serial).
+	Workers int
+}
+
+// Evaluate fits p on the split's observable matrix and predicts every
+// held-out target, returning accuracy and timing.
+func Evaluate(p Predictor, split *ratings.GivenNSplit, opts Options) (Result, error) {
+	var res Result
+	t := time.Now()
+	if err := p.Fit(split.Matrix); err != nil {
+		return res, fmt.Errorf("eval: fit: %w", err)
+	}
+	res.FitTime = time.Since(t)
+
+	pred := make([]float64, len(split.Targets))
+	truth := make([]float64, len(split.Targets))
+	t = time.Now()
+	parallel.For(len(split.Targets), opts.Workers, func(i int) {
+		tg := split.Targets[i]
+		pred[i] = p.Predict(tg.User, tg.Item)
+		truth[i] = tg.Actual
+	})
+	res.PredictTime = time.Since(t)
+	res.MAE = MAE(pred, truth)
+	res.RMSE = RMSE(pred, truth)
+	res.NumTargets = len(split.Targets)
+	return res, nil
+}
+
+// ResponsePoint is one measurement of the Fig. 5 scalability curve.
+type ResponsePoint struct {
+	// Fraction of the testset used (0.1 .. 1.0).
+	Fraction float64
+	// Targets predicted at this fraction.
+	Targets int
+	// Elapsed is the wall-clock online time for all predictions.
+	Elapsed time.Duration
+}
+
+// ResponseTimeCurve measures online prediction time while the testset
+// grows from the given fractions of its full size (paper Fig. 5). The
+// predictor must already be fitted; predictions run with the given
+// worker count (the paper's setup is single-threaded online, so pass 1
+// for paper-shaped numbers).
+func ResponseTimeCurve(p Predictor, split *ratings.GivenNSplit, fractions []float64, workers int) []ResponsePoint {
+	out := make([]ResponsePoint, 0, len(fractions))
+	for _, f := range fractions {
+		sub := split.TruncateTargets(f)
+		t := time.Now()
+		parallel.For(len(sub.Targets), workers, func(i int) {
+			tg := sub.Targets[i]
+			_ = p.Predict(tg.User, tg.Item)
+		})
+		out = append(out, ResponsePoint{Fraction: f, Targets: len(sub.Targets), Elapsed: time.Since(t)})
+	}
+	return out
+}
+
+// SweepPoint is one (parameter value, MAE) measurement.
+type SweepPoint struct {
+	Param float64
+	MAE   float64
+}
+
+// Sweep evaluates build(v) for every value and returns the MAE curve.
+// build returns a fresh, unfitted predictor configured with the value.
+func Sweep(values []float64, split *ratings.GivenNSplit, opts Options, build func(v float64) Predictor) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(values))
+	for _, v := range values {
+		res, err := Evaluate(build(v), split, opts)
+		if err != nil {
+			return nil, fmt.Errorf("eval: sweep at %g: %w", v, err)
+		}
+		out = append(out, SweepPoint{Param: v, MAE: res.MAE})
+	}
+	return out, nil
+}
+
+// ArgminMAE returns the parameter value with the lowest MAE in the curve.
+func ArgminMAE(curve []SweepPoint) (param, mae float64) {
+	best := math.Inf(1)
+	for _, p := range curve {
+		if p.MAE < best {
+			best, param = p.MAE, p.Param
+		}
+	}
+	return param, best
+}
+
+// Table accumulates rows and renders a fixed-width text table whose
+// shape matches the paper's tables (methods × Given columns).
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		width[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// FormatCurve renders a sweep curve as "param=mae" pairs sorted by param,
+// for compact logging in benches and the CLI.
+func FormatCurve(curve []SweepPoint) string {
+	cs := append([]SweepPoint(nil), curve...)
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Param < cs[j].Param })
+	parts := make([]string, len(cs))
+	for i, p := range cs {
+		parts[i] = fmt.Sprintf("%g=%.4f", p.Param, p.MAE)
+	}
+	return strings.Join(parts, " ")
+}

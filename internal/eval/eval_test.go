@@ -1,0 +1,220 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cfsf/internal/ratings"
+)
+
+func TestMAE(t *testing.T) {
+	got := MAE([]float64{1, 2, 3}, []float64{2, 2, 1})
+	if want := (1.0 + 0 + 2) / 3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MAE = %g, want %g", got, want)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got := RMSE([]float64{1, 3}, []float64{2, 1})
+	if want := math.Sqrt((1.0 + 4) / 2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("RMSE = %g, want %g", got, want)
+	}
+}
+
+func TestMetricEdgeCases(t *testing.T) {
+	if !math.IsNaN(MAE(nil, nil)) || !math.IsNaN(RMSE(nil, nil)) {
+		t.Error("empty input must yield NaN")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch must panic")
+		}
+	}()
+	MAE([]float64{1}, []float64{1, 2})
+}
+
+func TestRMSEAtLeastMAE(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) || math.IsNaN(d) ||
+			math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsInf(c, 0) || math.IsInf(d, 0) {
+			return true
+		}
+		p := []float64{a, b}
+		q := []float64{c, d}
+		return RMSE(p, q) >= MAE(p, q)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// meanPredictor predicts the global mean of whatever it was fitted on.
+type meanPredictor struct{ mean float64 }
+
+func (p *meanPredictor) Fit(m *ratings.Matrix) error {
+	p.mean = m.GlobalMean()
+	return nil
+}
+func (p *meanPredictor) Predict(u, i int) float64 { return p.mean }
+
+// oracle knows the full matrix and answers perfectly.
+type oracle struct{ full *ratings.Matrix }
+
+func (o *oracle) Fit(*ratings.Matrix) error { return nil }
+func (o *oracle) Predict(u, i int) float64 {
+	r, _ := o.full.Rating(u, i)
+	return r
+}
+
+func denseMatrix(p, q int) *ratings.Matrix {
+	b := ratings.NewBuilder(p, q)
+	for u := 0; u < p; u++ {
+		for i := 0; i < q; i++ {
+			b.MustAdd(u, i, float64(1+(u*3+i)%5))
+		}
+	}
+	return b.Build()
+}
+
+func TestEvaluateOracleHasZeroError(t *testing.T) {
+	full := denseMatrix(10, 8)
+	split, err := ratings.MLSplit(full, 6, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(&oracle{full}, split, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MAE != 0 || res.RMSE != 0 {
+		t.Errorf("oracle MAE=%g RMSE=%g, want 0", res.MAE, res.RMSE)
+	}
+	if res.NumTargets != len(split.Targets) {
+		t.Errorf("NumTargets = %d, want %d", res.NumTargets, len(split.Targets))
+	}
+}
+
+func TestEvaluateSerialEqualsParallel(t *testing.T) {
+	full := denseMatrix(12, 9)
+	split, err := ratings.MLSplit(full, 8, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Evaluate(&meanPredictor{}, split, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Evaluate(&meanPredictor{}, split, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MAE != p.MAE || s.RMSE != p.RMSE {
+		t.Errorf("serial (%g,%g) != parallel (%g,%g)", s.MAE, s.RMSE, p.MAE, p.RMSE)
+	}
+}
+
+type failFit struct{}
+
+func (failFit) Fit(*ratings.Matrix) error { return errFit }
+func (failFit) Predict(u, i int) float64  { return 0 }
+
+var errFit = &fitError{}
+
+type fitError struct{}
+
+func (*fitError) Error() string { return "fit failed" }
+
+func TestEvaluateFitError(t *testing.T) {
+	full := denseMatrix(6, 5)
+	split, _ := ratings.MLSplit(full, 4, 2, 1)
+	if _, err := Evaluate(failFit{}, split, Options{}); err == nil {
+		t.Error("fit error must propagate")
+	}
+}
+
+func TestResponseTimeCurve(t *testing.T) {
+	full := denseMatrix(20, 10)
+	split, err := ratings.MLSplit(full, 10, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &meanPredictor{}
+	if err := p.Fit(split.Matrix); err != nil {
+		t.Fatal(err)
+	}
+	curve := ResponseTimeCurve(p, split, []float64{0.2, 0.6, 1.0}, 1)
+	if len(curve) != 3 {
+		t.Fatalf("curve has %d points, want 3", len(curve))
+	}
+	if curve[0].Targets >= curve[2].Targets {
+		t.Errorf("targets must grow with fraction: %d vs %d", curve[0].Targets, curve[2].Targets)
+	}
+	if curve[2].Targets != len(split.Targets) {
+		t.Errorf("full fraction covers %d targets, want %d", curve[2].Targets, len(split.Targets))
+	}
+	for _, pt := range curve {
+		if pt.Elapsed < 0 || pt.Elapsed > time.Minute {
+			t.Errorf("suspicious elapsed %v", pt.Elapsed)
+		}
+	}
+}
+
+func TestSweepAndArgmin(t *testing.T) {
+	full := denseMatrix(10, 8)
+	split, err := ratings.MLSplit(full, 6, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictor whose error is |v-3|: best at v=3.
+	curve, err := Sweep([]float64{1, 2, 3, 4}, split, Options{}, func(v float64) Predictor {
+		return &constPredictor{v}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 4 {
+		t.Fatalf("curve len %d, want 4", len(curve))
+	}
+	param, mae := ArgminMAE(curve)
+	if param != 3 {
+		t.Errorf("argmin at %g (MAE %g), want 3", param, mae)
+	}
+}
+
+type constPredictor struct{ v float64 }
+
+func (p *constPredictor) Fit(*ratings.Matrix) error { return nil }
+func (p *constPredictor) Predict(u, i int) float64  { return p.v }
+
+func TestSweepPropagatesError(t *testing.T) {
+	full := denseMatrix(6, 5)
+	split, _ := ratings.MLSplit(full, 4, 2, 1)
+	_, err := Sweep([]float64{1}, split, Options{}, func(float64) Predictor { return failFit{} })
+	if err == nil {
+		t.Error("sweep must propagate fit errors")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "Method", "Given5", "Given10")
+	tb.AddRow("CFSF", "0.743", "0.721")
+	tb.AddRow("SUR", "0.838", "0.814")
+	out := tb.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "CFSF") {
+		t.Errorf("table output missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatCurve(t *testing.T) {
+	s := FormatCurve([]SweepPoint{{Param: 0.8, MAE: 0.75}, {Param: 0.2, MAE: 0.9}})
+	if !strings.HasPrefix(s, "0.2=0.9000") {
+		t.Errorf("curve not sorted by param: %q", s)
+	}
+}

@@ -1,0 +1,124 @@
+package eval
+
+import (
+	"math"
+	"sort"
+
+	"cfsf/internal/ratings"
+)
+
+// List-quality metrics beyond accuracy: catalogue coverage and novelty.
+// A recommender that always serves the same blockbusters can score well
+// on MAE while being useless as a discovery tool; these metrics quantify
+// that axis for the diversity/top-N extension experiments.
+
+// Lists maps each user to their recommended item ids.
+type Lists map[int][]int
+
+// CatalogCoverage returns the fraction of the catalogue that appears in
+// at least one user's list.
+func CatalogCoverage(lists Lists, numItems int) float64 {
+	if numItems <= 0 {
+		return 0
+	}
+	seen := map[int]bool{}
+	for _, items := range lists {
+		for _, i := range items {
+			if i >= 0 && i < numItems {
+				seen[i] = true
+			}
+		}
+	}
+	return float64(len(seen)) / float64(numItems)
+}
+
+// Novelty returns the mean self-information −log2(popularity) of the
+// recommended items, where popularity is the fraction of users who rated
+// the item in the training matrix. Higher = more novel (long-tail)
+// recommendations. Items nobody rated are skipped (their popularity is
+// undefined).
+func Novelty(lists Lists, m *ratings.Matrix) float64 {
+	users := float64(m.NumUsers())
+	if users == 0 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for _, items := range lists {
+		for _, i := range items {
+			if i < 0 || i >= m.NumItems() {
+				continue
+			}
+			raters := len(m.ItemRatings(i))
+			if raters == 0 {
+				continue
+			}
+			sum += -math.Log2(float64(raters) / users)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// GiniIndex measures how unevenly recommendations concentrate on items:
+// 0 = perfectly even exposure across recommended items, →1 = all
+// exposure on a single item. Items never recommended are excluded (use
+// CatalogCoverage for that axis).
+func GiniIndex(lists Lists) float64 {
+	counts := map[int]int{}
+	total := 0
+	for _, items := range lists {
+		for _, i := range items {
+			counts[i]++
+			total++
+		}
+	}
+	if len(counts) <= 1 || total == 0 {
+		return 0
+	}
+	xs := make([]float64, 0, len(counts))
+	for _, c := range counts {
+		xs = append(xs, float64(c))
+	}
+	sort.Float64s(xs)
+	n := float64(len(xs))
+	var cum, weighted float64
+	for k, x := range xs {
+		cum += x
+		weighted += float64(k+1) * x
+	}
+	// Gini = (2·Σ k·x_k)/(n·Σ x) − (n+1)/n.
+	return (2*weighted)/(n*cum) - (n+1)/n
+}
+
+// LeaveOneOut builds the classic protocol: for every user with at least
+// two ratings, their last rating (by item id, deterministic) is held out
+// and everything else is observable. It complements Given-N: instead of
+// sparse new users, it measures dense-profile accuracy.
+func LeaveOneOut(m *ratings.Matrix) (*ratings.GivenNSplit, error) {
+	b := ratings.NewBuilder(m.NumUsers(), m.NumItems())
+	b.SetScale(m.MinRating(), m.MaxRating())
+	split := &ratings.GivenNSplit{}
+	for u := 0; u < m.NumUsers(); u++ {
+		row := m.UserRatings(u)
+		if len(row) < 2 {
+			for _, e := range row {
+				b.MustAdd(u, int(e.Index), e.Value)
+			}
+			continue
+		}
+		for _, e := range row[:len(row)-1] {
+			b.MustAdd(u, int(e.Index), e.Value)
+		}
+		last := row[len(row)-1]
+		split.Targets = append(split.Targets, ratings.Target{
+			User: u, Item: int(last.Index), Actual: last.Value,
+		})
+		split.TestUsers = append(split.TestUsers, u)
+	}
+	split.Matrix = b.Build()
+	return split, nil
+}

@@ -1,0 +1,105 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"cfsf/internal/ratings"
+)
+
+func TestCatalogCoverage(t *testing.T) {
+	lists := Lists{
+		0: {1, 2},
+		1: {2, 3},
+	}
+	if got := CatalogCoverage(lists, 10); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("coverage = %g, want 0.3", got)
+	}
+	if got := CatalogCoverage(Lists{}, 10); got != 0 {
+		t.Errorf("empty lists coverage = %g, want 0", got)
+	}
+	if got := CatalogCoverage(lists, 0); got != 0 {
+		t.Errorf("zero catalogue coverage = %g, want 0", got)
+	}
+	// Out-of-range items are ignored.
+	if got := CatalogCoverage(Lists{0: {99, -1}}, 10); got != 0 {
+		t.Errorf("out-of-range items counted: %g", got)
+	}
+}
+
+func TestNovelty(t *testing.T) {
+	// 4 users; item 0 rated by all (popularity 1 → novelty 0), item 1
+	// rated by 1 (popularity 0.25 → novelty 2 bits).
+	b := ratings.NewBuilder(4, 2)
+	for u := 0; u < 4; u++ {
+		b.MustAdd(u, 0, 3)
+	}
+	b.MustAdd(0, 1, 4)
+	m := b.Build()
+
+	if got := Novelty(Lists{0: {0}}, m); math.Abs(got-0) > 1e-12 {
+		t.Errorf("blockbuster novelty = %g, want 0", got)
+	}
+	if got := Novelty(Lists{0: {1}}, m); math.Abs(got-2) > 1e-12 {
+		t.Errorf("tail novelty = %g, want 2", got)
+	}
+	if got := Novelty(Lists{0: {0, 1}}, m); math.Abs(got-1) > 1e-12 {
+		t.Errorf("mixed novelty = %g, want 1", got)
+	}
+}
+
+func TestGiniIndex(t *testing.T) {
+	// Perfectly even exposure → 0.
+	if got := GiniIndex(Lists{0: {1, 2}, 1: {3, 4}}); math.Abs(got) > 1e-12 {
+		t.Errorf("even exposure gini = %g, want 0", got)
+	}
+	// Concentrated exposure must be far from 0.
+	concentrated := GiniIndex(Lists{0: {7, 7, 7, 7, 7, 7, 7, 7, 7, 1}})
+	if concentrated < 0.3 {
+		t.Errorf("concentrated gini = %g, want >= 0.3", concentrated)
+	}
+	if got := GiniIndex(Lists{}); got != 0 {
+		t.Errorf("empty gini = %g, want 0", got)
+	}
+}
+
+func TestLeaveOneOut(t *testing.T) {
+	b := ratings.NewBuilder(3, 4)
+	b.MustAdd(0, 0, 3)
+	b.MustAdd(0, 2, 4)
+	b.MustAdd(0, 3, 5)
+	b.MustAdd(1, 1, 2) // single rating: no target
+	b.MustAdd(2, 0, 1)
+	b.MustAdd(2, 1, 2)
+	m := b.Build()
+
+	split, err := LeaveOneOut(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split.Targets) != 2 {
+		t.Fatalf("targets = %d, want 2", len(split.Targets))
+	}
+	// User 0's held-out rating is item 3 (last by id).
+	if split.Targets[0].User != 0 || split.Targets[0].Item != 3 || split.Targets[0].Actual != 5 {
+		t.Errorf("user 0 target = %+v", split.Targets[0])
+	}
+	// Held-out cells are absent from the observable matrix; the rest stay.
+	if _, ok := split.Matrix.Rating(0, 3); ok {
+		t.Error("held-out rating leaked")
+	}
+	if r, ok := split.Matrix.Rating(0, 2); !ok || r != 4 {
+		t.Error("kept rating lost")
+	}
+	if r, ok := split.Matrix.Rating(1, 1); !ok || r != 2 {
+		t.Error("single-rating user must keep their rating")
+	}
+	// The split is usable by the standard evaluator.
+	res, err := Evaluate(&meanPredictor{}, split, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.MAE) {
+		t.Error("LOO evaluation produced NaN")
+	}
+}

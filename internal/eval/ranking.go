@@ -1,0 +1,147 @@
+package eval
+
+import (
+	"math"
+	"sort"
+
+	"cfsf/internal/parallel"
+	"cfsf/internal/ratings"
+)
+
+// The paper evaluates rating accuracy (MAE) only; a production
+// recommender also cares how well the *ranking* of unseen items matches
+// user taste. This file adds the standard top-N metrics so the library's
+// extension experiments (EXPERIMENTS.md "beyond the paper") can compare
+// CFSF and the baselines as rankers.
+
+// RankingResult aggregates top-N metrics over a set of test users.
+type RankingResult struct {
+	// PrecisionAtN is the mean fraction of recommended items that are
+	// relevant (held-out rating >= the relevance threshold).
+	PrecisionAtN float64
+	// RecallAtN is the mean fraction of each user's relevant held-out
+	// items that appear in the recommendations.
+	RecallAtN float64
+	// NDCGAtN is the mean normalised discounted cumulative gain with
+	// binary relevance.
+	NDCGAtN float64
+	// Users is how many test users had at least one relevant held-out
+	// item (only they enter the averages).
+	Users int
+	// N is the list length used.
+	N int
+}
+
+// RankingOptions configures EvaluateRanking.
+type RankingOptions struct {
+	// N is the recommendation list length (default 10).
+	N int
+	// RelevanceThreshold marks a held-out rating as relevant (default 4
+	// on the 1..5 scale).
+	RelevanceThreshold float64
+	// Workers parallelises over users (<= 0 = GOMAXPROCS).
+	Workers int
+}
+
+// EvaluateRanking measures Precision@N, Recall@N and NDCG@N for a fitted
+// predictor on a Given-N split. For every test user, the candidate pool
+// is that user's held-out items (the standard "rated-pool" protocol:
+// candidates with known ground truth); the predictor ranks them and the
+// top N are scored against the relevance labels.
+func EvaluateRanking(p Predictor, split *ratings.GivenNSplit, opts RankingOptions) RankingResult {
+	n := opts.N
+	if n <= 0 {
+		n = 10
+	}
+	thr := opts.RelevanceThreshold
+	if thr == 0 {
+		thr = 4
+	}
+
+	// Group targets per user.
+	perUser := map[int][]ratings.Target{}
+	for _, tg := range split.Targets {
+		perUser[tg.User] = append(perUser[tg.User], tg)
+	}
+	users := make([]int, 0, len(perUser))
+	for u := range perUser {
+		users = append(users, u)
+	}
+	sort.Ints(users)
+
+	type acc struct {
+		precision, recall, ndcg float64
+		users                   int
+	}
+	parts := parallel.MapReduce(len(users), opts.Workers, func() acc { return acc{} }, func(a acc, k int) acc {
+		u := users[k]
+		targets := perUser[u]
+		relevant := 0
+		for _, tg := range targets {
+			if tg.Actual >= thr {
+				relevant++
+			}
+		}
+		if relevant == 0 {
+			return a
+		}
+		// Rank the user's held-out items by predicted score.
+		type scored struct {
+			item int
+			pred float64
+			rel  bool
+		}
+		list := make([]scored, len(targets))
+		for i, tg := range targets {
+			list[i] = scored{tg.Item, p.Predict(u, tg.Item), tg.Actual >= thr}
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].pred != list[j].pred {
+				return list[i].pred > list[j].pred
+			}
+			return list[i].item < list[j].item
+		})
+		top := n
+		if top > len(list) {
+			top = len(list)
+		}
+		hits := 0
+		dcg := 0.0
+		for i := 0; i < top; i++ {
+			if list[i].rel {
+				hits++
+				dcg += 1 / math.Log2(float64(i)+2)
+			}
+		}
+		ideal := 0.0
+		idealHits := relevant
+		if idealHits > top {
+			idealHits = top
+		}
+		for i := 0; i < idealHits; i++ {
+			ideal += 1 / math.Log2(float64(i)+2)
+		}
+		a.precision += float64(hits) / float64(top)
+		a.recall += float64(hits) / float64(relevant)
+		if ideal > 0 {
+			a.ndcg += dcg / ideal
+		}
+		a.users++
+		return a
+	})
+
+	var total acc
+	for _, p := range parts {
+		total.precision += p.precision
+		total.recall += p.recall
+		total.ndcg += p.ndcg
+		total.users += p.users
+	}
+	res := RankingResult{Users: total.users, N: n}
+	if total.users > 0 {
+		res.PrecisionAtN = total.precision / float64(total.users)
+		res.RecallAtN = total.recall / float64(total.users)
+		res.NDCGAtN = total.ndcg / float64(total.users)
+	}
+	return res
+}

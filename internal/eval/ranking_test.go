@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"cfsf/internal/ratings"
+)
+
+// rankSplit builds a split with one test user whose held-out items have
+// known ratings, so metric values can be computed by hand.
+func rankSplit(t *testing.T, heldOut []float64) *ratings.GivenNSplit {
+	t.Helper()
+	// 2 train users + 1 test user; test user reveals 1 rating and holds
+	// out len(heldOut).
+	q := 1 + len(heldOut)
+	b := ratings.NewBuilder(3, q)
+	for i := 0; i < q; i++ {
+		b.MustAdd(0, i, 3)
+		b.MustAdd(1, i, 4)
+	}
+	b.MustAdd(2, 0, 3) // the given rating
+	for i, r := range heldOut {
+		b.MustAdd(2, i+1, r)
+	}
+	full := b.Build()
+	split, err := ratings.MLSplit(full, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return split
+}
+
+// itemScorer predicts a fixed score per item.
+type itemScorer struct{ score map[int]float64 }
+
+func (s *itemScorer) Fit(*ratings.Matrix) error { return nil }
+func (s *itemScorer) Predict(u, i int) float64  { return s.score[i] }
+
+func TestEvaluateRankingPerfect(t *testing.T) {
+	// Held-out: items 1..4 with ratings 5,5,1,1. A scorer that ranks the
+	// two relevant items first is perfect at N=2.
+	split := rankSplit(t, []float64{5, 5, 1, 1})
+	p := &itemScorer{score: map[int]float64{1: 0.9, 2: 0.8, 3: 0.2, 4: 0.1}}
+	res := EvaluateRanking(p, split, RankingOptions{N: 2})
+	if res.Users != 1 {
+		t.Fatalf("users = %d, want 1", res.Users)
+	}
+	if res.PrecisionAtN != 1 || res.RecallAtN != 1 || math.Abs(res.NDCGAtN-1) > 1e-12 {
+		t.Errorf("perfect ranker scored P=%g R=%g N=%g, want 1,1,1",
+			res.PrecisionAtN, res.RecallAtN, res.NDCGAtN)
+	}
+}
+
+func TestEvaluateRankingWorst(t *testing.T) {
+	split := rankSplit(t, []float64{5, 5, 1, 1})
+	p := &itemScorer{score: map[int]float64{1: 0.1, 2: 0.2, 3: 0.8, 4: 0.9}}
+	res := EvaluateRanking(p, split, RankingOptions{N: 2})
+	if res.PrecisionAtN != 0 || res.RecallAtN != 0 || res.NDCGAtN != 0 {
+		t.Errorf("worst ranker scored P=%g R=%g N=%g, want zeros",
+			res.PrecisionAtN, res.RecallAtN, res.NDCGAtN)
+	}
+}
+
+func TestEvaluateRankingPartial(t *testing.T) {
+	// Top-2 contains one of two relevant items → P=0.5, R=0.5.
+	split := rankSplit(t, []float64{5, 5, 1, 1})
+	p := &itemScorer{score: map[int]float64{1: 0.9, 3: 0.8, 2: 0.2, 4: 0.1}}
+	res := EvaluateRanking(p, split, RankingOptions{N: 2})
+	if math.Abs(res.PrecisionAtN-0.5) > 1e-12 || math.Abs(res.RecallAtN-0.5) > 1e-12 {
+		t.Errorf("P=%g R=%g, want 0.5, 0.5", res.PrecisionAtN, res.RecallAtN)
+	}
+	// DCG = 1/log2(2) = 1 at rank 1; IDCG = 1/log2(2) + 1/log2(3).
+	wantNDCG := 1.0 / (1 + 1/math.Log2(3))
+	if math.Abs(res.NDCGAtN-wantNDCG) > 1e-12 {
+		t.Errorf("NDCG = %g, want %g", res.NDCGAtN, wantNDCG)
+	}
+}
+
+func TestEvaluateRankingNoRelevantUsersSkipped(t *testing.T) {
+	split := rankSplit(t, []float64{2, 1, 3, 2})
+	p := &itemScorer{score: map[int]float64{}}
+	res := EvaluateRanking(p, split, RankingOptions{N: 2})
+	if res.Users != 0 {
+		t.Errorf("users = %d, want 0 when nothing is relevant", res.Users)
+	}
+}
+
+func TestEvaluateRankingDefaults(t *testing.T) {
+	split := rankSplit(t, []float64{5, 1})
+	p := &itemScorer{score: map[int]float64{1: 1, 2: 0}}
+	res := EvaluateRanking(p, split, RankingOptions{})
+	if res.N != 10 {
+		t.Errorf("default N = %d, want 10", res.N)
+	}
+	// With N=10 > pool, precision = hits/pool-size.
+	if math.Abs(res.PrecisionAtN-0.5) > 1e-12 {
+		t.Errorf("precision %g, want 0.5 (1 relevant of 2 candidates)", res.PrecisionAtN)
+	}
+}
+
+func TestEvaluateRankingParallelDeterministic(t *testing.T) {
+	split := rankSplit(t, []float64{5, 5, 1, 1, 4, 2})
+	p := &itemScorer{score: map[int]float64{1: 6, 2: 5, 3: 4, 4: 3, 5: 2, 6: 1}}
+	a := EvaluateRanking(p, split, RankingOptions{N: 3, Workers: 1})
+	b := EvaluateRanking(p, split, RankingOptions{N: 3, Workers: 8})
+	if a != b {
+		t.Errorf("worker counts disagree: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,324 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cfsf/internal/parallel"
+	"cfsf/internal/ratings"
+)
+
+// This file adds the statistical rigour the paper's tables imply but do
+// not report: paired significance tests between methods and k-fold
+// cross-validation as an alternative to the Given-N protocol.
+
+// TTestResult is a two-sided paired t-test over per-target absolute
+// errors.
+type TTestResult struct {
+	// MeanDiff is mean(|err_a| − |err_b|); negative means method A is
+	// more accurate.
+	MeanDiff float64
+	// T is the t statistic, DF the degrees of freedom.
+	T  float64
+	DF int
+	// P is the two-sided p-value.
+	P float64
+	// Significant reports P < 0.05.
+	Significant bool
+}
+
+// PairedTTest runs a two-sided paired t-test on two equal-length samples
+// (e.g. per-target absolute errors of two methods). It returns an error
+// for mismatched or too-short input.
+func PairedTTest(a, b []float64) (TTestResult, error) {
+	if len(a) != len(b) {
+		return TTestResult{}, fmt.Errorf("eval: paired t-test needs equal lengths, got %d and %d", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return TTestResult{}, fmt.Errorf("eval: paired t-test needs >= 2 pairs, got %d", n)
+	}
+	var mean float64
+	for i := range a {
+		mean += a[i] - b[i]
+	}
+	mean /= float64(n)
+	var ss float64
+	for i := range a {
+		d := a[i] - b[i] - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	res := TTestResult{MeanDiff: mean, DF: n - 1}
+	if sd == 0 {
+		// Identical differences: either exactly zero (no effect) or a
+		// constant shift (infinitely significant).
+		if mean == 0 {
+			res.P = 1
+			return res, nil
+		}
+		res.T = math.Inf(sign(mean))
+		res.P = 0
+		res.Significant = true
+		return res, nil
+	}
+	res.T = mean / (sd / math.Sqrt(float64(n)))
+	res.P = studentTwoSidedP(res.T, float64(res.DF))
+	res.Significant = res.P < 0.05
+	return res, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// studentTwoSidedP computes the two-sided p-value of a t statistic with
+// df degrees of freedom via the regularised incomplete beta function:
+// P = I_{df/(df+t²)}(df/2, 1/2).
+func studentTwoSidedP(t, df float64) float64 {
+	x := df / (df + t*t)
+	return regIncompleteBeta(df/2, 0.5, x)
+}
+
+// regIncompleteBeta computes I_x(a, b) with the continued-fraction
+// expansion (Numerical Recipes "betai"/"betacf").
+func regIncompleteBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	ln := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(ln)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf is the continued fraction for the incomplete beta function.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		mf := float64(m)
+		aa := mf * (b - mf) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + mf) * (qab + mf) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// Comparison reports a head-to-head evaluation of two methods on the
+// same split with a paired significance test on absolute errors.
+type Comparison struct {
+	MAEA, MAEB float64
+	TTest      TTestResult
+}
+
+// Compare fits both predictors on the split and tests whether their
+// per-target absolute errors differ significantly.
+func Compare(a, b Predictor, split *ratings.GivenNSplit, opts Options) (Comparison, error) {
+	errsOf := func(p Predictor) ([]float64, float64, error) {
+		if err := p.Fit(split.Matrix); err != nil {
+			return nil, 0, err
+		}
+		out := make([]float64, len(split.Targets))
+		parallel.For(len(split.Targets), opts.Workers, func(i int) {
+			tg := split.Targets[i]
+			out[i] = math.Abs(p.Predict(tg.User, tg.Item) - tg.Actual)
+		})
+		var sum float64
+		for _, e := range out {
+			sum += e
+		}
+		return out, sum / float64(len(out)), nil
+	}
+	errsA, maeA, err := errsOf(a)
+	if err != nil {
+		return Comparison{}, fmt.Errorf("eval: compare: method A: %w", err)
+	}
+	errsB, maeB, err := errsOf(b)
+	if err != nil {
+		return Comparison{}, fmt.Errorf("eval: compare: method B: %w", err)
+	}
+	tt, err := PairedTTest(errsA, errsB)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{MAEA: maeA, MAEB: maeB, TTest: tt}, nil
+}
+
+// Fold is one train/test partition of k-fold cross-validation over
+// ratings (not users): the observable matrix omits the fold's ratings,
+// which become the targets.
+type Fold struct {
+	Matrix  *ratings.Matrix
+	Targets []ratings.Target
+}
+
+// KFold partitions the matrix's ratings into k folds at random
+// (seeded). Every rating lands in exactly one fold's target set.
+func KFold(m *ratings.Matrix, k int, seed int64) ([]Fold, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("eval: k-fold needs k >= 2, got %d", k)
+	}
+	if m.NumRatings() < k {
+		return nil, fmt.Errorf("eval: %d ratings cannot fill %d folds", m.NumRatings(), k)
+	}
+	type cell struct {
+		u, i int32
+		r    float64
+	}
+	cells := make([]cell, 0, m.NumRatings())
+	for u := 0; u < m.NumUsers(); u++ {
+		for _, e := range m.UserRatings(u) {
+			cells = append(cells, cell{int32(u), e.Index, e.Value})
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(cells), func(a, b int) { cells[a], cells[b] = cells[b], cells[a] })
+
+	folds := make([]Fold, k)
+	assign := make([]int, len(cells))
+	for idx := range cells {
+		assign[idx] = idx % k
+	}
+	for f := 0; f < k; f++ {
+		b := ratings.NewBuilder(m.NumUsers(), m.NumItems())
+		b.SetScale(m.MinRating(), m.MaxRating())
+		for idx, c := range cells {
+			if assign[idx] == f {
+				folds[f].Targets = append(folds[f].Targets,
+					ratings.Target{User: int(c.u), Item: int(c.i), Actual: c.r})
+			} else {
+				b.MustAdd(int(c.u), int(c.i), c.r)
+			}
+		}
+		folds[f].Matrix = b.Build()
+	}
+	return folds, nil
+}
+
+// CVResult aggregates cross-validation scores.
+type CVResult struct {
+	FoldMAE []float64
+	Mean    float64
+	Std     float64
+}
+
+// CrossValidate runs k-fold CV: build() must return a fresh unfitted
+// predictor per fold.
+func CrossValidate(build func() Predictor, m *ratings.Matrix, k int, seed int64, opts Options) (CVResult, error) {
+	folds, err := KFold(m, k, seed)
+	if err != nil {
+		return CVResult{}, err
+	}
+	var res CVResult
+	for fi, fold := range folds {
+		p := build()
+		if err := p.Fit(fold.Matrix); err != nil {
+			return CVResult{}, fmt.Errorf("eval: cv fold %d: %w", fi, err)
+		}
+		pred := make([]float64, len(fold.Targets))
+		truth := make([]float64, len(fold.Targets))
+		parallel.For(len(fold.Targets), opts.Workers, func(i int) {
+			tg := fold.Targets[i]
+			pred[i] = p.Predict(tg.User, tg.Item)
+			truth[i] = tg.Actual
+		})
+		res.FoldMAE = append(res.FoldMAE, MAE(pred, truth))
+	}
+	for _, v := range res.FoldMAE {
+		res.Mean += v
+	}
+	res.Mean /= float64(len(res.FoldMAE))
+	var ss float64
+	for _, v := range res.FoldMAE {
+		ss += (v - res.Mean) * (v - res.Mean)
+	}
+	if len(res.FoldMAE) > 1 {
+		res.Std = math.Sqrt(ss / float64(len(res.FoldMAE)-1))
+	}
+	return res, nil
+}
+
+// BootstrapCI estimates a confidence interval for the MAE of per-target
+// absolute errors by nonparametric bootstrap (resampling targets with
+// replacement). level is e.g. 0.95; resamples ~2000 is plenty. The
+// estimate is deterministic for a fixed seed.
+func BootstrapCI(absErrors []float64, level float64, resamples int, seed int64) (lo, hi float64, err error) {
+	if len(absErrors) == 0 {
+		return 0, 0, fmt.Errorf("eval: bootstrap needs at least one error")
+	}
+	if level <= 0 || level >= 1 {
+		return 0, 0, fmt.Errorf("eval: confidence level must be in (0,1), got %g", level)
+	}
+	if resamples <= 0 {
+		resamples = 2000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := len(absErrors)
+	means := make([]float64, resamples)
+	for r := range means {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += absErrors[rng.Intn(n)]
+		}
+		means[r] = sum / float64(n)
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	loIdx := int(alpha * float64(resamples))
+	hiIdx := int((1 - alpha) * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return means[loIdx], means[hiIdx], nil
+}

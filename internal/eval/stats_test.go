@@ -1,0 +1,263 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cfsf/internal/ratings"
+)
+
+func TestPairedTTestIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	res, err := PairedTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 || res.Significant {
+		t.Errorf("identical samples: P=%g significant=%v, want P=1", res.P, res.Significant)
+	}
+}
+
+func TestPairedTTestConstantShift(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 3, 4, 5}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant || res.P != 0 {
+		t.Errorf("constant shift must be maximally significant, got %+v", res)
+	}
+	if res.MeanDiff != -1 {
+		t.Errorf("mean diff %g, want -1", res.MeanDiff)
+	}
+}
+
+func TestPairedTTestClearDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 500
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		base := rng.NormFloat64()
+		a[i] = base + 0.5 + rng.NormFloat64()*0.1
+		b[i] = base + rng.NormFloat64()*0.1
+	}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant || res.P > 1e-6 {
+		t.Errorf("0.5σ-shifted samples not significant: %+v", res)
+	}
+	if res.MeanDiff < 0.4 || res.MeanDiff > 0.6 {
+		t.Errorf("mean diff %g, want ≈0.5", res.MeanDiff)
+	}
+}
+
+func TestPairedTTestNoDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 500
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Errorf("independent noise flagged significant at p=%g", res.P)
+	}
+}
+
+func TestPairedTTestValidation(t *testing.T) {
+	if _, err := PairedTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := PairedTTest([]float64{1}, []float64{2}); err == nil {
+		t.Error("n < 2 must error")
+	}
+}
+
+// TestStudentPKnownValues cross-checks the t CDF against table values.
+func TestStudentPKnownValues(t *testing.T) {
+	cases := []struct {
+		t, df, want float64
+	}{
+		{2.228, 10, 0.05},  // t_{0.975,10}
+		{1.96, 1e6, 0.05},  // normal limit
+		{2.086, 20, 0.05},  // t_{0.975,20}
+		{2.845, 20, 0.010}, // t_{0.995,20}
+	}
+	for _, c := range cases {
+		got := studentTwoSidedP(c.t, c.df)
+		if math.Abs(got-c.want) > 0.002 {
+			t.Errorf("P(|T|>%g, df=%g) = %.4f, want %.3f", c.t, c.df, got, c.want)
+		}
+	}
+}
+
+func TestRegIncompleteBetaEdges(t *testing.T) {
+	if regIncompleteBeta(2, 3, 0) != 0 || regIncompleteBeta(2, 3, 1) != 1 {
+		t.Error("incomplete beta edges wrong")
+	}
+	// I_x(1,1) = x.
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := regIncompleteBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Errorf("I_%g(1,1) = %g, want %g", x, got, x)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+	if got := regIncompleteBeta(2.5, 4, 0.3) + regIncompleteBeta(4, 2.5, 0.7); math.Abs(got-1) > 1e-10 {
+		t.Errorf("symmetry violated: %g", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	full := denseMatrix(12, 10)
+	split, err := ratings.MLSplit(full, 8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle vs global mean: the oracle must be significantly better.
+	cmp, err := Compare(&oracle{full}, &meanPredictor{}, split, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.MAEA != 0 {
+		t.Errorf("oracle MAE %g, want 0", cmp.MAEA)
+	}
+	if !cmp.TTest.Significant || cmp.TTest.MeanDiff >= 0 {
+		t.Errorf("oracle not significantly better: %+v", cmp.TTest)
+	}
+}
+
+func TestKFoldPartition(t *testing.T) {
+	full := denseMatrix(10, 8)
+	folds, err := KFold(full, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 4 {
+		t.Fatalf("folds = %d, want 4", len(folds))
+	}
+	total := 0
+	seen := map[[2]int]int{}
+	for _, f := range folds {
+		total += len(f.Targets)
+		if f.Matrix.NumRatings()+len(f.Targets) != full.NumRatings() {
+			t.Fatalf("fold does not partition: %d + %d != %d",
+				f.Matrix.NumRatings(), len(f.Targets), full.NumRatings())
+		}
+		for _, tg := range f.Targets {
+			seen[[2]int{tg.User, tg.Item}]++
+			// Target value must match the full matrix and be absent from
+			// the fold's training matrix.
+			want, _ := full.Rating(tg.User, tg.Item)
+			if tg.Actual != want {
+				t.Fatalf("target value %g, want %g", tg.Actual, want)
+			}
+			if _, ok := f.Matrix.Rating(tg.User, tg.Item); ok {
+				t.Fatal("target leaked into training matrix")
+			}
+		}
+	}
+	if total != full.NumRatings() {
+		t.Fatalf("targets cover %d ratings, want %d", total, full.NumRatings())
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("cell %v in %d folds", k, n)
+		}
+	}
+}
+
+func TestKFoldValidation(t *testing.T) {
+	full := denseMatrix(4, 3)
+	if _, err := KFold(full, 1, 1); err == nil {
+		t.Error("k < 2 must error")
+	}
+	tiny := ratings.NewBuilder(2, 2)
+	tiny.MustAdd(0, 0, 3)
+	if _, err := KFold(tiny.Build(), 5, 1); err == nil {
+		t.Error("more folds than ratings must error")
+	}
+}
+
+func TestKFoldDeterministicBySeed(t *testing.T) {
+	full := denseMatrix(8, 6)
+	a, _ := KFold(full, 3, 42)
+	b, _ := KFold(full, 3, 42)
+	for f := range a {
+		if len(a[f].Targets) != len(b[f].Targets) {
+			t.Fatal("same seed produced different folds")
+		}
+		for i := range a[f].Targets {
+			if a[f].Targets[i] != b[f].Targets[i] {
+				t.Fatal("same seed produced different fold contents")
+			}
+		}
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	full := denseMatrix(10, 8)
+	res, err := CrossValidate(func() Predictor { return &meanPredictor{} }, full, 4, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldMAE) != 4 {
+		t.Fatalf("fold scores = %d, want 4", len(res.FoldMAE))
+	}
+	if res.Mean <= 0 || math.IsNaN(res.Std) {
+		t.Errorf("implausible CV summary: %+v", res)
+	}
+	// Oracle-like predictor: CV error must be 0... the mean predictor is
+	// not an oracle, but the oracle needs the full matrix:
+	oracleRes, err := CrossValidate(func() Predictor { return &oracle{full} }, full, 4, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracleRes.Mean != 0 || oracleRes.Std != 0 {
+		t.Errorf("oracle CV MAE %g ± %g, want 0", oracleRes.Mean, oracleRes.Std)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	errs := make([]float64, 2000)
+	var sum float64
+	for i := range errs {
+		errs[i] = math.Abs(rng.NormFloat64())*0.3 + 0.7
+		sum += errs[i]
+	}
+	mean := sum / float64(len(errs))
+	lo, hi, err := BootstrapCI(errs, 0.95, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo < mean && mean < hi) {
+		t.Errorf("CI [%g, %g] does not bracket the mean %g", lo, hi, mean)
+	}
+	if hi-lo > 0.1 {
+		t.Errorf("CI width %g implausibly wide for n=2000", hi-lo)
+	}
+	// Deterministic for the same seed.
+	lo2, hi2, _ := BootstrapCI(errs, 0.95, 1000, 1)
+	if lo != lo2 || hi != hi2 {
+		t.Error("bootstrap not deterministic for fixed seed")
+	}
+}
+
+func TestBootstrapCIValidation(t *testing.T) {
+	if _, _, err := BootstrapCI(nil, 0.95, 100, 1); err == nil {
+		t.Error("empty input must error")
+	}
+	if _, _, err := BootstrapCI([]float64{1}, 1.5, 100, 1); err == nil {
+		t.Error("bad level must error")
+	}
+}

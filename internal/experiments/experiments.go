@@ -1,0 +1,270 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§V) on the synthetic MovieLens-like dataset. Each
+// experiment returns structured results plus a rendered text table whose
+// rows match what the paper reports; cmd/cfsf-bench prints them and
+// bench_test.go wraps them in testing.B harnesses.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cfsf/internal/baselines"
+	"cfsf/internal/core"
+	"cfsf/internal/eval"
+	"cfsf/internal/ratings"
+	"cfsf/internal/synth"
+)
+
+// Protocol constants from the paper (§V-A).
+var (
+	// TrainSizes are the ML_100/200/300 training-set sizes.
+	TrainSizes = []int{100, 200, 300}
+	// Givens are the revealed-ratings counts per test user.
+	Givens = []int{5, 10, 20}
+	// TestUsers is the fixed testset size (the last 200 users).
+	TestUsers = 200
+)
+
+// Env holds the dataset and caches the Given-N splits, so that a batch
+// of experiments reuses them. TargetFraction < 1 subsamples test users to
+// make a run cheaper (benchmarks use 0.25; cmd/cfsf-bench uses 1.0).
+type Env struct {
+	Data           *synth.Dataset
+	TargetFraction float64
+	splits         map[[3]int]*ratings.GivenNSplit
+}
+
+// NewEnv generates the default dataset (paper Table I statistics).
+func NewEnv() *Env {
+	return NewEnvWith(synth.MustGenerate(synth.DefaultConfig()), 1.0)
+}
+
+// NewEnvWith wraps an existing dataset (used by tests and by callers
+// evaluating their own data through the same experiment harness).
+func NewEnvWith(data *synth.Dataset, targetFraction float64) *Env {
+	return &Env{
+		Data:           data,
+		TargetFraction: targetFraction,
+		splits:         map[[3]int]*ratings.GivenNSplit{},
+	}
+}
+
+// Split returns the (cached) protocol split for a training size and a
+// given count, with the paper's fixed 200-user testset.
+func (e *Env) Split(nTrain, given int) *ratings.GivenNSplit {
+	return e.SplitCustom(nTrain, TestUsers, given)
+}
+
+// SplitCustom is Split with an explicit testset size.
+func (e *Env) SplitCustom(nTrain, nTest, given int) *ratings.GivenNSplit {
+	key := [3]int{nTrain, nTest, given}
+	if s, ok := e.splits[key]; ok {
+		return s
+	}
+	s, err := ratings.MLSplit(e.Data.Matrix, nTrain, nTest, given)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: split ML_%d/%d/Given%d: %v", nTrain, nTest, given, err))
+	}
+	if e.TargetFraction > 0 && e.TargetFraction < 1 {
+		s = s.TruncateTargets(e.TargetFraction)
+	}
+	e.splits[key] = s
+	return s
+}
+
+// CFSFConfig returns the paper's default CFSF configuration.
+func CFSFConfig() core.Config { return core.DefaultConfig() }
+
+// NewMethod constructs a fresh, unfitted predictor by method name.
+// Names: cfsf, sir, sur, sf, scbpcc, emdp, pd, am.
+func NewMethod(name string) eval.Predictor {
+	switch name {
+	case "cfsf":
+		return &cfsfPredictor{cfg: CFSFConfig()}
+	case "sir":
+		return &baselines.SIR{}
+	case "sur":
+		return baselines.NewSUR()
+	case "sf":
+		return baselines.NewSF()
+	case "scbpcc":
+		return baselines.NewSCBPCC()
+	case "emdp":
+		return baselines.NewEMDP()
+	case "pd":
+		return baselines.NewPD()
+	case "am":
+		return baselines.NewAM()
+	case "mf":
+		return baselines.NewMF()
+	case "slopeone":
+		return baselines.NewSlopeOne()
+	case "bias":
+		return baselines.NewBias()
+	case "svd":
+		return baselines.NewSVDCF()
+	default:
+		panic("experiments: unknown method " + name)
+	}
+}
+
+// cfsfPredictor adapts core.Config to eval.Predictor (the root package
+// has its own adapter; experiments cannot import it without a cycle).
+type cfsfPredictor struct {
+	cfg core.Config
+	mod *core.Model
+}
+
+func (p *cfsfPredictor) Fit(m *ratings.Matrix) error {
+	mod, err := core.Train(m, p.cfg)
+	if err != nil {
+		return err
+	}
+	p.mod = mod
+	return nil
+}
+
+func (p *cfsfPredictor) Predict(u, i int) float64 { return p.mod.Predict(u, i) }
+
+// NewCFSF returns a CFSF predictor with a custom configuration.
+func NewCFSF(cfg core.Config) eval.Predictor { return &cfsfPredictor{cfg: cfg} }
+
+// Cell identifies one (training set, given) cell of a table.
+type Cell struct {
+	TrainSize int
+	Given     int
+	Method    string
+	MAE       float64
+	RMSE      float64
+	Fit       time.Duration
+	Predict   time.Duration
+}
+
+// RunGrid evaluates the named methods over the full protocol grid.
+func (e *Env) RunGrid(methods []string) ([]Cell, error) {
+	return e.RunGridCustom(methods, TrainSizes, Givens, TestUsers)
+}
+
+// RunGridCustom is RunGrid over explicit training sizes, givens and
+// testset size.
+func (e *Env) RunGridCustom(methods []string, trainSizes, givens []int, nTest int) ([]Cell, error) {
+	var cells []Cell
+	for _, n := range trainSizes {
+		for _, g := range givens {
+			split := e.SplitCustom(n, nTest, g)
+			for _, method := range methods {
+				res, err := eval.Evaluate(NewMethod(method), split, eval.Options{})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s on ML_%d/Given%d: %w", method, n, g, err)
+				}
+				cells = append(cells, Cell{
+					TrainSize: n, Given: g, Method: method,
+					MAE: res.MAE, RMSE: res.RMSE,
+					Fit: res.FitTime, Predict: res.PredictTime,
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// GridTable renders grid cells in the paper's table layout (training set
+// × method rows, Given columns). Only training sizes present in the
+// cells are rendered, largest first (the paper lists ML_300 first).
+func GridTable(title string, methods []string, cells []Cell) *eval.Table {
+	t := eval.NewTable(title, "Training set", "Method", "Given5", "Given10", "Given20")
+	sizes := []int{}
+	seen := map[int]bool{}
+	for _, c := range cells {
+		if !seen[c.TrainSize] {
+			seen[c.TrainSize] = true
+			sizes = append(sizes, c.TrainSize)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	get := func(n int, method string, g int) string {
+		for _, c := range cells {
+			if c.TrainSize == n && c.Method == method && c.Given == g {
+				return fmt.Sprintf("%.3f", c.MAE)
+			}
+		}
+		return "-"
+	}
+	for _, n := range sizes {
+		for _, method := range methods {
+			t.AddRow(fmt.Sprintf("ML_%d", n), methodLabel(method),
+				get(n, method, 5), get(n, method, 10), get(n, method, 20))
+		}
+	}
+	return t
+}
+
+func methodLabel(m string) string {
+	switch m {
+	case "cfsf":
+		return "CFSF"
+	case "sir":
+		return "SIR"
+	case "sur":
+		return "SUR"
+	case "sf":
+		return "SF"
+	case "scbpcc":
+		return "SCBPCC"
+	case "emdp":
+		return "EMDP"
+	case "pd":
+		return "PD"
+	case "am":
+		return "AM"
+	case "mf":
+		return "MF"
+	case "slopeone":
+		return "SlopeOne"
+	case "bias":
+		return "Bias"
+	case "svd":
+		return "SVD"
+	default:
+		return m
+	}
+}
+
+// TableI renders the dataset statistics table.
+func (e *Env) TableI() *eval.Table {
+	m := e.Data.Matrix
+	t := eval.NewTable("Table I — statistics of the dataset", "Statistic", "Value")
+	t.AddRow("No. of Users", fmt.Sprintf("%d", m.NumUsers()))
+	t.AddRow("No. of Items", fmt.Sprintf("%d", m.NumItems()))
+	t.AddRow("Average no. of rated items per user", fmt.Sprintf("%.1f", m.AvgRatingsPerUser()))
+	t.AddRow("Density of data", fmt.Sprintf("%.2f%%", 100*m.Density()))
+	t.AddRow("Rating scale", fmt.Sprintf("%g..%g", m.MinRating(), m.MaxRating()))
+	t.AddRow("No. of ratings", fmt.Sprintf("%d", m.NumRatings()))
+	return t
+}
+
+// TableIIMethods and TableIIIMethods list the comparisons of each table.
+var (
+	TableIIMethods  = []string{"cfsf", "sur", "sir"}
+	TableIIIMethods = []string{"cfsf", "am", "emdp", "scbpcc", "sf", "pd"}
+)
+
+// TableII runs the CFSF vs SUR vs SIR grid.
+func (e *Env) TableII() ([]Cell, *eval.Table, error) {
+	cells, err := e.RunGrid(TableIIMethods)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cells, GridTable("Table II — MAE for SIR, SUR and CFSF", TableIIMethods, cells), nil
+}
+
+// TableIII runs the state-of-the-art comparison grid.
+func (e *Env) TableIII() ([]Cell, *eval.Table, error) {
+	cells, err := e.RunGrid(TableIIIMethods)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cells, GridTable("Table III — MAE for the state-of-the-art CF approaches", TableIIIMethods, cells), nil
+}

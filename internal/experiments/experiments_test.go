@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cfsf/internal/eval"
+	"cfsf/internal/synth"
+)
+
+// tinyData builds a small dataset so experiment plumbing tests stay
+// fast; accuracy assertions on the full environment live in the root
+// package's TestHeadlineResult and in EXPERIMENTS.md.
+func tinyData() *synth.Dataset {
+	cfg := synth.DefaultConfig()
+	cfg.Users = 90
+	cfg.Items = 120
+	cfg.MinPerUser = 12
+	cfg.MeanPerUser = 25
+	cfg.Archetypes = 8
+	return synth.MustGenerate(cfg)
+}
+
+func TestEnvSplitCachesAndShapes(t *testing.T) {
+	e := NewEnvWith(tinyData(), 1.0)
+	s1 := e.SplitCustom(40, 30, 10)
+	s2 := e.SplitCustom(40, 30, 10)
+	if s1 != s2 {
+		t.Error("split not cached")
+	}
+	if len(s1.TestUsers) != 30 {
+		t.Errorf("test users = %d, want 30", len(s1.TestUsers))
+	}
+	// A different key yields a different split.
+	if e.SplitCustom(40, 30, 5) == s1 {
+		t.Error("distinct keys must not share a split")
+	}
+}
+
+func TestEnvTargetFraction(t *testing.T) {
+	full := NewEnvWith(tinyData(), 1.0).SplitCustom(40, 30, 5)
+	frac := NewEnvWith(tinyData(), 0.3).SplitCustom(40, 30, 5)
+	if len(frac.Targets) >= len(full.Targets) {
+		t.Errorf("fraction 0.3 kept %d of %d targets", len(frac.Targets), len(full.Targets))
+	}
+}
+
+func TestRunGridCustom(t *testing.T) {
+	e := NewEnvWith(tinyData(), 0.5)
+	cells, err := e.RunGridCustom([]string{"sur"}, []int{40, 60}, []int{5, 10}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(cells))
+	}
+	for _, c := range cells {
+		if c.MAE <= 0 || c.MAE > 2.5 {
+			t.Errorf("implausible MAE %g for %+v", c.MAE, c)
+		}
+		if c.Method != "sur" {
+			t.Errorf("unexpected method %q", c.Method)
+		}
+	}
+}
+
+func TestNewMethodKnownNames(t *testing.T) {
+	for _, name := range append([]string{"cfsf", "sur", "sir"}, TableIIIMethods...) {
+		if p := NewMethod(name); p == nil {
+			t.Errorf("NewMethod(%q) = nil", name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown method must panic")
+		}
+	}()
+	NewMethod("bogus")
+}
+
+func TestTableIFormat(t *testing.T) {
+	e := NewEnvWith(tinyData(), 1.0)
+	out := e.TableI().String()
+	for _, want := range []string{"No. of Users", "Density", "90"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGridTableLayout(t *testing.T) {
+	cells := []Cell{
+		{TrainSize: 300, Given: 5, Method: "cfsf", MAE: 0.743},
+		{TrainSize: 300, Given: 10, Method: "cfsf", MAE: 0.721},
+		{TrainSize: 300, Given: 20, Method: "cfsf", MAE: 0.705},
+	}
+	out := GridTable("T", []string{"cfsf"}, cells).String()
+	if !strings.Contains(out, "ML_300") || !strings.Contains(out, "0.743") {
+		t.Errorf("grid table malformed:\n%s", out)
+	}
+	// Cells absent from the ML_100/ML_200 rows render as "-".
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing cells should render as '-':\n%s", out)
+	}
+}
+
+func TestCurveTableLayout(t *testing.T) {
+	curves := []FigureCurve{
+		{Given: 5, Points: []eval.SweepPoint{{Param: 10, MAE: 0.9}, {Param: 20, MAE: 0.8}}},
+		{Given: 10, Points: []eval.SweepPoint{{Param: 10, MAE: 0.85}, {Param: 20, MAE: 0.75}}},
+	}
+	out := CurveTable("curve", "K", curves).String()
+	for _, want := range []string{"Given5", "Given10", "0.8000", "0.7500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("curve table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5TableLayout(t *testing.T) {
+	points := []Fig5Point{
+		{Method: "cfsf", TrainSize: 300, Fraction: 0.1, Targets: 100, Millis: 12},
+		{Method: "scbpcc", TrainSize: 300, Fraction: 0.1, Targets: 100, Millis: 30},
+	}
+	out := Fig5Table(points).String()
+	if !strings.Contains(out, "10%") || !strings.Contains(out, "12") || !strings.Contains(out, "30") {
+		t.Errorf("fig5 table malformed:\n%s", out)
+	}
+}
+
+func TestAblationTableLayout(t *testing.T) {
+	out := AblationTable([]AblationResult{
+		{Name: "no smoothing", MAE: 0.91, BaseMAE: 0.85, Predict: 100},
+	}).String()
+	if !strings.Contains(out, "no smoothing") || !strings.Contains(out, "+0.0600") {
+		t.Errorf("ablation table malformed:\n%s", out)
+	}
+}
+
+func TestMethodLabel(t *testing.T) {
+	if methodLabel("cfsf") != "CFSF" || methodLabel("scbpcc") != "SCBPCC" || methodLabel("x") != "x" {
+		t.Error("methodLabel mismatch")
+	}
+}
+
+func TestErrorAnalysisBucketsPartition(t *testing.T) {
+	e := NewEnvWith(tinyData(), 0.5)
+	// Use custom small sizes via the standard Split path: reuse the tiny
+	// dataset's dimensions.
+	e.splits[[3]int{300, TestUsers, 10}] = e.SplitCustom(50, 30, 10)
+	buckets, err := e.ErrorAnalysis([]string{"sur"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range buckets {
+		total += b.Targets
+		if b.Targets > 0 {
+			mae := b.MAE["sur"]
+			if mae <= 0 || mae > 3 {
+				t.Errorf("bucket %q implausible MAE %g", b.Label, mae)
+			}
+		}
+	}
+	if total != len(e.Split(300, 10).Targets) {
+		t.Errorf("buckets cover %d targets, want %d", total, len(e.Split(300, 10).Targets))
+	}
+}
+
+func TestSignificanceRows(t *testing.T) {
+	e := NewEnvWith(tinyData(), 0.5)
+	e.splits[[3]int{300, TestUsers, 10}] = e.SplitCustom(50, 30, 10)
+	rows, err := e.Significance([]string{"sur"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Versus != "sur" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].P < 0 || rows[0].P > 1 {
+		t.Errorf("p-value %g out of [0,1]", rows[0].P)
+	}
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cfsf/internal/core"
+	"cfsf/internal/eval"
+	"cfsf/internal/similarity"
+)
+
+// Figure sweep domains, matching the paper's x-axes.
+var (
+	// Fig2MValues spans the M axis of Fig. 2.
+	Fig2MValues = []float64{5, 20, 35, 50, 65, 80, 95, 110, 125, 140}
+	// Fig3KValues spans the K axis of Fig. 3 (10..100).
+	Fig3KValues = []float64{10, 20, 30, 40, 55, 70, 85, 100}
+	// Fig4CValues spans the C axis of Fig. 4 (10..100).
+	Fig4CValues = []float64{10, 20, 30, 45, 60, 80, 100}
+	// Fig6LambdaValues spans λ of Fig. 6.
+	Fig6LambdaValues = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	// Fig7DeltaValues spans δ of Fig. 7.
+	Fig7DeltaValues = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	// Fig8WValues spans the smoothed-rating weight w = 1−ε of Fig. 8.
+	Fig8WValues = []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8, 0.95}
+	// Fig5Fractions are the testset percentages of Fig. 5.
+	Fig5Fractions = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+)
+
+// FigureCurve is one MAE-vs-parameter series at a fixed Given.
+type FigureCurve struct {
+	Given  int
+	Points []eval.SweepPoint
+}
+
+// sweepFigure runs a parameter sweep on ML_300 for every Given, applying
+// `set` to the default config for each value.
+func (e *Env) sweepFigure(values []float64, set func(*core.Config, float64)) ([]FigureCurve, error) {
+	var out []FigureCurve
+	for _, g := range Givens {
+		split := e.Split(300, g)
+		points, err := eval.Sweep(values, split, eval.Options{}, func(v float64) eval.Predictor {
+			cfg := CFSFConfig()
+			set(&cfg, v)
+			return NewCFSF(cfg)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FigureCurve{Given: g, Points: points})
+	}
+	return out, nil
+}
+
+// Fig2M measures accuracy versus the number of similar items M (Fig. 2).
+func (e *Env) Fig2M() ([]FigureCurve, error) {
+	return e.sweepFigure(Fig2MValues, func(c *core.Config, v float64) { c.M = int(v) })
+}
+
+// Fig3K measures accuracy versus the number of like-minded users K
+// (Fig. 3).
+func (e *Env) Fig3K() ([]FigureCurve, error) {
+	return e.sweepFigure(Fig3KValues, func(c *core.Config, v float64) { c.K = int(v) })
+}
+
+// Fig4C measures accuracy versus the user-cluster count C (Fig. 4).
+func (e *Env) Fig4C() ([]FigureCurve, error) {
+	return e.sweepFigure(Fig4CValues, func(c *core.Config, v float64) { c.Clusters = int(v) })
+}
+
+// Fig6Lambda measures sensitivity of λ (Fig. 6).
+func (e *Env) Fig6Lambda() ([]FigureCurve, error) {
+	return e.sweepFigure(Fig6LambdaValues, func(c *core.Config, v float64) { c.Lambda = v })
+}
+
+// Fig7Delta measures sensitivity of δ (Fig. 7).
+func (e *Env) Fig7Delta() ([]FigureCurve, error) {
+	return e.sweepFigure(Fig7DeltaValues, func(c *core.Config, v float64) { c.Delta = v })
+}
+
+// Fig8W measures sensitivity of the smoothed-rating weight w = 1−ε
+// (Fig. 8; see DESIGN.md for the w semantics).
+func (e *Env) Fig8W() ([]FigureCurve, error) {
+	return e.sweepFigure(Fig8WValues, func(c *core.Config, v float64) { c.OriginalWeight = 1 - v })
+}
+
+// CurveTable renders figure curves with one row per parameter value and
+// one column per Given.
+func CurveTable(title, param string, curves []FigureCurve) *eval.Table {
+	headers := []string{param}
+	for _, c := range curves {
+		headers = append(headers, fmt.Sprintf("Given%d", c.Given))
+	}
+	t := eval.NewTable(title, headers...)
+	if len(curves) == 0 {
+		return t
+	}
+	for k := range curves[0].Points {
+		row := []string{fmt.Sprintf("%g", curves[0].Points[k].Param)}
+		for _, c := range curves {
+			row = append(row, fmt.Sprintf("%.4f", c.Points[k].MAE))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig5Point is one response-time measurement.
+type Fig5Point struct {
+	Method    string
+	TrainSize int
+	Fraction  float64
+	Targets   int
+	Millis    float64
+}
+
+// Fig5ResponseTime measures serial online prediction time while the
+// testset grows (Fig. 5): CFSF vs SCBPCC at Given20 on every training
+// set. Each fraction is measured on a freshly fitted model so CFSF's
+// per-user cache starts cold every time, matching the paper's
+// independent runs; only prediction is timed (the online phase).
+func (e *Env) Fig5ResponseTime() ([]Fig5Point, error) {
+	var out []Fig5Point
+	for _, n := range TrainSizes {
+		split := e.Split(n, 20)
+		for _, method := range []string{"cfsf", "scbpcc"} {
+			for _, f := range Fig5Fractions {
+				p := NewMethod(method)
+				if err := p.Fit(split.Matrix); err != nil {
+					return nil, fmt.Errorf("experiments: fig5 fit %s: %w", method, err)
+				}
+				curve := eval.ResponseTimeCurve(p, split, []float64{f}, 1)
+				out = append(out, Fig5Point{
+					Method: method, TrainSize: n,
+					Fraction: f, Targets: curve[0].Targets,
+					Millis: float64(curve[0].Elapsed.Microseconds()) / 1000.0,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig5Table renders the response-time series.
+func Fig5Table(points []Fig5Point) *eval.Table {
+	t := eval.NewTable("Fig. 5 — online response time at Given20 (ms, serial)",
+		"Testset %", "CFSF ML_100", "CFSF ML_200", "CFSF ML_300",
+		"SCBPCC ML_100", "SCBPCC ML_200", "SCBPCC ML_300")
+	get := func(method string, n int, f float64) string {
+		for _, p := range points {
+			if p.Method == method && p.TrainSize == n && p.Fraction == f {
+				return fmt.Sprintf("%.0f", p.Millis)
+			}
+		}
+		return "-"
+	}
+	for _, f := range Fig5Fractions {
+		t.AddRow(fmt.Sprintf("%.0f%%", f*100),
+			get("cfsf", 100, f), get("cfsf", 200, f), get("cfsf", 300, f),
+			get("scbpcc", 100, f), get("scbpcc", 200, f), get("scbpcc", 300, f))
+	}
+	return t
+}
+
+// AblationResult is one design-choice ablation (DESIGN.md §5).
+type AblationResult struct {
+	Name    string
+	MAE     float64
+	BaseMAE float64
+	Predict float64 // milliseconds, parallel
+}
+
+// Ablations evaluates the design choices DESIGN.md calls out, on
+// ML_300/Given10 against the default configuration.
+func (e *Env) Ablations() ([]AblationResult, error) {
+	split := e.Split(300, 10)
+	base, err := eval.Evaluate(NewCFSF(CFSFConfig()), split, eval.Options{})
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		set  func(*core.Config)
+	}{
+		{"no smoothing", func(c *core.Config) { c.DisableSmoothing = true }},
+		{"full user search", func(c *core.Config) { c.FullUserSearch = true }},
+		{"no SUIR' (δ=0)", func(c *core.Config) { c.Delta = 0 }},
+		{"cosine GIS", func(c *core.Config) { c.GIS.Metric = similarity.Cosine }},
+		{"no neighbour cache", func(c *core.Config) { c.DisableCache = true }},
+	}
+	var out []AblationResult
+	for _, v := range variants {
+		cfg := CFSFConfig()
+		v.set(&cfg)
+		res, err := eval.Evaluate(NewCFSF(cfg), split, eval.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %s: %w", v.name, err)
+		}
+		out = append(out, AblationResult{
+			Name: v.name, MAE: res.MAE, BaseMAE: base.MAE,
+			Predict: float64(res.PredictTime.Microseconds()) / 1000.0,
+		})
+	}
+	return out, nil
+}
+
+// AblationTable renders ablation results.
+func AblationTable(results []AblationResult) *eval.Table {
+	t := eval.NewTable("Ablations — ML_300/Given10", "Variant", "MAE", "ΔMAE vs default", "Predict (ms)")
+	if len(results) > 0 {
+		t.AddRow("default", fmt.Sprintf("%.4f", results[0].BaseMAE), "-", "-")
+	}
+	for _, r := range results {
+		t.AddRow(r.Name, fmt.Sprintf("%.4f", r.MAE),
+			fmt.Sprintf("%+.4f", r.MAE-r.BaseMAE), fmt.Sprintf("%.0f", r.Predict))
+	}
+	return t
+}

@@ -1,0 +1,172 @@
+// Package mathx provides small numeric helpers shared by the CFSF
+// implementation: clamping, running statistics, top-k selection and
+// co-iteration over sorted sparse vectors.
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ClampInt limits v to the closed interval [lo, hi].
+func ClampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Welford accumulates mean and variance in a single numerically stable pass.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations seen.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean, or 0 if no observations were added.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance, or 0 for fewer than two
+// observations.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Scored is a generic (index, score) pair used for ranking.
+type Scored struct {
+	Index int32
+	Score float64
+}
+
+// TopK keeps the k highest-scored items pushed into it. It is a bounded
+// min-heap: O(n log k) for n pushes. The zero value is not usable; create
+// one with NewTopK.
+type TopK struct {
+	k    int
+	heap []Scored // min-heap on Score
+}
+
+// NewTopK returns a TopK that retains the k largest scores.
+func NewTopK(k int) *TopK {
+	if k < 0 {
+		k = 0
+	}
+	return &TopK{k: k, heap: make([]Scored, 0, k)}
+}
+
+// Push offers one candidate to the heap.
+func (t *TopK) Push(index int32, score float64) {
+	if t.k == 0 {
+		return
+	}
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, Scored{index, score})
+		t.up(len(t.heap) - 1)
+		return
+	}
+	if score <= t.heap[0].Score {
+		return
+	}
+	t.heap[0] = Scored{index, score}
+	t.down(0)
+}
+
+// Len returns the number of retained items.
+func (t *TopK) Len() int { return len(t.heap) }
+
+// Sorted returns the retained items ordered by descending score, breaking
+// ties by ascending index so results are deterministic.
+func (t *TopK) Sorted() []Scored {
+	out := make([]Scored, len(t.heap))
+	copy(out, t.heap)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+func (t *TopK) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.heap[p].Score <= t.heap[i].Score {
+			break
+		}
+		t.heap[p], t.heap[i] = t.heap[i], t.heap[p]
+		i = p
+	}
+}
+
+func (t *TopK) down(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && t.heap[l].Score < t.heap[s].Score {
+			s = l
+		}
+		if r < n && t.heap[r].Score < t.heap[s].Score {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		t.heap[i], t.heap[s] = t.heap[s], t.heap[i]
+		i = s
+	}
+}
+
+// ArgsortDesc returns the indices of scores ordered by descending value,
+// ties broken by ascending index.
+func ArgsortDesc(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if scores[ia] != scores[ib] {
+			return scores[ia] > scores[ib]
+		}
+		return ia < ib
+	})
+	return idx
+}
+
+// AlmostEqual reports whether a and b differ by no more than eps.
+func AlmostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}

@@ -1,0 +1,207 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClamp(t *testing.T) {
+	cases := []struct {
+		v, lo, hi, want float64
+	}{
+		{0.5, 0, 1, 0.5},
+		{-1, 0, 1, 0},
+		{2, 0, 1, 1},
+		{1, 1, 5, 1},
+		{5, 1, 5, 5},
+		{3.2, 1, 5, 3.2},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%g,%g,%g) = %g, want %g", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(v float64) bool {
+		got := Clamp(v, 1, 5)
+		return got >= 1 && got <= 5 && (v < 1 || v > 5 || got == v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampInt(t *testing.T) {
+	if got := ClampInt(7, 0, 5); got != 5 {
+		t.Errorf("ClampInt(7,0,5) = %d, want 5", got)
+	}
+	if got := ClampInt(-3, 0, 5); got != 0 {
+		t.Errorf("ClampInt(-3,0,5) = %d, want 0", got)
+	}
+	if got := ClampInt(3, 0, 5); got != 3 {
+		t.Errorf("ClampInt(3,0,5) = %d, want 3", got)
+	}
+}
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var w Welford
+	var sum float64
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		w.Add(xs[i])
+		sum += xs[i]
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	variance := ss / float64(len(xs))
+	if !AlmostEqual(w.Mean(), mean, 1e-9) {
+		t.Errorf("mean %g, want %g", w.Mean(), mean)
+	}
+	if !AlmostEqual(w.Variance(), variance, 1e-9) {
+		t.Errorf("variance %g, want %g", w.Variance(), variance)
+	}
+	if !AlmostEqual(w.StdDev(), math.Sqrt(variance), 1e-9) {
+		t.Errorf("stddev %g, want %g", w.StdDev(), math.Sqrt(variance))
+	}
+	if w.N() != len(xs) {
+		t.Errorf("N = %d, want %d", w.N(), len(xs))
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 {
+		t.Error("empty Welford must report zeros")
+	}
+	w.Add(42)
+	if w.Mean() != 42 {
+		t.Errorf("single mean %g, want 42", w.Mean())
+	}
+	if w.Variance() != 0 {
+		t.Errorf("single variance %g, want 0", w.Variance())
+	}
+}
+
+func TestTopKKeepsLargest(t *testing.T) {
+	top := NewTopK(3)
+	for i, s := range []float64{0.1, 0.9, 0.5, 0.7, 0.2, 0.8} {
+		top.Push(int32(i), s)
+	}
+	got := top.Sorted()
+	want := []Scored{{1, 0.9}, {5, 0.8}, {3, 0.7}}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Sorted()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTopKFewerThanK(t *testing.T) {
+	top := NewTopK(10)
+	top.Push(1, 0.5)
+	top.Push(2, 0.9)
+	got := top.Sorted()
+	if len(got) != 2 || got[0].Index != 2 || got[1].Index != 1 {
+		t.Errorf("got %v, want [{2 0.9} {1 0.5}]", got)
+	}
+}
+
+func TestTopKZero(t *testing.T) {
+	top := NewTopK(0)
+	top.Push(1, 0.5)
+	if top.Len() != 0 || len(top.Sorted()) != 0 {
+		t.Error("TopK(0) must retain nothing")
+	}
+	neg := NewTopK(-5)
+	neg.Push(1, 0.5)
+	if neg.Len() != 0 {
+		t.Error("TopK(-5) must retain nothing")
+	}
+}
+
+func TestTopKTieBreaksByIndex(t *testing.T) {
+	top := NewTopK(4)
+	for _, idx := range []int32{9, 3, 7, 1} {
+		top.Push(idx, 0.5)
+	}
+	got := top.Sorted()
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Index > got[i].Index {
+			t.Errorf("ties must sort by ascending index: %v", got)
+		}
+	}
+}
+
+// TestTopKMatchesFullSort is a property test: TopK(k) over random input
+// must equal the first k of a full descending sort.
+func TestTopKMatchesFullSort(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		k := 1 + int(kRaw)%20
+		scores := make([]float64, n)
+		top := NewTopK(k)
+		for i := range scores {
+			scores[i] = math.Round(rng.Float64()*100) / 100 // force some ties
+			top.Push(int32(i), scores[i])
+		}
+		ref := make([]Scored, n)
+		for i := range ref {
+			ref[i] = Scored{int32(i), scores[i]}
+		}
+		sort.Slice(ref, func(a, b int) bool {
+			if ref[a].Score != ref[b].Score {
+				return ref[a].Score > ref[b].Score
+			}
+			return ref[a].Index < ref[b].Index
+		})
+		if k > n {
+			k = n
+		}
+		got := top.Sorted()
+		if len(got) != k {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			// Indices may differ on ties at the cut boundary; scores must
+			// match exactly.
+			if got[i].Score != ref[i].Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArgsortDesc(t *testing.T) {
+	scores := []float64{0.3, 0.9, 0.1, 0.9}
+	got := ArgsortDesc(scores)
+	want := []int{1, 3, 0, 2} // ties by ascending index
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ArgsortDesc = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestArgsortDescEmpty(t *testing.T) {
+	if got := ArgsortDesc(nil); len(got) != 0 {
+		t.Errorf("ArgsortDesc(nil) = %v, want empty", got)
+	}
+}

@@ -1,0 +1,176 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a minimal row-major dense matrix used by the SVD routine and
+// the SVD-based CF baseline.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewDense allocates a zeroed rows×cols matrix.
+func NewDense(rows, cols int) *Dense {
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (d *Dense) At(i, j int) float64 { return d.Data[i*d.Cols+j] }
+
+// Set assigns element (i, j).
+func (d *Dense) Set(i, j int, v float64) { d.Data[i*d.Cols+j] = v }
+
+// SVDResult is a rank-k truncated singular value decomposition
+// A ≈ U · diag(S) · Vᵀ with U (rows×k) and V (cols×k) having
+// orthonormal columns and S sorted descending.
+type SVDResult struct {
+	U *Dense
+	S []float64
+	V *Dense
+}
+
+// TruncatedSVD computes a rank-k truncated SVD of a by subspace
+// (orthogonal) iteration: alternately project through A and Aᵀ with QR
+// re-orthonormalisation. iters ≈ 30 suffices for the well-separated
+// spectra CF matrices have; the run is deterministic for a fixed seed.
+func TruncatedSVD(a *Dense, k, iters int, seed int64) (SVDResult, error) {
+	if k <= 0 || k > a.Rows || k > a.Cols {
+		return SVDResult{}, fmt.Errorf("mathx: rank %d out of range for %d×%d", k, a.Rows, a.Cols)
+	}
+	if iters <= 0 {
+		iters = 30
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	v := NewDense(a.Cols, k)
+	for i := range v.Data {
+		v.Data[i] = rng.NormFloat64()
+	}
+	orthonormalize(v)
+
+	u := NewDense(a.Rows, k)
+	for it := 0; it < iters; it++ {
+		mul(a, v, u)      // U <- A V
+		orthonormalize(u) // QR
+		mulT(a, u, v)     // V <- Aᵀ U
+		orthonormalize(v) // QR
+	}
+	mul(a, v, u) // final unnormalised U carries the singular values
+
+	s := make([]float64, k)
+	for j := 0; j < k; j++ {
+		var ss float64
+		for i := 0; i < a.Rows; i++ {
+			ss += u.At(i, j) * u.At(i, j)
+		}
+		s[j] = math.Sqrt(ss)
+		if s[j] > 0 {
+			inv := 1 / s[j]
+			for i := 0; i < a.Rows; i++ {
+				u.Set(i, j, u.At(i, j)*inv)
+			}
+		}
+	}
+
+	// Sort components by descending singular value (subspace iteration
+	// usually returns them sorted, but ties and round-off can swap).
+	order := ArgsortDesc(s)
+	res := SVDResult{U: NewDense(a.Rows, k), S: make([]float64, k), V: NewDense(a.Cols, k)}
+	for newJ, oldJ := range order {
+		res.S[newJ] = s[oldJ]
+		for i := 0; i < a.Rows; i++ {
+			res.U.Set(i, newJ, u.At(i, oldJ))
+		}
+		for i := 0; i < a.Cols; i++ {
+			res.V.Set(i, newJ, v.At(i, oldJ))
+		}
+	}
+	return res, nil
+}
+
+// Reconstruct returns the rank-k approximation entry (i, j).
+func (r SVDResult) Reconstruct(i, j int) float64 {
+	var v float64
+	for c := range r.S {
+		v += r.U.At(i, c) * r.S[c] * r.V.At(j, c)
+	}
+	return v
+}
+
+// mul computes dst = a · b for b, dst with k columns.
+func mul(a, b, dst *Dense) {
+	k := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		out := dst.Data[i*k : (i+1)*k]
+		for c := 0; c < k; c++ {
+			out[c] = 0
+		}
+		for j, av := range row {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[j*k : (j+1)*k]
+			for c := 0; c < k; c++ {
+				out[c] += av * brow[c]
+			}
+		}
+	}
+}
+
+// mulT computes dst = aᵀ · b for b with k columns (dst is cols×k).
+func mulT(a, b, dst *Dense) {
+	k := b.Cols
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		brow := b.Data[i*k : (i+1)*k]
+		for j, av := range row {
+			if av == 0 {
+				continue
+			}
+			out := dst.Data[j*k : (j+1)*k]
+			for c := 0; c < k; c++ {
+				out[c] += av * brow[c]
+			}
+		}
+	}
+}
+
+// orthonormalize runs modified Gram-Schmidt on the columns of m.
+// Columns that collapse to zero norm are replaced by zero vectors.
+func orthonormalize(m *Dense) {
+	rows, cols := m.Rows, m.Cols
+	for j := 0; j < cols; j++ {
+		for p := 0; p < j; p++ {
+			var dot float64
+			for i := 0; i < rows; i++ {
+				dot += m.At(i, j) * m.At(i, p)
+			}
+			for i := 0; i < rows; i++ {
+				m.Set(i, j, m.At(i, j)-dot*m.At(i, p))
+			}
+		}
+		var ss float64
+		for i := 0; i < rows; i++ {
+			ss += m.At(i, j) * m.At(i, j)
+		}
+		n := math.Sqrt(ss)
+		if n < 1e-12 {
+			for i := 0; i < rows; i++ {
+				m.Set(i, j, 0)
+			}
+			continue
+		}
+		inv := 1 / n
+		for i := 0; i < rows; i++ {
+			m.Set(i, j, m.At(i, j)*inv)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// lowRank builds A = sum_k s_k u_k v_k^T with orthogonal-ish random
+// factors for ground truth.
+func lowRank(rows, cols int, s []float64, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	u := NewDense(rows, len(s))
+	v := NewDense(cols, len(s))
+	for i := range u.Data {
+		u.Data[i] = rng.NormFloat64()
+	}
+	for i := range v.Data {
+		v.Data[i] = rng.NormFloat64()
+	}
+	orthonormalize(u)
+	orthonormalize(v)
+	a := NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			var x float64
+			for k := range s {
+				x += s[k] * u.At(i, k) * v.At(j, k)
+			}
+			a.Set(i, j, x)
+		}
+	}
+	return a
+}
+
+func TestTruncatedSVDRecoversLowRank(t *testing.T) {
+	s := []float64{9, 5, 2}
+	a := lowRank(30, 20, s, 3)
+	res, err := TruncatedSVD(a, 3, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range s {
+		if math.Abs(res.S[k]-want) > 1e-6 {
+			t.Errorf("singular value %d = %g, want %g", k, res.S[k], want)
+		}
+	}
+	// Reconstruction must match A entrywise.
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if math.Abs(res.Reconstruct(i, j)-a.At(i, j)) > 1e-6 {
+				t.Fatalf("reconstruction (%d,%d) = %g, want %g", i, j, res.Reconstruct(i, j), a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTruncatedSVDOrthonormalColumns(t *testing.T) {
+	a := lowRank(25, 15, []float64{7, 4, 1.5, 0.5}, 9)
+	res, err := TruncatedSVD(a, 4, 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOrtho := func(m *Dense, name string) {
+		for p := 0; p < m.Cols; p++ {
+			for q := 0; q < m.Cols; q++ {
+				var dot float64
+				for i := 0; i < m.Rows; i++ {
+					dot += m.At(i, p) * m.At(i, q)
+				}
+				want := 0.0
+				if p == q {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-8 {
+					t.Fatalf("%s columns %d,%d dot = %g, want %g", name, p, q, dot, want)
+				}
+			}
+		}
+	}
+	checkOrtho(res.U, "U")
+	checkOrtho(res.V, "V")
+}
+
+func TestTruncatedSVDSortedDescending(t *testing.T) {
+	a := lowRank(20, 20, []float64{3, 8, 1, 5}, 11) // unsorted input spectrum
+	res, err := TruncatedSVD(a, 4, 80, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < len(res.S); k++ {
+		if res.S[k-1] < res.S[k]-1e-9 {
+			t.Fatalf("singular values not descending: %v", res.S)
+		}
+	}
+}
+
+func TestTruncatedSVDBestApproximation(t *testing.T) {
+	// Rank-1 truncation of a rank-2 matrix keeps the dominant component:
+	// Frobenius error equals the dropped singular value.
+	a := lowRank(15, 10, []float64{6, 2}, 17)
+	res, err := TruncatedSVD(a, 1, 80, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frob float64
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			d := a.At(i, j) - res.Reconstruct(i, j)
+			frob += d * d
+		}
+	}
+	if got := math.Sqrt(frob); math.Abs(got-2) > 1e-6 {
+		t.Errorf("rank-1 residual %g, want 2 (the dropped σ)", got)
+	}
+}
+
+func TestTruncatedSVDValidation(t *testing.T) {
+	a := NewDense(4, 3)
+	if _, err := TruncatedSVD(a, 0, 10, 1); err == nil {
+		t.Error("k=0 must error")
+	}
+	if _, err := TruncatedSVD(a, 4, 10, 1); err == nil {
+		t.Error("k > min dim must error")
+	}
+}
+
+func TestDenseAccessors(t *testing.T) {
+	d := NewDense(2, 3)
+	d.Set(1, 2, 7)
+	if d.At(1, 2) != 7 || d.At(0, 0) != 0 {
+		t.Error("Dense accessors broken")
+	}
+}

@@ -1,0 +1,160 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		n := 1000
+		counts := make([]int32, n)
+		For(n, workers, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForSmallAndEmpty(t *testing.T) {
+	var ran int32
+	For(0, 4, func(int) { atomic.AddInt32(&ran, 1) })
+	For(-3, 4, func(int) { atomic.AddInt32(&ran, 1) })
+	if ran != 0 {
+		t.Errorf("For with n<=0 ran %d iterations", ran)
+	}
+	For(1, 8, func(int) { atomic.AddInt32(&ran, 1) })
+	if ran != 1 {
+		t.Errorf("For(1) ran %d iterations, want 1", ran)
+	}
+}
+
+func TestForChunkedPartition(t *testing.T) {
+	f := func(nRaw uint16, wRaw uint8) bool {
+		n := int(nRaw)%5000 + 1
+		workers := int(wRaw)%16 + 1
+		var mu sync.Mutex
+		seen := make([]bool, n)
+		ForChunked(n, workers, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+			}
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				if seen[i] {
+					t.Errorf("index %d covered twice", i)
+				}
+				seen[i] = true
+			}
+			mu.Unlock()
+		})
+		for i := range seen {
+			if !seen[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupPropagatesFirstError(t *testing.T) {
+	g := NewGroup(2)
+	sentinel := errors.New("boom")
+	for i := 0; i < 10; i++ {
+		i := i
+		g.Go(func() error {
+			if i == 3 {
+				return sentinel
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); !errors.Is(err, sentinel) {
+		t.Errorf("Wait() = %v, want %v", err, sentinel)
+	}
+}
+
+func TestGroupNoError(t *testing.T) {
+	g := NewGroup(0)
+	var n int32
+	for i := 0; i < 50; i++ {
+		g.Go(func() error {
+			atomic.AddInt32(&n, 1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait() = %v, want nil", err)
+	}
+	if n != 50 {
+		t.Errorf("ran %d tasks, want 50", n)
+	}
+}
+
+func TestGroupLimitBoundsConcurrency(t *testing.T) {
+	const limit = 3
+	g := NewGroup(limit)
+	var cur, peak int32
+	for i := 0; i < 30; i++ {
+		g.Go(func() error {
+			c := atomic.AddInt32(&cur, 1)
+			for {
+				p := atomic.LoadInt32(&peak)
+				if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+					break
+				}
+			}
+			atomic.AddInt32(&cur, -1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if peak > limit {
+		t.Errorf("peak concurrency %d exceeds limit %d", peak, limit)
+	}
+}
+
+func TestMapReduceDeterministicOrder(t *testing.T) {
+	// Summing i in worker-partitioned chunks must equal the serial sum
+	// regardless of worker count.
+	want := 0
+	n := 1234
+	for i := 0; i < n; i++ {
+		want += i
+	}
+	for _, workers := range []int{1, 2, 5, 16} {
+		parts := MapReduce(n, workers, func() int { return 0 }, func(acc, i int) int { return acc + i })
+		got := 0
+		for _, p := range parts {
+			got += p
+		}
+		if got != want {
+			t.Errorf("workers=%d: sum %d, want %d", workers, got, want)
+		}
+	}
+}
+
+func TestMapReduceEmpty(t *testing.T) {
+	parts := MapReduce(0, 4, func() int { return 0 }, func(acc, i int) int { return acc + 1 })
+	if len(parts) != 0 {
+		t.Errorf("MapReduce(0) returned %d parts, want 0", len(parts))
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Errorf("DefaultWorkers() = %d, want >= 1", DefaultWorkers())
+	}
+}

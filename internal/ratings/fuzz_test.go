@@ -1,0 +1,38 @@
+package ratings
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadUData checks that arbitrary input never panics the parser and
+// that whatever parses also round-trips through WriteUData.
+func FuzzReadUData(f *testing.F) {
+	f.Add("1\t10\t4\t881250949\n")
+	f.Add("1 10 4\n2 10 5\n")
+	f.Add("# comment\n\n3\t30\t1\n")
+	f.Add("a\tb\tc\n")
+	f.Add("1\t2\t3.5\t0\n1\t2\t4\t0\n") // duplicate cell
+	f.Add(strings.Repeat("9\t9\t5\t0\n", 50))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadUData(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if m.NumRatings() < 0 || m.NumUsers() < 0 || m.NumItems() < 0 {
+			t.Fatalf("negative dimensions: %d %d %d", m.NumUsers(), m.NumItems(), m.NumRatings())
+		}
+		var sb strings.Builder
+		if err := WriteUData(&sb, m); err != nil {
+			t.Fatalf("write parsed matrix: %v", err)
+		}
+		back, err := ReadUData(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-read written matrix: %v", err)
+		}
+		if back.NumRatings() != m.NumRatings() {
+			t.Fatalf("round trip lost ratings: %d -> %d", m.NumRatings(), back.NumRatings())
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package ratings
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// matrixWire is the stable on-disk representation of a Matrix: dims,
+// scale and the rating triples in row-major order. Versioned so the
+// format can evolve without breaking old snapshots.
+type matrixWire struct {
+	Version   int
+	NumUsers  int
+	NumItems  int
+	MinRating float64
+	MaxRating float64
+	Users     []int32
+	Items     []int32
+	Values    []float64
+}
+
+const matrixWireVersion = 1
+
+// GobEncode implements gob.GobEncoder, letting a Matrix be embedded in
+// larger gob streams (model snapshots, caches).
+func (m *Matrix) GobEncode() ([]byte, error) {
+	w := matrixWire{
+		Version:   matrixWireVersion,
+		NumUsers:  m.numUsers,
+		NumItems:  m.numItems,
+		MinRating: m.minRating,
+		MaxRating: m.maxRating,
+		Users:     make([]int32, 0, m.nnz),
+		Items:     make([]int32, 0, m.nnz),
+		Values:    make([]float64, 0, m.nnz),
+	}
+	for u := 0; u < m.numUsers; u++ {
+		for _, e := range m.rows[u] {
+			w.Users = append(w.Users, int32(u))
+			w.Items = append(w.Items, e.Index)
+			w.Values = append(w.Values, e.Value)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Matrix) GobDecode(data []byte) error {
+	var w matrixWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	if w.Version != matrixWireVersion {
+		return fmt.Errorf("ratings: unsupported matrix snapshot version %d", w.Version)
+	}
+	if len(w.Users) != len(w.Items) || len(w.Users) != len(w.Values) {
+		return fmt.Errorf("ratings: corrupt matrix snapshot: %d/%d/%d triples",
+			len(w.Users), len(w.Items), len(w.Values))
+	}
+	b := NewBuilder(w.NumUsers, w.NumItems)
+	b.SetScale(w.MinRating, w.MaxRating)
+	for k := range w.Users {
+		if err := b.Add(int(w.Users[k]), int(w.Items[k]), w.Values[k]); err != nil {
+			return fmt.Errorf("ratings: corrupt matrix snapshot: %w", err)
+		}
+	}
+	*m = *b.Build()
+	return nil
+}

@@ -1,0 +1,66 @@
+package ratings
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestMatrixGobRoundTrip(t *testing.T) {
+	b := NewBuilder(4, 6)
+	b.SetScale(1, 10)
+	b.MustAdd(0, 0, 7)
+	b.MustAdd(0, 5, 2)
+	b.MustAdd(3, 2, 9.5)
+	orig := b.Build()
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	var back Matrix
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumUsers() != 4 || back.NumItems() != 6 || back.NumRatings() != 3 {
+		t.Fatalf("dims/nnz mismatch: %d×%d/%d", back.NumUsers(), back.NumItems(), back.NumRatings())
+	}
+	if back.MinRating() != 1 || back.MaxRating() != 10 {
+		t.Errorf("scale [%g,%g], want [1,10]", back.MinRating(), back.MaxRating())
+	}
+	for u := 0; u < 4; u++ {
+		for i := 0; i < 6; i++ {
+			a, aok := orig.Rating(u, i)
+			c, cok := back.Rating(u, i)
+			if aok != cok || a != c {
+				t.Fatalf("(%d,%d): %g,%v vs %g,%v", u, i, a, aok, c, cok)
+			}
+		}
+	}
+	// Derived statistics must be rebuilt too.
+	if back.GlobalMean() != orig.GlobalMean() {
+		t.Errorf("global mean %g, want %g", back.GlobalMean(), orig.GlobalMean())
+	}
+}
+
+func TestMatrixGobEmpty(t *testing.T) {
+	orig := NewBuilder(2, 3).Build()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	var back Matrix
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumUsers() != 2 || back.NumItems() != 3 || back.NumRatings() != 0 {
+		t.Error("empty matrix did not round-trip")
+	}
+}
+
+func TestMatrixGobDecodeGarbage(t *testing.T) {
+	var m Matrix
+	if err := m.GobDecode([]byte("garbage")); err == nil {
+		t.Error("garbage must error")
+	}
+}

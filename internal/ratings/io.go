@@ -1,0 +1,135 @@
+package ratings
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadUData parses the MovieLens u.data tab-separated format:
+//
+//	user_id \t item_id \t rating \t timestamp
+//
+// Ids in the file are 1-based (as GroupLens ships them) and are remapped
+// to dense 0-based ids in first-seen order. The timestamp column is
+// optional; when present it is stored on the matrix (see HasTimes).
+// Blank lines and lines starting with '#' are skipped.
+func ReadUData(r io.Reader) (*Matrix, error) {
+	type rec struct {
+		user, item int
+		value      float64
+		ts         int64
+		hasTS      bool
+	}
+	var recs []rec
+	userIDs := map[string]int{}
+	itemIDs := map[string]int{}
+	intern := func(m map[string]int, k string) int {
+		if id, ok := m[k]; ok {
+			return id
+		}
+		id := len(m)
+		m[k] = id
+		return id
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("ratings: line %d: want at least 3 fields, got %d", line, len(fields))
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("ratings: line %d: bad rating %q: %v", line, fields[2], err)
+		}
+		r := rec{
+			user:  intern(userIDs, fields[0]),
+			item:  intern(itemIDs, fields[1]),
+			value: v,
+		}
+		if len(fields) >= 4 {
+			if ts, err := strconv.ParseInt(fields[3], 10, 64); err == nil {
+				r.ts, r.hasTS = ts, true
+			}
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ratings: scan: %w", err)
+	}
+	b := NewBuilder(len(userIDs), len(itemIDs))
+	anyTS := false
+	for _, r := range recs {
+		if r.hasTS && r.ts != 0 {
+			anyTS = true
+			break
+		}
+	}
+	for _, r := range recs {
+		var err error
+		if anyTS {
+			err = b.AddWithTime(r.user, r.item, r.value, r.ts)
+		} else {
+			err = b.Add(r.user, r.item, r.value)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// ReadUDataFile opens path and parses it with ReadUData.
+func ReadUDataFile(path string) (*Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadUData(f)
+}
+
+// WriteUData writes the matrix in u.data format with 1-based ids, so
+// generated datasets round-trip through ReadUData and load into tools
+// that expect the GroupLens layout. Stored timestamps are written;
+// matrices without timestamps emit 0.
+func WriteUData(w io.Writer, m *Matrix) error {
+	bw := bufio.NewWriter(w)
+	for u := 0; u < m.NumUsers(); u++ {
+		times := m.UserRatingTimes(u)
+		for k, e := range m.UserRatings(u) {
+			var ts int64
+			if times != nil {
+				ts = times[k]
+			}
+			if _, err := fmt.Fprintf(bw, "%d\t%d\t%g\t%d\n", u+1, e.Index+1, e.Value, ts); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteUDataFile creates path and writes the matrix with WriteUData.
+func WriteUDataFile(path string, m *Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteUData(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

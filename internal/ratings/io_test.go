@@ -1,0 +1,105 @@
+package ratings
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadUData(t *testing.T) {
+	in := "1\t10\t4\t881250949\n" +
+		"1\t20\t3\t881250950\n" +
+		"2\t10\t5\t881250951\n" +
+		"\n" +
+		"# comment line\n" +
+		"3\t30\t1\n" // timestamp optional
+	m, err := ReadUData(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumUsers() != 3 || m.NumItems() != 3 {
+		t.Fatalf("dims %d×%d, want 3×3", m.NumUsers(), m.NumItems())
+	}
+	if m.NumRatings() != 4 {
+		t.Fatalf("ratings = %d, want 4", m.NumRatings())
+	}
+	// First-seen order: user "1"→0, item "10"→0.
+	if r, ok := m.Rating(0, 0); !ok || r != 4 {
+		t.Errorf("Rating(0,0) = %g,%v, want 4,true", r, ok)
+	}
+	if r, ok := m.Rating(1, 0); !ok || r != 5 {
+		t.Errorf("Rating(1,0) = %g,%v, want 5,true", r, ok)
+	}
+}
+
+func TestReadUDataErrors(t *testing.T) {
+	if _, err := ReadUData(strings.NewReader("1\t2\n")); err == nil {
+		t.Error("short line must error")
+	}
+	if _, err := ReadUData(strings.NewReader("1\t2\tabc\t0\n")); err == nil {
+		t.Error("non-numeric rating must error")
+	}
+}
+
+func TestReadUDataEmpty(t *testing.T) {
+	m, err := ReadUData(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumUsers() != 0 || m.NumItems() != 0 || m.NumRatings() != 0 {
+		t.Error("empty input must produce an empty matrix")
+	}
+}
+
+func TestUDataRoundTrip(t *testing.T) {
+	b := NewBuilder(3, 5)
+	b.MustAdd(0, 0, 4)
+	b.MustAdd(0, 4, 2)
+	b.MustAdd(2, 1, 3.5)
+	orig := b.Build()
+
+	var buf bytes.Buffer
+	if err := WriteUData(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadUData(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Users/items with no ratings vanish in the file format; ratings and
+	// values must survive.
+	if back.NumRatings() != orig.NumRatings() {
+		t.Fatalf("round trip ratings %d, want %d", back.NumRatings(), orig.NumRatings())
+	}
+	if r, ok := back.Rating(0, 1); !ok || r != 2 {
+		t.Errorf("round trip value = %g,%v, want 2 (item renumbered)", r, ok)
+	}
+	if r, ok := back.Rating(1, 2); !ok || r != 3.5 {
+		t.Errorf("fractional rating = %g,%v, want 3.5", r, ok)
+	}
+}
+
+func TestUDataFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "u.data")
+	b := NewBuilder(2, 2)
+	b.MustAdd(0, 0, 1)
+	b.MustAdd(1, 1, 5)
+	if err := WriteUDataFile(path, b.Build()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadUDataFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRatings() != 2 {
+		t.Errorf("file round trip ratings = %d, want 2", m.NumRatings())
+	}
+}
+
+func TestReadUDataFileMissing(t *testing.T) {
+	if _, err := ReadUDataFile(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing file must error")
+	}
+}

@@ -1,0 +1,214 @@
+// Package server implements the JSON-over-HTTP recommendation API used
+// by cmd/cfsf-server, demonstrating the paper's offline/online split in
+// a serving setting: the expensive offline phase runs once, the cheap
+// online phase answers every request from the current model, and new
+// ratings stream in through the incremental-refresh extension
+// (Model.WithUpdates) without downtime.
+//
+// Endpoints:
+//
+//	GET  /healthz                 -> {"status":"ok"}
+//	GET  /stats                   -> dataset and model statistics
+//	GET  /predict?user=U&item=I   -> fused prediction with components
+//	GET  /recommend?user=U&n=N    -> top-N items for the user
+//	POST /rate                    -> {"user":U,"item":I,"rating":R} applies
+//	                                 an incremental model refresh
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"cfsf/internal/core"
+)
+
+// Server serves a CFSF model. Reads go through an atomic pointer so
+// predictions never block; writes (incoming ratings) refresh the model
+// incrementally under a mutex and swap the pointer.
+type Server struct {
+	model  atomic.Pointer[core.Model]
+	mu     sync.Mutex // serialises /rate refreshes
+	titles []string   // optional item display names
+}
+
+// New returns a Server for the model; titles may be nil.
+func New(model *core.Model, titles []string) *Server {
+	s := &Server{titles: titles}
+	s.model.Store(model)
+	return s
+}
+
+// Model returns the currently served model.
+func (s *Server) Model() *core.Model { return s.model.Load() }
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /predict", s.handlePredict)
+	mux.HandleFunc("GET /recommend", s.handleRecommend)
+	mux.HandleFunc("POST /rate", s.handleRate)
+	return mux
+}
+
+// handleRate folds one rating into the model via the incremental
+// refresh and swaps the served model.
+func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		User   int     `json:"user"`
+		Item   int     `json:"item"`
+		Rating float64 `json:"rating"`
+		Time   int64   `json:"time,omitempty"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %v", err))
+		return
+	}
+	cur := s.model.Load()
+	m := cur.Matrix()
+	if req.User < 0 || req.Item < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("negative id"))
+		return
+	}
+	if req.Rating < m.MinRating() || req.Rating > m.MaxRating() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("rating %g outside scale %g..%g", req.Rating, m.MinRating(), m.MaxRating()))
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next, err := s.model.Load().WithUpdates([]core.RatingUpdate{{
+		User: req.User, Item: req.Item, Value: req.Rating, Time: req.Time,
+	}})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.model.Store(next)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "applied",
+		"users":   next.Matrix().NumUsers(),
+		"items":   next.Matrix().NumItems(),
+		"ratings": next.Matrix().NumRatings(),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	mod := s.model.Load()
+	m := mod.Matrix()
+	st := mod.Stats()
+	cfg := mod.Config()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"users":          m.NumUsers(),
+		"items":          m.NumItems(),
+		"ratings":        m.NumRatings(),
+		"density":        m.Density(),
+		"gis_neighbors":  st.GISNeighbors,
+		"cluster_iters":  st.ClusterIters,
+		"train_total_ms": st.TotalDuration.Milliseconds(),
+		"config": map[string]any{
+			"M": cfg.M, "K": cfg.K, "C": cfg.Clusters,
+			"lambda": cfg.Lambda, "delta": cfg.Delta, "epsilon": cfg.OriginalWeight,
+		},
+	})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	user, err := intParam(r, "user")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	item, err := intParam(r, "item")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	mod := s.model.Load()
+	m := mod.Matrix()
+	if user < 0 || user >= m.NumUsers() || item < 0 || item >= m.NumItems() {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("user %d or item %d outside %d×%d", user, item, m.NumUsers(), m.NumItems()))
+		return
+	}
+	p := mod.PredictDetailed(user, item)
+	resp := map[string]any{
+		"user": user, "item": item, "prediction": round3(p.Value),
+		"components": map[string]any{
+			"sir": round3(p.SIR), "sur": round3(p.SUR), "suir": round3(p.SUIR),
+		},
+		"local_items": p.ItemsUsed, "local_users": p.UsersUsed,
+	}
+	if s.titles != nil && item < len(s.titles) {
+		resp["title"] = s.titles[item]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	user, err := intParam(r, "user")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	n := 10
+	if v := r.URL.Query().Get("n"); v != "" {
+		if n, err = strconv.Atoi(v); err != nil || n <= 0 || n > 100 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("n must be in 1..100"))
+			return
+		}
+	}
+	mod := s.model.Load()
+	m := mod.Matrix()
+	if user < 0 || user >= m.NumUsers() {
+		writeError(w, http.StatusNotFound, fmt.Errorf("user %d outside 0..%d", user, m.NumUsers()-1))
+		return
+	}
+	recs := mod.Recommend(user, n)
+	items := make([]map[string]any, 0, len(recs))
+	for _, rec := range recs {
+		entry := map[string]any{"item": rec.Item, "score": round3(rec.Score)}
+		if s.titles != nil && rec.Item < len(s.titles) {
+			entry["title"] = s.titles[rec.Item]
+		}
+		items = append(items, entry)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"user": user, "recommendations": items})
+}
+
+func intParam(r *http.Request, name string) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, fmt.Errorf("missing required parameter %q", name)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return n, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("cfsf-server: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func round3(v float64) float64 { return float64(int(v*1000+0.5)) / 1000 }

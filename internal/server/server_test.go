@@ -1,0 +1,248 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cfsf/internal/core"
+	"cfsf/internal/synth"
+)
+
+// newTestServer trains a small model once per test binary.
+var testSrv = func() *httptest.Server {
+	cfg := synth.DefaultConfig()
+	cfg.Users = 80
+	cfg.Items = 100
+	cfg.MinPerUser = 12
+	cfg.MeanPerUser = 25
+	cfg.Archetypes = 6
+	d := synth.MustGenerate(cfg)
+	mcfg := core.DefaultConfig()
+	mcfg.M = 20
+	mcfg.K = 10
+	mcfg.Clusters = 6
+	mod, err := core.Train(d.Matrix, mcfg)
+	if err != nil {
+		panic(err)
+	}
+	return httptest.NewServer(New(mod, d.ItemTitles).Handler())
+}()
+
+func get(t *testing.T, path string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(testSrv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode %s: %v", path, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("%s content type %q", path, ct)
+	}
+	return resp.StatusCode, body
+}
+
+func TestHealthz(t *testing.T) {
+	code, body := get(t, "/healthz")
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("healthz = %d %v", code, body)
+	}
+}
+
+func TestStats(t *testing.T) {
+	code, body := get(t, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	if body["users"].(float64) != 80 || body["items"].(float64) != 100 {
+		t.Errorf("stats dims wrong: %v", body)
+	}
+	cfg := body["config"].(map[string]any)
+	if cfg["M"].(float64) != 20 {
+		t.Errorf("config M = %v, want 20", cfg["M"])
+	}
+}
+
+func TestPredict(t *testing.T) {
+	code, body := get(t, "/predict?user=3&item=7")
+	if code != http.StatusOK {
+		t.Fatalf("predict = %d %v", code, body)
+	}
+	pred := body["prediction"].(float64)
+	if pred < 1 || pred > 5 {
+		t.Errorf("prediction %g out of scale", pred)
+	}
+	if _, ok := body["components"].(map[string]any); !ok {
+		t.Error("missing components")
+	}
+	if _, ok := body["title"].(string); !ok {
+		t.Error("missing title for synthetic dataset")
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	cases := []struct {
+		path string
+		code int
+	}{
+		{"/predict?item=7", http.StatusBadRequest},
+		{"/predict?user=3", http.StatusBadRequest},
+		{"/predict?user=abc&item=7", http.StatusBadRequest},
+		{"/predict?user=9999&item=7", http.StatusNotFound},
+		{"/predict?user=3&item=9999", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		code, body := get(t, c.path)
+		if code != c.code {
+			t.Errorf("%s = %d, want %d (%v)", c.path, code, c.code, body)
+		}
+		if _, ok := body["error"]; !ok {
+			t.Errorf("%s: missing error field", c.path)
+		}
+	}
+}
+
+func TestRecommend(t *testing.T) {
+	code, body := get(t, "/recommend?user=5&n=4")
+	if code != http.StatusOK {
+		t.Fatalf("recommend = %d %v", code, body)
+	}
+	recs := body["recommendations"].([]any)
+	if len(recs) != 4 {
+		t.Fatalf("got %d recommendations, want 4", len(recs))
+	}
+	prev := 6.0
+	for _, r := range recs {
+		entry := r.(map[string]any)
+		score := entry["score"].(float64)
+		if score > prev {
+			t.Error("recommendations not sorted by score")
+		}
+		prev = score
+		if _, ok := entry["title"]; !ok {
+			t.Error("recommendation missing title")
+		}
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	for _, path := range []string{
+		"/recommend",
+		"/recommend?user=5&n=0",
+		"/recommend?user=5&n=1000",
+		"/recommend?user=5&n=x",
+	} {
+		code, _ := get(t, path)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s = %d, want 400", path, code)
+		}
+	}
+	code, _ := get(t, "/recommend?user=9999")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown user = %d, want 404", code)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	resp, err := http.Post(testSrv.URL+"/predict?user=1&item=1", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		g := g
+		go func() {
+			resp, err := http.Get(testSrv.URL + fmt.Sprintf("/predict?user=%d&item=%d", g%10, g%20))
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}
+			errs <- err
+		}()
+	}
+	for g := 0; g < 16; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRateAppliesIncrementalUpdate(t *testing.T) {
+	// Use a private server so the shared one is unaffected.
+	cfg := synth.DefaultConfig()
+	cfg.Users = 50
+	cfg.Items = 60
+	cfg.MinPerUser = 10
+	cfg.MeanPerUser = 15
+	cfg.Archetypes = 5
+	d := synth.MustGenerate(cfg)
+	mcfg := core.DefaultConfig()
+	mcfg.M = 10
+	mcfg.K = 5
+	mcfg.Clusters = 5
+	mod, err := core.Train(d.Matrix, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(mod, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	before := srv.Model().Matrix().NumRatings()
+	resp, err := http.Post(ts.URL+"/rate", "application/json",
+		strings.NewReader(`{"user":50,"item":3,"rating":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /rate = %d", resp.StatusCode)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["users"].(float64) != 51 {
+		t.Errorf("users = %v, want 51 (new user grew the matrix)", body["users"])
+	}
+	after := srv.Model().Matrix().NumRatings()
+	if after != before+1 {
+		t.Errorf("ratings %d -> %d, want +1", before, after)
+	}
+	if r, ok := srv.Model().Matrix().Rating(50, 3); !ok || r != 5 {
+		t.Errorf("new rating not visible: %g,%v", r, ok)
+	}
+}
+
+func TestRateValidation(t *testing.T) {
+	for _, payload := range []string{
+		`not json`,
+		`{"user":-1,"item":3,"rating":5}`,
+		`{"user":1,"item":3,"rating":9}`,
+	} {
+		resp, err := http.Post(testSrv.URL+"/rate", "application/json", strings.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("payload %q = %d, want 400", payload, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package similarity
+
+import (
+	"math"
+
+	"cfsf/internal/ratings"
+)
+
+// Additional similarity functions beyond the paper's PCC/PCS pair. They
+// are not used by CFSF's defaults but round out the library for
+// downstream experimentation and appear in the metric ablations.
+
+// ItemAdjustedCosine computes the adjusted cosine similarity between
+// items a and b: ratings are centred on each *user's* mean (Sarwar et
+// al. '01), which removes rating-style bias like PCC but keeps the
+// per-user perspective.
+func ItemAdjustedCosine(m *ratings.Matrix, a, b int) (sim float64, co int) {
+	var sxy, sxx, syy float64
+	m.CoRatingUsers(a, b, func(u int32, ra, rb float64) {
+		um := m.UserMean(int(u))
+		da, db := ra-um, rb-um
+		sxy += da * db
+		sxx += da * da
+		syy += db * db
+		co++
+	})
+	if sxx == 0 || syy == 0 {
+		return 0, co
+	}
+	return sxy / (math.Sqrt(sxx) * math.Sqrt(syy)), co
+}
+
+// UserMSD computes the mean-squared-difference similarity between users
+// a and b: 1 − MSD/range², in [0, 1]. Higher is more similar.
+func UserMSD(m *ratings.Matrix, a, b int) (sim float64, co int) {
+	var ss float64
+	m.CoRatedItems(a, b, func(_ int32, ra, rb float64) {
+		d := ra - rb
+		ss += d * d
+		co++
+	})
+	if co == 0 {
+		return 0, 0
+	}
+	r := m.MaxRating() - m.MinRating()
+	if r == 0 {
+		return 1, co
+	}
+	return 1 - (ss/float64(co))/(r*r), co
+}
+
+// UserJaccard computes the Jaccard similarity of the users' rated-item
+// sets: |I(a) ∩ I(b)| / |I(a) ∪ I(b)|. It ignores rating values and
+// measures behavioural overlap only.
+func UserJaccard(m *ratings.Matrix, a, b int) float64 {
+	inter := 0
+	m.CoRatedItems(a, b, func(int32, float64, float64) { inter++ })
+	union := len(m.UserRatings(a)) + len(m.UserRatings(b)) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// ItemJaccard computes the Jaccard similarity of the items' rater sets.
+func ItemJaccard(m *ratings.Matrix, a, b int) float64 {
+	inter := 0
+	m.CoRatingUsers(a, b, func(int32, float64, float64) { inter++ })
+	union := len(m.ItemRatings(a)) + len(m.ItemRatings(b)) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// UserConstrainedPCC computes the constrained Pearson correlation
+// (Shardanand & Maes '95): deviations are taken from the scale midpoint
+// rather than the mean, so only agreement on the positive/negative side
+// of the scale counts as similarity.
+func UserConstrainedPCC(m *ratings.Matrix, a, b int) (sim float64, co int) {
+	mid := (m.MinRating() + m.MaxRating()) / 2
+	var sxy, sxx, syy float64
+	m.CoRatedItems(a, b, func(_ int32, ra, rb float64) {
+		da, db := ra-mid, rb-mid
+		sxy += da * db
+		sxx += da * da
+		syy += db * db
+		co++
+	})
+	if sxx == 0 || syy == 0 {
+		return 0, co
+	}
+	return sxy / (math.Sqrt(sxx) * math.Sqrt(syy)), co
+}

@@ -1,0 +1,154 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cfsf/internal/ratings"
+)
+
+func TestItemAdjustedCosineRemovesUserBias(t *testing.T) {
+	// Two items rated identically up to a per-user offset: adjusted
+	// cosine sees perfect correlation of the centred values.
+	b := ratings.NewBuilder(3, 2)
+	b.MustAdd(0, 0, 2)
+	b.MustAdd(0, 1, 4) // user 0 mean 3: deviations -1, +1
+	b.MustAdd(1, 0, 1)
+	b.MustAdd(1, 1, 3) // user 1 mean 2: deviations -1, +1
+	b.MustAdd(2, 0, 3)
+	b.MustAdd(2, 1, 5) // user 2 mean 4: deviations -1, +1
+	m := b.Build()
+	sim, co := ItemAdjustedCosine(m, 0, 1)
+	if co != 3 {
+		t.Fatalf("co = %d, want 3", co)
+	}
+	if math.Abs(sim-(-1)) > 1e-12 {
+		t.Errorf("adjusted cosine = %g, want -1 (deviations are opposed)", sim)
+	}
+}
+
+func TestUserMSDBounds(t *testing.T) {
+	b := ratings.NewBuilder(2, 3)
+	b.MustAdd(0, 0, 1)
+	b.MustAdd(0, 1, 5)
+	b.MustAdd(1, 0, 5)
+	b.MustAdd(1, 1, 1)
+	m := b.Build()
+	sim, co := UserMSD(m, 0, 1)
+	if co != 2 {
+		t.Fatalf("co = %d, want 2", co)
+	}
+	// MSD = 16, range² = 16 → sim = 0 (maximally dissimilar).
+	if sim != 0 {
+		t.Errorf("opposite extremes MSD sim = %g, want 0", sim)
+	}
+	// Identical users → 1.
+	if sim, _ := UserMSD(m, 0, 0); sim != 1 {
+		t.Errorf("self MSD sim = %g, want 1", sim)
+	}
+}
+
+func TestUserMSDNoOverlap(t *testing.T) {
+	b := ratings.NewBuilder(2, 2)
+	b.MustAdd(0, 0, 3)
+	b.MustAdd(1, 1, 4)
+	m := b.Build()
+	if sim, co := UserMSD(m, 0, 1); sim != 0 || co != 0 {
+		t.Errorf("disjoint users: sim=%g co=%d", sim, co)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	b := ratings.NewBuilder(2, 4)
+	b.MustAdd(0, 0, 3)
+	b.MustAdd(0, 1, 3)
+	b.MustAdd(0, 2, 3)
+	b.MustAdd(1, 1, 5)
+	b.MustAdd(1, 2, 5)
+	b.MustAdd(1, 3, 5)
+	m := b.Build()
+	// Intersection {1,2} = 2, union {0,1,2,3} = 4.
+	if got := UserJaccard(m, 0, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("UserJaccard = %g, want 0.5", got)
+	}
+	// Items 1 and 2 share both raters: 2/2 = 1.
+	if got := ItemJaccard(m, 1, 2); got != 1 {
+		t.Errorf("ItemJaccard = %g, want 1", got)
+	}
+	// Items 0 and 3 share nobody.
+	if got := ItemJaccard(m, 0, 3); got != 0 {
+		t.Errorf("disjoint ItemJaccard = %g, want 0", got)
+	}
+}
+
+func TestConstrainedPCCSignAgreement(t *testing.T) {
+	// Users agree above/below the midpoint 3 → positive; one above one
+	// below → negative.
+	b := ratings.NewBuilder(2, 4)
+	b.MustAdd(0, 0, 5)
+	b.MustAdd(0, 1, 4)
+	b.MustAdd(0, 2, 1)
+	b.MustAdd(1, 0, 4)
+	b.MustAdd(1, 1, 5)
+	b.MustAdd(1, 2, 2)
+	m := b.Build()
+	sim, co := UserConstrainedPCC(m, 0, 1)
+	if co != 3 {
+		t.Fatalf("co = %d, want 3", co)
+	}
+	// Deviations from the midpoint: (2,1,-2) vs (1,2,-1) → 6/(3·√6) ≈ 0.816.
+	if math.Abs(sim-6/(3*math.Sqrt(6))) > 1e-9 {
+		t.Errorf("constrained PCC = %g, want %g", sim, 6/(3*math.Sqrt(6)))
+	}
+}
+
+// Property: all metrics stay in their documented ranges and are
+// symmetric on random matrices.
+func TestMetricsBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, q := 2+rng.Intn(8), 2+rng.Intn(8)
+		b := ratings.NewBuilder(p, q)
+		for u := 0; u < p; u++ {
+			for i := 0; i < q; i++ {
+				if rng.Float64() < 0.6 {
+					b.MustAdd(u, i, float64(1+rng.Intn(5)))
+				}
+			}
+		}
+		m := b.Build()
+		for a := 0; a < p; a++ {
+			for c := a + 1; c < p; c++ {
+				if s, _ := UserMSD(m, a, c); s < -1e-9 || s > 1+1e-9 {
+					return false
+				}
+				if s := UserJaccard(m, a, c); s < 0 || s > 1 || s != UserJaccard(m, c, a) {
+					return false
+				}
+				s1, _ := UserConstrainedPCC(m, a, c)
+				s2, _ := UserConstrainedPCC(m, c, a)
+				if s1 != s2 || s1 < -1-1e-9 || s1 > 1+1e-9 {
+					return false
+				}
+			}
+		}
+		for a := 0; a < q; a++ {
+			for c := a + 1; c < q; c++ {
+				s1, _ := ItemAdjustedCosine(m, a, c)
+				s2, _ := ItemAdjustedCosine(m, c, a)
+				if s1 != s2 || s1 < -1-1e-9 || s1 > 1+1e-9 {
+					return false
+				}
+				if s := ItemJaccard(m, a, c); s < 0 || s > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+package similarity
+
+import (
+	"math"
+	"sort"
+
+	"cfsf/internal/mathx"
+	"cfsf/internal/parallel"
+	"cfsf/internal/ratings"
+)
+
+// Refresh returns a new GIS reflecting an updated matrix in which only
+// the listed items' rating columns changed (the paper's §VI future work:
+// "how it can keep GIS up-to-date"). Instead of the full O(nnz · row)
+// rebuild, it
+//
+//  1. recomputes the neighbour lists of the changed items from scratch,
+//  2. strips entries pointing at changed items from every unchanged
+//     item's list, and
+//  3. re-inserts the symmetric pairs discovered in step 1.
+//
+// The result is identical to a full BuildGIS when TopN is 0 (no
+// truncation). With truncation, an unchanged item's list can temporarily
+// hold fewer than TopN entries: neighbours that the old truncation
+// discarded cannot be resurrected without touching the full matrix. That
+// is the standard staleness trade-off of incremental similarity indices;
+// run a full rebuild periodically to re-fill.
+func (g *GIS) Refresh(m *ratings.Matrix, changedItems []int, opts GISOptions) *GIS {
+	changed := make(map[int32]bool, len(changedItems))
+	for _, i := range changedItems {
+		if i >= 0 && i < m.NumItems() {
+			changed[int32(i)] = true
+		}
+	}
+	q := m.NumItems()
+	out := &GIS{neighbors: make([][]mathx.Scored, q), opts: opts}
+
+	// Step 1: full candidate lists (untruncated) for changed items, so
+	// symmetric insertion in step 3 is not limited by TopN.
+	fullLists := make(map[int32][]mathx.Scored, len(changed))
+	changedIdx := make([]int32, 0, len(changed))
+	for i := range changed {
+		changedIdx = append(changedIdx, i)
+	}
+	sort.Slice(changedIdx, func(a, b int) bool { return changedIdx[a] < changedIdx[b] })
+
+	lists := make([][]mathx.Scored, len(changedIdx))
+	parallel.For(len(changedIdx), opts.Workers, func(k int) {
+		lists[k] = candidateList(m, int(changedIdx[k]), opts)
+	})
+	for k, i := range changedIdx {
+		fullLists[i] = lists[k]
+		out.neighbors[i] = truncate(lists[k], opts.TopN)
+	}
+
+	// Step 3 preparation: symmetric entries grouped by unchanged item.
+	symmetric := make(map[int32][]mathx.Scored)
+	for b, list := range fullLists {
+		for _, n := range list {
+			if changed[n.Index] {
+				continue // changed↔changed pairs are already in both lists
+			}
+			symmetric[n.Index] = append(symmetric[n.Index], mathx.Scored{Index: b, Score: n.Score})
+		}
+	}
+
+	// Steps 2+3: rebuild unchanged lists.
+	for i := 0; i < q; i++ {
+		if changed[int32(i)] {
+			continue
+		}
+		var old []mathx.Scored
+		if i < len(g.neighbors) {
+			old = g.neighbors[i]
+		}
+		merged := make([]mathx.Scored, 0, len(old)+len(symmetric[int32(i)]))
+		for _, n := range old {
+			if !changed[n.Index] {
+				merged = append(merged, n)
+			}
+		}
+		merged = append(merged, symmetric[int32(i)]...)
+		sort.Slice(merged, func(a, b int) bool {
+			if merged[a].Score != merged[b].Score {
+				return merged[a].Score > merged[b].Score
+			}
+			return merged[a].Index < merged[b].Index
+		})
+		out.neighbors[i] = truncate(merged, opts.TopN)
+	}
+	return out
+}
+
+// candidateList computes item a's full (untruncated) neighbour list on m,
+// using the same accumulation as BuildGIS.
+func candidateList(m *ratings.Matrix, a int, opts GISOptions) []mathx.Scored {
+	q := m.NumItems()
+	sxy := make([]float64, q)
+	sxx := make([]float64, q)
+	syy := make([]float64, q)
+	co := make([]int32, q)
+	touched := make([]int32, 0, 256)
+
+	ma := m.ItemMean(a)
+	for _, ue := range m.ItemRatings(a) {
+		u := int(ue.Index)
+		var da float64
+		if opts.Metric == PCC {
+			da = ue.Value - ma
+		} else {
+			da = ue.Value
+		}
+		for _, ie := range m.UserRatings(u) {
+			b := ie.Index
+			if int(b) == a {
+				continue
+			}
+			if co[b] == 0 {
+				touched = append(touched, b)
+			}
+			var db float64
+			if opts.Metric == PCC {
+				db = ie.Value - m.ItemMean(int(b))
+			} else {
+				db = ie.Value
+			}
+			sxy[b] += da * db
+			sxx[b] += da * da
+			syy[b] += db * db
+			co[b]++
+		}
+	}
+	out := make([]mathx.Scored, 0, len(touched))
+	for _, b := range touched {
+		n := int(co[b])
+		if opts.MinCoRatings > 0 && n < opts.MinCoRatings {
+			continue
+		}
+		if sxx[b] == 0 || syy[b] == 0 {
+			continue
+		}
+		sim := sxy[b] / (math.Sqrt(sxx[b]) * math.Sqrt(syy[b]))
+		sim = Significance(sim, n, opts.SignificanceGamma)
+		if sim <= 0 || sim < opts.Threshold {
+			continue
+		}
+		out = append(out, mathx.Scored{Index: b, Score: sim})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Index < out[b].Index
+	})
+	return out
+}
+
+func truncate(list []mathx.Scored, topN int) []mathx.Scored {
+	if topN > 0 && len(list) > topN {
+		list = list[:topN]
+	}
+	return list
+}

@@ -1,0 +1,171 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cfsf/internal/ratings"
+)
+
+// applyUpdates rebuilds a matrix with extra ratings added.
+func applyUpdates(m *ratings.Matrix, ups [][3]int) *ratings.Matrix {
+	b := ratings.NewBuilder(m.NumUsers(), m.NumItems())
+	for u := 0; u < m.NumUsers(); u++ {
+		for _, e := range m.UserRatings(u) {
+			b.MustAdd(u, int(e.Index), e.Value)
+		}
+	}
+	for _, up := range ups {
+		b.MustAdd(up[0], up[1], float64(up[2]))
+	}
+	return b.Build()
+}
+
+// TestRefreshMatchesFullRebuild is the exactness property: with no TopN
+// truncation, Refresh must equal BuildGIS on the updated matrix.
+func TestRefreshMatchesFullRebuild(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, q := 10+rng.Intn(20), 8+rng.Intn(15)
+		b := ratings.NewBuilder(p, q)
+		for u := 0; u < p; u++ {
+			for i := 0; i < q; i++ {
+				if rng.Float64() < 0.4 {
+					b.MustAdd(u, i, float64(1+rng.Intn(5)))
+				}
+			}
+		}
+		m := b.Build()
+		opts := GISOptions{Metric: PCC, TopN: 0, MinCoRatings: 2, Workers: 2}
+		g := BuildGIS(m, opts)
+
+		// Apply a handful of updates to a few items.
+		nUps := 1 + rng.Intn(6)
+		ups := make([][3]int, nUps)
+		changed := map[int]bool{}
+		for k := range ups {
+			u, i := rng.Intn(p), rng.Intn(q)
+			ups[k] = [3]int{u, i, 1 + rng.Intn(5)}
+			changed[i] = true
+			// A changed rating also perturbs the user's other items'
+			// co-rating stats? No: sim(a,b) depends on columns of a and b
+			// only. A new rating (u,i) changes column i and adds a
+			// co-rating pair (i, j) for every j in u's row — those pairs
+			// live in i's list and j's list entries pointing at i, which
+			// Refresh repairs symmetrically. Other pairs are untouched.
+		}
+		m2 := applyUpdates(m, ups)
+
+		itemList := make([]int, 0, len(changed))
+		for i := range changed {
+			itemList = append(itemList, i)
+		}
+		got := g.Refresh(m2, itemList, opts)
+		want := BuildGIS(m2, opts)
+
+		for i := 0; i < q; i++ {
+			gi, wi := got.Neighbors(i), want.Neighbors(i)
+			if len(gi) != len(wi) {
+				return false
+			}
+			for k := range gi {
+				if gi[k].Index != wi[k].Index || !approx(gi[k].Score, wi[k].Score, 1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefreshWithTruncationStaysValid(t *testing.T) {
+	m := denseRandom(t, 40, 25, 0.5, 21)
+	opts := GISOptions{Metric: PCC, TopN: 6, MinCoRatings: 2}
+	g := BuildGIS(m, opts)
+	m2 := applyUpdates(m, [][3]int{{0, 3, 5}, {1, 3, 1}, {2, 7, 4}})
+	got := g.Refresh(m2, []int{3, 7}, opts)
+	for i := 0; i < m2.NumItems(); i++ {
+		ns := got.Neighbors(i)
+		if len(ns) > 6 {
+			t.Fatalf("item %d has %d neighbours, want <= 6", i, len(ns))
+		}
+		for k := 1; k < len(ns); k++ {
+			if ns[k-1].Score < ns[k].Score {
+				t.Fatalf("item %d list not descending after refresh", i)
+			}
+		}
+		// Changed items must match a fresh full computation exactly.
+		if i == 3 || i == 7 {
+			fresh := BuildGIS(m2, opts).Neighbors(i)
+			if len(fresh) != len(ns) {
+				t.Fatalf("changed item %d: %d neighbours, fresh %d", i, len(ns), len(fresh))
+			}
+			for k := range ns {
+				if ns[k] != fresh[k] {
+					t.Fatalf("changed item %d entry %d: %v vs %v", i, k, ns[k], fresh[k])
+				}
+			}
+		}
+	}
+}
+
+func TestRefreshGrowsItemSpace(t *testing.T) {
+	m := denseRandom(t, 20, 10, 0.6, 5)
+	opts := GISOptions{Metric: PCC, TopN: 0, MinCoRatings: 2}
+	g := BuildGIS(m, opts)
+
+	// New matrix with one extra item rated by several users.
+	b := ratings.NewBuilder(20, 11)
+	for u := 0; u < 20; u++ {
+		for _, e := range m.UserRatings(u) {
+			b.MustAdd(u, int(e.Index), e.Value)
+		}
+	}
+	for u := 0; u < 10; u++ {
+		r, _ := m.Rating(u, 0)
+		if r == 0 {
+			r = 3
+		}
+		b.MustAdd(u, 10, r) // correlate new item with item 0
+	}
+	m2 := b.Build()
+
+	got := g.Refresh(m2, []int{10}, opts)
+	if got.NumItems() != 11 {
+		t.Fatalf("refreshed GIS covers %d items, want 11", got.NumItems())
+	}
+	want := BuildGIS(m2, opts)
+	for i := 0; i < 11; i++ {
+		gi, wi := got.Neighbors(i), want.Neighbors(i)
+		if len(gi) != len(wi) {
+			t.Fatalf("item %d: %d vs %d neighbours", i, len(gi), len(wi))
+		}
+		for k := range gi {
+			if gi[k].Index != wi[k].Index || !approx(gi[k].Score, wi[k].Score, 1e-9) {
+				t.Fatalf("item %d entry %d: %v vs %v", i, k, gi[k], wi[k])
+			}
+		}
+	}
+}
+
+func TestRefreshNoChanges(t *testing.T) {
+	m := denseRandom(t, 20, 10, 0.6, 9)
+	opts := GISOptions{Metric: PCC, TopN: 0, MinCoRatings: 2}
+	g := BuildGIS(m, opts)
+	got := g.Refresh(m, nil, opts)
+	for i := 0; i < 10; i++ {
+		a, b := g.Neighbors(i), got.Neighbors(i)
+		if len(a) != len(b) {
+			t.Fatalf("no-op refresh changed item %d", i)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("no-op refresh changed item %d entry %d", i, k)
+			}
+		}
+	}
+}

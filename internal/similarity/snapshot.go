@@ -1,0 +1,29 @@
+package similarity
+
+import "cfsf/internal/mathx"
+
+// Snapshot is the serialisable form of a GIS. Neighbour lists are the
+// expensive artefact of the offline phase, so model persistence stores
+// them rather than recomputing.
+type Snapshot struct {
+	Neighbors [][]mathx.Scored
+	Opts      GISOptions
+}
+
+// Snapshot extracts a deep copy suitable for encoding.
+func (g *GIS) Snapshot() Snapshot {
+	s := Snapshot{Neighbors: make([][]mathx.Scored, len(g.neighbors)), Opts: g.opts}
+	for i, list := range g.neighbors {
+		s.Neighbors[i] = append([]mathx.Scored(nil), list...)
+	}
+	return s
+}
+
+// FromSnapshot reconstructs a GIS.
+func FromSnapshot(s Snapshot) *GIS {
+	g := &GIS{neighbors: make([][]mathx.Scored, len(s.Neighbors)), opts: s.Opts}
+	for i, list := range s.Neighbors {
+		g.neighbors[i] = append([]mathx.Scored(nil), list...)
+	}
+	return g
+}

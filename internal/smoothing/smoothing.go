@@ -1,0 +1,219 @@
+// Package smoothing implements the cluster-based rating smoothing of the
+// CFSF offline phase (paper §IV-D, Eq. 7–8) and the per-user iCluster
+// ranking (Eq. 9) that accelerates like-minded-user selection online.
+//
+// A smoothed rating never overwrites an observed one: Eq. 7 returns the
+// stored rating when the user rated the item, and the user's mean plus
+// the item's rating deviation within the user's cluster otherwise. The
+// smoother records provenance (original vs smoothed) because the online
+// phase weights the two kinds differently (Eq. 11's w).
+package smoothing
+
+import (
+	"math"
+	"sort"
+
+	"cfsf/internal/cluster"
+	"cfsf/internal/parallel"
+	"cfsf/internal/ratings"
+)
+
+// Smoother provides Eq. 7 smoothed ratings for every (user, item) cell.
+// It is immutable and safe for concurrent use.
+type Smoother struct {
+	m      *ratings.Matrix
+	assign []int
+	// dev[c][i] = Δr_{C,i} (Eq. 8): mean of (r_{u,i} − r̄_u) over cluster
+	// c's raters of item i.
+	dev [][]float64
+	// has[c][i] reports whether cluster c has any rater of item i.
+	has [][]bool
+	// globalDev[i] is the deviation over all raters of i, the fallback
+	// when the user's own cluster never rated i.
+	globalDev []float64
+	hasGlobal []bool
+	k         int
+}
+
+// New builds a Smoother from a matrix and a finished clustering.
+func New(m *ratings.Matrix, cl *cluster.Result) *Smoother {
+	return NewWeighted(m, cl, nil)
+}
+
+// NewWeighted builds a Smoother whose Eq. 8 deviations weight each
+// rating by weights[u][k] (aligned with UserRatings(u); nil = uniform).
+// The time-decayed CFSF extension passes recency multipliers here so the
+// smoothed fills track the present rather than the all-time average.
+func NewWeighted(m *ratings.Matrix, cl *cluster.Result, weights [][]float64) *Smoother {
+	k, q := cl.K, m.NumItems()
+	s := &Smoother{
+		m:         m,
+		assign:    cl.Assign,
+		dev:       make([][]float64, k),
+		has:       make([][]bool, k),
+		globalDev: make([]float64, q),
+		hasGlobal: make([]bool, q),
+		k:         k,
+	}
+	sum := make([][]float64, k)
+	cnt := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		sum[c] = make([]float64, q)
+		cnt[c] = make([]float64, q)
+		s.dev[c] = make([]float64, q)
+		s.has[c] = make([]bool, q)
+	}
+	gSum := make([]float64, q)
+	gCnt := make([]float64, q)
+
+	for u := 0; u < m.NumUsers(); u++ {
+		c := cl.Assign[u]
+		um := m.UserMean(u)
+		var w []float64
+		if weights != nil {
+			w = weights[u]
+		}
+		for j, e := range m.UserRatings(u) {
+			wt := 1.0
+			if w != nil {
+				wt = w[j]
+			}
+			d := wt * (e.Value - um)
+			sum[c][e.Index] += d
+			cnt[c][e.Index] += wt
+			gSum[e.Index] += d
+			gCnt[e.Index] += wt
+		}
+	}
+	for c := 0; c < k; c++ {
+		for i := 0; i < q; i++ {
+			if cnt[c][i] > 0 {
+				s.dev[c][i] = sum[c][i] / cnt[c][i]
+				s.has[c][i] = true
+			}
+		}
+	}
+	for i := 0; i < q; i++ {
+		if gCnt[i] > 0 {
+			s.globalDev[i] = gSum[i] / gCnt[i]
+			s.hasGlobal[i] = true
+		}
+	}
+	return s
+}
+
+// NumClusters returns the cluster count the smoother was built from.
+func (s *Smoother) NumClusters() int { return s.k }
+
+// Cluster returns the cluster id of user u.
+func (s *Smoother) Cluster(u int) int { return s.assign[u] }
+
+// Matrix returns the underlying (unsmoothed) matrix.
+func (s *Smoother) Matrix() *ratings.Matrix { return s.m }
+
+// Rating implements Eq. 7. It returns the value and whether it is an
+// original (observed) rating; original=false means the value was
+// smoothed. The fallback chain for a cell whose cluster has no rater of
+// the item is: user mean + global item deviation, then plain user mean.
+func (s *Smoother) Rating(u, i int) (value float64, original bool) {
+	if r, ok := s.m.Rating(u, i); ok {
+		return r, true
+	}
+	um := s.m.UserMean(u)
+	c := s.assign[u]
+	if s.has[c][i] {
+		return um + s.dev[c][i], false
+	}
+	if s.hasGlobal[i] {
+		return um + s.globalDev[i], false
+	}
+	return um, false
+}
+
+// Fill returns the Eq. 7 smoothed value for a cell the caller already
+// knows is unobserved, skipping the observed-rating lookup. It is the
+// fast path of the online phase, where merge iteration over sorted rows
+// has already established that (u, i) is missing.
+func (s *Smoother) Fill(u, i int) float64 {
+	um := s.m.UserMean(u)
+	c := s.assign[u]
+	if s.has[c][i] {
+		return um + s.dev[c][i]
+	}
+	if s.hasGlobal[i] {
+		return um + s.globalDev[i]
+	}
+	return um
+}
+
+// Deviation returns Δr_{C,i} (Eq. 8) for cluster c and item i, and
+// whether the cluster has any rater of i.
+func (s *Smoother) Deviation(c, i int) (float64, bool) {
+	return s.dev[c][i], s.has[c][i]
+}
+
+// ICluster stores, for every user, the clusters ranked by descending
+// Eq. 9 similarity. The online phase walks this order to build the
+// candidate set for top-K like-minded-user selection.
+type ICluster struct {
+	// Order[u] lists cluster ids, most similar first.
+	Order [][]int32
+	// Sim[u][rank] is the Eq. 9 similarity of Order[u][rank].
+	Sim [][]float64
+}
+
+// BuildICluster ranks all clusters for every user (parallel over users).
+func BuildICluster(s *Smoother, workers int) *ICluster {
+	p := s.m.NumUsers()
+	ic := &ICluster{
+		Order: make([][]int32, p),
+		Sim:   make([][]float64, p),
+	}
+	parallel.For(p, workers, func(u int) {
+		sims := make([]float64, s.k)
+		for c := 0; c < s.k; c++ {
+			sims[c] = s.UserClusterSim(u, c)
+		}
+		order := make([]int32, s.k)
+		for c := range order {
+			order[c] = int32(c)
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			if sims[order[a]] != sims[order[b]] {
+				return sims[order[a]] > sims[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		sorted := make([]float64, s.k)
+		for r, c := range order {
+			sorted[r] = sims[c]
+		}
+		ic.Order[u] = order
+		ic.Sim[u] = sorted
+	})
+	return ic
+}
+
+// UserClusterSim computes Eq. 9: the correlation between user u's centred
+// ratings and cluster c's deviations, over the items u rated that c
+// covers. Returns 0 when there is no overlap or no variance.
+func (s *Smoother) UserClusterSim(u, c int) float64 {
+	um := s.m.UserMean(u)
+	var sxy, sxx, syy float64
+	n := 0
+	for _, e := range s.m.UserRatings(u) {
+		if !s.has[c][e.Index] {
+			continue
+		}
+		dx := s.dev[c][e.Index]
+		dy := e.Value - um
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+		n++
+	}
+	if n == 0 || sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / (math.Sqrt(sxx) * math.Sqrt(syy))
+}

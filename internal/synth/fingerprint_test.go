@@ -1,0 +1,47 @@
+package synth
+
+import "testing"
+
+// TestDatasetFingerprint locks the default dataset against accidental
+// generator changes: every number in EXPERIMENTS.md was measured on this
+// exact dataset, so a silent change to the generation stream would
+// invalidate the recorded results. If you change the generator or its
+// defaults ON PURPOSE, update this fingerprint AND regenerate
+// EXPERIMENTS.md (cmd/cfsf-bench -all).
+func TestDatasetFingerprint(t *testing.T) {
+	d := MustGenerate(DefaultConfig())
+	m := d.Matrix
+
+	if m.NumRatings() != 46565 {
+		t.Fatalf("total ratings = %d, want 46565 — generator stream changed", m.NumRatings())
+	}
+
+	// First three ratings of user 0 (item id, value).
+	row := m.UserRatings(0)
+	if len(row) < 3 {
+		t.Fatal("user 0 has fewer than 3 ratings")
+	}
+	type cell struct {
+		item int32
+		val  float64
+	}
+	want := []cell{{14, 3}, {53, 3}, {86, 3}}
+	for k, w := range want {
+		if row[k].Index != w.item || row[k].Value != w.val {
+			t.Fatalf("user 0 rating %d = (%d, %g), want (%d, %g) — generator stream changed",
+				k, row[k].Index, row[k].Value, w.item, w.val)
+		}
+	}
+
+	// A rating-weighted checksum over the whole matrix.
+	var sum float64
+	for u := 0; u < m.NumUsers(); u++ {
+		for _, e := range m.UserRatings(u) {
+			sum += e.Value * float64(int(e.Index)%97+1)
+		}
+	}
+	const wantSum = 7258665.0
+	if diff := sum - wantSum; diff > 1 || diff < -1 {
+		t.Fatalf("matrix checksum = %.6g, want %.6g — generator stream changed", sum, wantSum)
+	}
+}

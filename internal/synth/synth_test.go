@@ -1,0 +1,249 @@
+package synth
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"cfsf/internal/ratings"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Users = 80
+	cfg.Items = 120
+	cfg.MinPerUser = 10
+	cfg.MeanPerUser = 20
+	cfg.Archetypes = 8
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	a := MustGenerate(cfg)
+	b := MustGenerate(cfg)
+	if a.Matrix.NumRatings() != b.Matrix.NumRatings() {
+		t.Fatalf("non-deterministic rating count: %d vs %d", a.Matrix.NumRatings(), b.Matrix.NumRatings())
+	}
+	for u := 0; u < cfg.Users; u++ {
+		ra, rb := a.Matrix.UserRatings(u), b.Matrix.UserRatings(u)
+		if len(ra) != len(rb) {
+			t.Fatalf("user %d row length differs", u)
+		}
+		for k := range ra {
+			if ra[k] != rb[k] {
+				t.Fatalf("user %d entry %d differs: %v vs %v", u, k, ra[k], rb[k])
+			}
+		}
+	}
+	for u := range a.UserArchetype {
+		if a.UserArchetype[u] != b.UserArchetype[u] {
+			t.Fatal("archetype assignment not deterministic")
+		}
+	}
+}
+
+func TestGenerateSeedChangesData(t *testing.T) {
+	cfg := smallConfig()
+	a := MustGenerate(cfg)
+	cfg.Seed = 999
+	b := MustGenerate(cfg)
+	same := true
+	for u := 0; u < cfg.Users && same; u++ {
+		ra, rb := a.Matrix.UserRatings(u), b.Matrix.UserRatings(u)
+		if len(ra) != len(rb) {
+			same = false
+			break
+		}
+		for k := range ra {
+			if ra[k] != rb[k] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	d := MustGenerate(DefaultConfig())
+	m := d.Matrix
+	if m.NumUsers() != 500 || m.NumItems() != 1000 {
+		t.Fatalf("dims %d×%d, want 500×1000", m.NumUsers(), m.NumItems())
+	}
+	// Paper Table I statistics: density ≈ 9.44%, avg ≈ 94.4/user.
+	if d := m.Density(); d < 0.07 || d > 0.12 {
+		t.Errorf("density %.4f outside [0.07, 0.12]", d)
+	}
+	for u := 0; u < m.NumUsers(); u++ {
+		if n := len(m.UserRatings(u)); n < 40 {
+			t.Fatalf("user %d rated %d items, want >= 40 (paper constraint)", u, n)
+		}
+	}
+}
+
+func TestRatingsOnScale(t *testing.T) {
+	d := MustGenerate(smallConfig())
+	for u := 0; u < d.Matrix.NumUsers(); u++ {
+		for _, e := range d.Matrix.UserRatings(u) {
+			if e.Value < 1 || e.Value > 5 || e.Value != math.Trunc(e.Value) {
+				t.Fatalf("rating %g not an integer in [1,5]", e.Value)
+			}
+		}
+	}
+}
+
+func TestGenerateMetadata(t *testing.T) {
+	cfg := smallConfig()
+	d := MustGenerate(cfg)
+	if len(d.ItemGenres) != cfg.Items || len(d.ItemTitles) != cfg.Items {
+		t.Fatal("item metadata length mismatch")
+	}
+	if len(d.GenreNames) != cfg.Genres {
+		t.Fatalf("genre names = %d, want %d", len(d.GenreNames), cfg.Genres)
+	}
+	for i, gs := range d.ItemGenres {
+		if len(gs) < 1 || len(gs) > 2 {
+			t.Fatalf("item %d has %d genres, want 1-2", i, len(gs))
+		}
+		for _, g := range gs {
+			if g < 0 || g >= cfg.Genres {
+				t.Fatalf("item %d genre %d out of range", i, g)
+			}
+		}
+	}
+	for u, a := range d.UserArchetype {
+		if a < 0 || a >= cfg.Archetypes {
+			t.Fatalf("user %d archetype %d out of range", u, a)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Users = 0 },
+		func(c *Config) { c.Items = -1 },
+		func(c *Config) { c.Archetypes = 0 },
+		func(c *Config) { c.Genres = 0 },
+		func(c *Config) { c.Genres = 100 },
+		func(c *Config) { c.MeanPerUser = 5; c.MinPerUser = 10 },
+		func(c *Config) { c.MinPerUser = c.Items + 1 },
+	}
+	for i, mutate := range bad {
+		cfg := smallConfig()
+		mutate(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestClusterStructureExists verifies the property CFSF depends on: users
+// of the same archetype are more similar (PCC) than users of different
+// archetypes, on average.
+func TestClusterStructureExists(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Users = 120
+	cfg.MeanPerUser = 40
+	d := MustGenerate(cfg)
+	m := d.Matrix
+
+	pcc := func(a, b int) (float64, bool) {
+		ma, mb := m.UserMean(a), m.UserMean(b)
+		var sxy, sxx, syy float64
+		n := 0
+		m.CoRatedItems(a, b, func(_ int32, ra, rb float64) {
+			sxy += (ra - ma) * (rb - mb)
+			sxx += (ra - ma) * (ra - ma)
+			syy += (rb - mb) * (rb - mb)
+			n++
+		})
+		if n < 3 || sxx == 0 || syy == 0 {
+			return 0, false
+		}
+		return sxy / (math.Sqrt(sxx) * math.Sqrt(syy)), true
+	}
+
+	var same, diff float64
+	var nSame, nDiff int
+	for a := 0; a < m.NumUsers(); a++ {
+		for b := a + 1; b < m.NumUsers(); b++ {
+			s, ok := pcc(a, b)
+			if !ok {
+				continue
+			}
+			if d.UserArchetype[a] == d.UserArchetype[b] {
+				same += s
+				nSame++
+			} else {
+				diff += s
+				nDiff++
+			}
+		}
+	}
+	if nSame == 0 || nDiff == 0 {
+		t.Skip("not enough co-rated pairs")
+	}
+	if same/float64(nSame) <= diff/float64(nDiff)+0.1 {
+		t.Errorf("same-archetype mean PCC %.3f not clearly above cross-archetype %.3f",
+			same/float64(nSame), diff/float64(nDiff))
+	}
+}
+
+// TestStyleDiversityExists verifies user mean ratings vary (the rating
+// style diversity that smoothing removes).
+func TestStyleDiversityExists(t *testing.T) {
+	d := MustGenerate(DefaultConfig())
+	m := d.Matrix
+	var lo, hi float64 = 5, 1
+	for u := 0; u < m.NumUsers(); u++ {
+		mu := m.UserMean(u)
+		if mu < lo {
+			lo = mu
+		}
+		if mu > hi {
+			hi = mu
+		}
+	}
+	if hi-lo < 0.8 {
+		t.Errorf("user mean range %.2f too narrow for style diversity", hi-lo)
+	}
+}
+
+// TestPopularitySkew verifies a long-tail item distribution: the top
+// decile of items receives several times the ratings of the bottom decile.
+func TestPopularitySkew(t *testing.T) {
+	d := MustGenerate(DefaultConfig())
+	m := d.Matrix
+	counts := make([]int, m.NumItems())
+	for i := range counts {
+		counts[i] = len(m.ItemRatings(i))
+	}
+	sort.Ints(counts)
+	dec := len(counts) / 10
+	var top, bottom int
+	for i := 0; i < dec; i++ {
+		bottom += counts[i]
+		top += counts[len(counts)-1-i]
+	}
+	if bottom == 0 || float64(top)/float64(bottom) < 3 {
+		t.Errorf("popularity skew top/bottom decile = %d/%d, want >= 3x", top, bottom)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := MustGenerate(smallConfig())
+	path := t.TempDir() + "/u.data"
+	if err := ratings.WriteUDataFile(path, d.Matrix); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ratings.ReadUDataFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRatings() != d.Matrix.NumRatings() {
+		t.Errorf("round trip ratings %d, want %d", back.NumRatings(), d.Matrix.NumRatings())
+	}
+}
