@@ -1,18 +1,28 @@
-// cfsf-server is a minimal JSON-over-HTTP recommendation service built on
-// the public API; the handlers live in internal/server. The expensive
+// cfsf-server is a JSON-over-HTTP recommendation service built on the
+// public API; the handlers live in internal/server. The expensive
 // offline phase runs once at startup, the cheap online phase serves every
-// request from the immutable model.
+// request from the immutable model; /metrics exposes per-endpoint
+// counts and latency percentiles so the online cost is measurable.
 //
 // Usage:
 //
 //	cfsf-server -addr :8080 -data u.data
 //	cfsf-server -model model.gob            # load a saved model instead
+//	cfsf-server -debug                      # also mount /debug/pprof
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: in-flight
+// requests get -shutdown-timeout to finish before the listener closes.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cfsf"
@@ -29,6 +39,16 @@ func main() {
 		data      = flag.String("data", "", "u.data path, or empty/synth for the built-in dataset")
 		modelPath = flag.String("model", "", "load a model saved with `cfsf save` instead of training")
 		seed      = flag.Int64("seed", 1, "synthetic dataset seed")
+
+		debug           = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+		growthMargin    = flag.Int("growth-margin", 1, "how far past current matrix bounds a /rate id may grow the model")
+		maxBody         = flag.Int64("max-body", 1<<20, "request body size limit in bytes for /rate and /predict/batch")
+		maxBatch        = flag.Int("max-batch", 1024, "maximum pairs per /predict/batch request")
+		readTimeout     = flag.Duration("read-timeout", 10*time.Second, "http.Server ReadTimeout")
+		writeTimeout    = flag.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout (raise when profiling via /debug/pprof/profile)")
+		idleTimeout     = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout")
+		maxHeaderBytes  = flag.Int("max-header-bytes", 1<<20, "http.Server MaxHeaderBytes")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 15*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -68,6 +88,43 @@ func main() {
 			time.Since(t).Round(time.Millisecond), m.NumUsers(), m.NumItems())
 	}
 
-	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.New(model, titles).Handler()))
+	srv := server.NewWithOptions(model, titles, server.Options{
+		GrowthMargin: *growthMargin,
+		MaxBodyBytes: *maxBody,
+		MaxBatch:     *maxBatch,
+		Debug:        *debug,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (debug=%v)", *addr, *debug)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills immediately
+		log.Printf("signal received, draining for up to %v", *shutdownTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+		log.Printf("shutdown complete")
+	}
 }

@@ -120,7 +120,10 @@ func (c Config) Validate() error {
 }
 
 // TrainStats reports what the offline phase built and how long each step
-// took.
+// took. For a model produced by WithUpdates the durations measure the
+// incremental refresh, Incremental is true, and UpdatesApplied counts
+// the ratings folded in — so a serving layer can surface how much
+// cheaper each refresh was than the full train.
 type TrainStats struct {
 	GISDuration      time.Duration
 	ClusterDuration  time.Duration
@@ -130,6 +133,12 @@ type TrainStats struct {
 	GISNeighbors     int // stored (item, neighbour) pairs
 	ClusterIters     int
 	ClusterInertia   float64
+	// Incremental is true when the stats describe a WithUpdates refresh
+	// rather than a full Train.
+	Incremental bool
+	// UpdatesApplied is the number of RatingUpdates folded in by the
+	// refresh (0 for a full Train).
+	UpdatesApplied int
 }
 
 // Model is a trained CFSF model.

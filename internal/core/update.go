@@ -11,7 +11,12 @@ import (
 
 // RatingUpdate is one new or revised rating fed to WithUpdates. User and
 // Item ids one past the current bounds grow the matrix (a new user or a
-// new catalogue item).
+// new catalogue item). WithUpdates itself accepts any non-negative id —
+// an id far past the bounds allocates every row up to it — so callers
+// exposed to untrusted input (internal/server) must enforce a growth
+// margin: reject ids at or beyond current bounds + margin before calling
+// WithUpdates. The serving default margin of 1 admits exactly the next
+// fresh user/item id.
 type RatingUpdate struct {
 	User  int
 	Item  int
@@ -127,6 +132,8 @@ func (mod *Model) WithUpdates(updates []RatingUpdate) (*Model, error) {
 	next.stats.IClusterDuration = time.Since(t)
 
 	next.neighborCache = make([]atomic.Pointer[[]likeMinded], m.NumUsers())
+	next.stats.Incremental = true
+	next.stats.UpdatesApplied = len(updates)
 	next.stats.TotalDuration = time.Since(start)
 	return next, nil
 }

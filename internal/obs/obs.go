@@ -1,0 +1,263 @@
+// Package obs is a dependency-free metrics toolkit for the serving path:
+// atomic counters, float gauges, and fixed-bucket histograms with
+// quantile summaries, collected in a named Registry that snapshots to
+// plain JSON-able values. It exists so cmd/cfsf-server can report
+// per-endpoint request counts and latency percentiles — the paper's
+// "efficient" claim is about online-phase cost, and this is how we
+// measure it under real traffic.
+//
+// All metric types are safe for concurrent use and never allocate on the
+// hot path (Observe/Inc/Add are a handful of atomic ops).
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the value to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float metric that can go up and down (in-flight requests,
+// last train duration, ...).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the gauge (CAS loop, safe under contention).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefaultLatencyBuckets are histogram upper bounds in milliseconds,
+// spanning 50µs to 10s — wide enough for a cache-hit prediction and a
+// full incremental refresh alike.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+}
+
+// Histogram counts observations into fixed buckets and estimates
+// quantiles by linear interpolation inside the matched bucket. The unit
+// is whatever the caller observes (the server records milliseconds).
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; one overflow bucket past the last
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	maxBits atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds; nil or empty bounds fall back to DefaultLatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets()
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v; len(bounds) = overflow
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) && old != 0 {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot summarises the histogram. Concurrent Observe calls may tear
+// between count and buckets by a few observations; the summary is for
+// dashboards, not accounting.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	s.Max = math.Float64frombits(h.maxBits.Load())
+	if s.Count > 0 {
+		s.Mean = s.Sum / float64(s.Count)
+	}
+	buckets := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		buckets[i] = h.counts[i].Load()
+		total += buckets[i]
+	}
+	s.P50 = h.quantile(buckets, total, 0.50)
+	s.P95 = h.quantile(buckets, total, 0.95)
+	s.P99 = h.quantile(buckets, total, 0.99)
+	return s
+}
+
+// quantile estimates the q-quantile from bucket counts by locating the
+// bucket holding the target rank and interpolating linearly inside it.
+// The overflow bucket interpolates toward the observed max.
+func (h *Histogram) quantile(buckets []int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for i, c := range buckets {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < target {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		max := math.Float64frombits(h.maxBits.Load())
+		hi := max
+		if i < len(h.bounds) {
+			hi = h.bounds[i]
+		}
+		if hi < lo {
+			hi = lo
+		}
+		est := lo + (hi-lo)*(target-prev)/float64(c)
+		// Interpolation runs to the bucket's upper bound; never report a
+		// quantile above the slowest observation actually seen.
+		if max > 0 && est > max {
+			est = max
+		}
+		return est
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Registry is a named collection of metrics with get-or-create
+// semantics; lookups take a mutex, so callers on hot paths should hold
+// the returned metric rather than re-resolving it per request.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter with the given name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it with
+// the given bounds if needed (bounds are ignored on later lookups).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every metric's current value in a JSON-marshalable
+// shape: {"counters": {name: int}, "gauges": {name: float},
+// "histograms": {name: HistogramSnapshot}}.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]HistogramSnapshot, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h.Snapshot()
+	}
+	return map[string]any{"counters": counters, "gauges": gauges, "histograms": hists}
+}

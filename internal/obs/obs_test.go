@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(1.5)
+	g.Add(-4)
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %g, want 0", got)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge after balanced adds = %g, want 0", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if math.Abs(s.Sum-5050) > 1e-9 {
+		t.Errorf("sum = %g, want 5050", s.Sum)
+	}
+	if s.Max != 100 {
+		t.Errorf("max = %g, want 100", s.Max)
+	}
+	// Uniform 1..100 over decade buckets: the quantile estimate must land
+	// within one bucket width of the true value.
+	for _, tc := range []struct{ got, want float64 }{
+		{s.P50, 50}, {s.P95, 95}, {s.P99, 99},
+	} {
+		if math.Abs(tc.got-tc.want) > 10 {
+			t.Errorf("quantile = %g, want within 10 of %g", tc.got, tc.want)
+		}
+	}
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99) {
+		t.Errorf("quantiles not monotonic: %g %g %g", s.P50, s.P95, s.P99)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(50)
+	h.Observe(100)
+	s := h.Snapshot()
+	if s.Max != 100 {
+		t.Errorf("max = %g, want 100", s.Max)
+	}
+	if s.P99 < 2 || s.P99 > 100 {
+		t.Errorf("overflow p99 = %g, want in (2, 100]", s.P99)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(nil)
+	s := h.Snapshot()
+	if s.Count != 0 || s.P50 != 0 || s.P99 != 0 || s.Mean != 0 {
+		t.Errorf("empty snapshot not zero: %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(float64(i % 97))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 4000 {
+		t.Errorf("count = %d, want 4000", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("same counter name returned different instances")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("same gauge name returned different instances")
+	}
+	if r.Histogram("h", nil) != r.Histogram("h", []float64{1}) {
+		t.Error("same histogram name returned different instances")
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests").Add(3)
+	r.Gauge("in_flight").Set(1)
+	r.Histogram("latency_ms", nil).Observe(4.2)
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatalf("snapshot not JSON-marshalable: %v", err)
+	}
+	var back struct {
+		Counters   map[string]int64             `json:"counters"`
+		Gauges     map[string]float64           `json:"gauges"`
+		Histograms map[string]HistogramSnapshot `json:"histograms"`
+	}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["requests"] != 3 {
+		t.Errorf("requests = %d, want 3", back.Counters["requests"])
+	}
+	if back.Gauges["in_flight"] != 1 {
+		t.Errorf("in_flight = %g, want 1", back.Gauges["in_flight"])
+	}
+	if back.Histograms["latency_ms"].Count != 1 {
+		t.Errorf("latency count = %d, want 1", back.Histograms["latency_ms"].Count)
+	}
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"cfsf/internal/obs"
+)
+
+// endpointMetrics holds the per-endpoint instruments; they are created
+// once when the route is registered so the request path never touches
+// the registry mutex.
+type endpointMetrics struct {
+	requests *obs.Counter
+	classes  [6]*obs.Counter // index = status/100 (1xx..5xx; 0 unused)
+	inFlight *obs.Gauge
+	latency  *obs.Histogram
+}
+
+func newEndpointMetrics(reg *obs.Registry, endpoint string) *endpointMetrics {
+	em := &endpointMetrics{
+		requests: reg.Counter("http_requests_total:" + endpoint),
+		inFlight: reg.Gauge("http_in_flight:" + endpoint),
+		latency:  reg.Histogram("http_latency_ms:"+endpoint, obs.DefaultLatencyBuckets()),
+	}
+	for c := 1; c <= 5; c++ {
+		em.classes[c] = reg.Counter("http_requests_total:" + endpoint + ":" + statusClassName(c))
+	}
+	return em
+}
+
+func statusClassName(c int) string {
+	return string('0'+byte(c)) + "xx"
+}
+
+// statusWriter captures the status code a handler wrote (200 when the
+// handler never calls WriteHeader explicitly).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler so every request records count, status
+// class, in-flight gauge, and latency under the endpoint's name.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	em := newEndpointMetrics(s.reg, endpoint)
+	s.epMu.Lock()
+	s.endpoints[endpoint] = em
+	s.epMu.Unlock()
+	return func(w http.ResponseWriter, r *http.Request) {
+		em.inFlight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+		em.inFlight.Add(-1)
+		em.requests.Inc()
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if c := status / 100; c >= 1 && c <= 5 {
+			em.classes[c].Inc()
+		}
+		em.latency.Observe(elapsed)
+	}
+}
+
+// endpointsView renders the per-endpoint metrics as the structured
+// "endpoints" section of GET /metrics.
+func (s *Server) endpointsView() map[string]any {
+	s.epMu.Lock()
+	defer s.epMu.Unlock()
+	out := make(map[string]any, len(s.endpoints))
+	for name, em := range s.endpoints {
+		statuses := map[string]int64{}
+		for c := 1; c <= 5; c++ {
+			if n := em.classes[c].Value(); n > 0 {
+				statuses[statusClassName(c)] = n
+			}
+		}
+		out[name] = map[string]any{
+			"requests":   em.requests.Value(),
+			"status":     statuses,
+			"in_flight":  em.inFlight.Value(),
+			"latency_ms": em.latency.Snapshot(),
+		}
+	}
+	return out
+}

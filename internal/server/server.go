@@ -8,24 +8,75 @@
 // Endpoints:
 //
 //	GET  /healthz                 -> {"status":"ok"}
-//	GET  /stats                   -> dataset and model statistics
+//	GET  /stats                   -> dataset, model, and train-phase statistics
+//	GET  /metrics                 -> per-endpoint request counts + latency
+//	                                 percentiles, model gauges (JSON)
 //	GET  /predict?user=U&item=I   -> fused prediction with components
+//	POST /predict/batch           -> {"pairs":[{"user":U,"item":I},...]}
+//	                                 parallel fan-out prediction
 //	GET  /recommend?user=U&n=N    -> top-N items for the user
 //	POST /rate                    -> {"user":U,"item":I,"rating":R} applies
 //	                                 an incremental model refresh
+//
+// Every handler is wrapped in middleware that records request count,
+// status class, in-flight gauge, and a latency histogram per endpoint
+// (internal/obs); Options.Debug additionally mounts net/http/pprof
+// under /debug/pprof/.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cfsf/internal/core"
+	"cfsf/internal/obs"
 )
+
+// Options tunes the request-safety limits of the server. The zero value
+// selects the defaults noted on each field.
+type Options struct {
+	// GrowthMargin is how far past the current matrix bounds a /rate id
+	// may grow the matrix: an update with User >= NumUsers+GrowthMargin
+	// (or likewise for items) is rejected with 400 instead of
+	// allocating. <= 0 means 1 — only the next fresh user/item id is
+	// accepted, matching the RatingUpdate contract.
+	GrowthMargin int
+	// MaxBodyBytes caps request bodies (http.MaxBytesReader) on /rate
+	// and /predict/batch. <= 0 means 1 MiB.
+	MaxBodyBytes int64
+	// MaxBatch caps the number of pairs in one /predict/batch call.
+	// <= 0 means 1024.
+	MaxBatch int
+	// Debug mounts net/http/pprof under /debug/pprof/.
+	Debug bool
+	// Registry receives the server's metrics; one is created when nil.
+	Registry *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.GrowthMargin <= 0 {
+		o.GrowthMargin = 1
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1024
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	return o
+}
 
 // Server serves a CFSF model. Reads go through an atomic pointer so
 // predictions never block; writes (incoming ratings) refresh the model
@@ -34,31 +85,113 @@ type Server struct {
 	model  atomic.Pointer[core.Model]
 	mu     sync.Mutex // serialises /rate refreshes
 	titles []string   // optional item display names
+	opts   Options
+	reg    *obs.Registry
+	start  time.Time
+
+	epMu      sync.Mutex
+	endpoints map[string]*endpointMetrics
 }
 
-// New returns a Server for the model; titles may be nil.
+// New returns a Server for the model with default Options; titles may be
+// nil.
 func New(model *core.Model, titles []string) *Server {
-	s := &Server{titles: titles}
+	return NewWithOptions(model, titles, Options{})
+}
+
+// NewWithOptions returns a Server with explicit request-safety limits.
+func NewWithOptions(model *core.Model, titles []string, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		titles:    titles,
+		opts:      opts,
+		reg:       opts.Registry,
+		start:     time.Now(),
+		endpoints: map[string]*endpointMetrics{},
+	}
 	s.model.Store(model)
+	s.recordModelGauges(model)
 	return s
 }
 
 // Model returns the currently served model.
 func (s *Server) Model() *core.Model { return s.model.Load() }
 
-// Handler returns the routed HTTP handler.
+// Registry returns the metrics registry backing GET /metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Handler returns the routed HTTP handler with every endpoint
+// instrumented.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /predict", s.handlePredict)
-	mux.HandleFunc("GET /recommend", s.handleRecommend)
-	mux.HandleFunc("POST /rate", s.handleRate)
+	mux.HandleFunc("GET /healthz", s.instrument("GET /healthz", s.handleHealth))
+	mux.HandleFunc("GET /stats", s.instrument("GET /stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", s.instrument("GET /metrics", s.handleMetrics))
+	mux.HandleFunc("GET /predict", s.instrument("GET /predict", s.handlePredict))
+	mux.HandleFunc("POST /predict/batch", s.instrument("POST /predict/batch", s.handlePredictBatch))
+	mux.HandleFunc("GET /recommend", s.instrument("GET /recommend", s.handleRecommend))
+	mux.HandleFunc("POST /rate", s.instrument("POST /rate", s.handleRate))
+	if s.opts.Debug {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
+// recordModelGauges publishes the served model's dimensions and
+// train-phase timings into the registry so /metrics tracks every swap.
+func (s *Server) recordModelGauges(mod *core.Model) {
+	m := mod.Matrix()
+	st := mod.Stats()
+	s.reg.Gauge("model_users").Set(float64(m.NumUsers()))
+	s.reg.Gauge("model_items").Set(float64(m.NumItems()))
+	s.reg.Gauge("model_ratings").Set(float64(m.NumRatings()))
+	s.reg.Gauge("model_train_gis_ms").Set(durMS(st.GISDuration))
+	s.reg.Gauge("model_train_cluster_ms").Set(durMS(st.ClusterDuration))
+	s.reg.Gauge("model_train_smooth_ms").Set(durMS(st.SmoothDuration))
+	s.reg.Gauge("model_train_icluster_ms").Set(durMS(st.IClusterDuration))
+	s.reg.Gauge("model_train_total_ms").Set(durMS(st.TotalDuration))
+	incremental := 0.0
+	if st.Incremental {
+		incremental = 1
+	}
+	s.reg.Gauge("model_incremental").Set(incremental)
+}
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// decodeJSON decodes a single JSON document from the (size-limited)
+// request body, rejecting bodies over maxBytes and trailing garbage
+// after the document.
+func decodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return errBodyTooLarge
+		}
+		return fmt.Errorf("decode body: %v", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return errBodyTooLarge
+		}
+		return fmt.Errorf("trailing data after JSON document")
+	}
+	return nil
+}
+
+var errBodyTooLarge = errors.New("request body too large")
+
 // handleRate folds one rating into the model via the incremental
-// refresh and swaps the served model.
+// refresh and swaps the served model. Validation runs under the same
+// lock as the update so a concurrent swap can never change the model
+// between the two.
 func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		User   int     `json:"user"`
@@ -66,25 +199,36 @@ func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
 		Rating float64 `json:"rating"`
 		Time   int64   `json:"time,omitempty"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %v", err))
+	if err := decodeJSON(w, r, s.opts.MaxBodyBytes, &req); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errBodyTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, err)
 		return
 	}
-	cur := s.model.Load()
-	m := cur.Matrix()
 	if req.User < 0 || req.Item < 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("negative id"))
-		return
-	}
-	if req.Rating < m.MinRating() || req.Rating > m.MaxRating() {
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("rating %g outside scale %g..%g", req.Rating, m.MinRating(), m.MaxRating()))
 		return
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	next, err := s.model.Load().WithUpdates([]core.RatingUpdate{{
+	cur := s.model.Load()
+	m := cur.Matrix()
+	if req.Rating < m.MinRating() || req.Rating > m.MaxRating() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("rating %g outside scale %g..%g", req.Rating, m.MinRating(), m.MaxRating()))
+		return
+	}
+	margin := s.opts.GrowthMargin
+	if req.User >= m.NumUsers()+margin || req.Item >= m.NumItems()+margin {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("id (%d,%d) more than %d past current bounds %d×%d",
+				req.User, req.Item, margin, m.NumUsers(), m.NumItems()))
+		return
+	}
+	next, err := cur.WithUpdates([]core.RatingUpdate{{
 		User: req.User, Item: req.Item, Value: req.Rating, Time: req.Time,
 	}})
 	if err != nil {
@@ -92,6 +236,8 @@ func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.model.Store(next)
+	s.recordModelGauges(next)
+	s.reg.Counter("rate_applied_total").Inc()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "applied",
 		"users":   next.Matrix().NumUsers(),
@@ -110,17 +256,36 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := mod.Stats()
 	cfg := mod.Config()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"users":          m.NumUsers(),
-		"items":          m.NumItems(),
-		"ratings":        m.NumRatings(),
-		"density":        m.Density(),
-		"gis_neighbors":  st.GISNeighbors,
-		"cluster_iters":  st.ClusterIters,
-		"train_total_ms": st.TotalDuration.Milliseconds(),
+		"users":         m.NumUsers(),
+		"items":         m.NumItems(),
+		"ratings":       m.NumRatings(),
+		"density":       m.Density(),
+		"gis_neighbors": st.GISNeighbors,
+		"cluster_iters": st.ClusterIters,
+		"train_ms": map[string]any{
+			"gis":      durMS(st.GISDuration),
+			"cluster":  durMS(st.ClusterDuration),
+			"smooth":   durMS(st.SmoothDuration),
+			"icluster": durMS(st.IClusterDuration),
+			"total":    durMS(st.TotalDuration),
+		},
+		"train_total_ms":  st.TotalDuration.Milliseconds(),
+		"incremental":     st.Incremental,
+		"updates_applied": st.UpdatesApplied,
 		"config": map[string]any{
 			"M": cfg.M, "K": cfg.K, "C": cfg.Clusters,
 			"lambda": cfg.Lambda, "delta": cfg.Delta, "epsilon": cfg.OriginalWeight,
 		},
+	})
+}
+
+// handleMetrics reports the per-endpoint view plus the raw registry
+// snapshot (which includes the model gauges refreshed on every swap).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"endpoints":      s.endpointsView(),
+		"registry":       s.reg.Snapshot(),
 	})
 }
 
@@ -154,6 +319,56 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		resp["title"] = s.titles[item]
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePredictBatch predicts every pair of the request in one parallel
+// fan-out (Model.PredictBatch over internal/parallel). Out-of-bounds
+// pairs fall back to the cold-start chain rather than failing the batch,
+// exactly as single predictions outside the matrix would.
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Pairs []struct {
+			User int `json:"user"`
+			Item int `json:"item"`
+		} `json:"pairs"`
+	}
+	if err := decodeJSON(w, r, s.opts.MaxBodyBytes, &req); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errBodyTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, err)
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if len(req.Pairs) > s.opts.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch size %d exceeds limit %d", len(req.Pairs), s.opts.MaxBatch))
+		return
+	}
+	pairs := make([]core.Pair, len(req.Pairs))
+	for i, p := range req.Pairs {
+		pairs[i] = core.Pair{User: p.User, Item: p.Item}
+	}
+	mod := s.model.Load()
+	t := time.Now()
+	values := mod.PredictBatch(pairs)
+	elapsed := time.Since(t)
+	preds := make([]map[string]any, len(pairs))
+	for i, p := range pairs {
+		preds[i] = map[string]any{
+			"user": p.User, "item": p.Item, "prediction": round3(values[i]),
+		}
+	}
+	s.reg.Counter("batch_pairs_total").Add(int64(len(pairs)))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":       len(preds),
+		"elapsed_ms":  durMS(elapsed),
+		"predictions": preds,
+	})
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {

@@ -246,3 +246,293 @@ func TestRateValidation(t *testing.T) {
 		}
 	}
 }
+
+// trainSmallModel trains a compact model for tests that need a private
+// server (so mutations or custom Options never leak into testSrv).
+func trainSmallModel(t *testing.T) *core.Model {
+	t.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.Users = 40
+	cfg.Items = 50
+	cfg.MinPerUser = 8
+	cfg.MeanPerUser = 12
+	cfg.Archetypes = 4
+	d := synth.MustGenerate(cfg)
+	mcfg := core.DefaultConfig()
+	mcfg.M = 8
+	mcfg.K = 4
+	mcfg.Clusters = 4
+	mod, err := core.Train(d.Matrix, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func post(t *testing.T, url, payload string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestMetricsEndToEnd drives traffic through /predict and then checks
+// that GET /metrics reports per-endpoint counts, status classes, and
+// latency percentiles for it.
+func TestMetricsEndToEnd(t *testing.T) {
+	const hits = 5
+	for i := 0; i < hits; i++ {
+		if code, _ := get(t, fmt.Sprintf("/predict?user=%d&item=%d", i%10, i%20)); code != http.StatusOK {
+			t.Fatalf("predict warmup = %d", code)
+		}
+	}
+	get(t, "/predict?user=999999&item=1") // one 404 for the status map
+
+	code, body := get(t, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	endpoints, ok := body["endpoints"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics missing endpoints section: %v", body)
+	}
+	ep, ok := endpoints["GET /predict"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics missing GET /predict endpoint: %v", endpoints)
+	}
+	if n := ep["requests"].(float64); n < hits+1 {
+		t.Errorf("GET /predict requests = %g, want >= %d", n, hits+1)
+	}
+	statuses := ep["status"].(map[string]any)
+	if statuses["2xx"].(float64) < hits {
+		t.Errorf("2xx count = %v, want >= %d", statuses["2xx"], hits)
+	}
+	if statuses["4xx"].(float64) < 1 {
+		t.Errorf("4xx count = %v, want >= 1", statuses["4xx"])
+	}
+	lat := ep["latency_ms"].(map[string]any)
+	for _, q := range []string{"p50", "p95", "p99", "count", "max"} {
+		if _, ok := lat[q]; !ok {
+			t.Errorf("latency_ms missing %q: %v", q, lat)
+		}
+	}
+	if lat["count"].(float64) < hits {
+		t.Errorf("latency count = %v, want >= %d", lat["count"], hits)
+	}
+	if !(lat["p50"].(float64) <= lat["p95"].(float64) && lat["p95"].(float64) <= lat["p99"].(float64)) {
+		t.Errorf("percentiles not monotonic: %v", lat)
+	}
+	if _, ok := ep["in_flight"]; !ok {
+		t.Error("endpoint metrics missing in_flight gauge")
+	}
+	reg, ok := body["registry"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics missing registry snapshot: %v", body)
+	}
+	gauges := reg["gauges"].(map[string]any)
+	for _, g := range []string{"model_users", "model_train_total_ms", "model_train_gis_ms", "model_incremental"} {
+		if _, ok := gauges[g]; !ok {
+			t.Errorf("registry missing gauge %q", g)
+		}
+	}
+}
+
+func TestStatsTrainPhaseTimings(t *testing.T) {
+	code, body := get(t, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	trainMS, ok := body["train_ms"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing train_ms: %v", body)
+	}
+	for _, phase := range []string{"gis", "cluster", "smooth", "icluster", "total"} {
+		if _, ok := trainMS[phase]; !ok {
+			t.Errorf("train_ms missing phase %q", phase)
+		}
+	}
+	if body["incremental"] != false {
+		t.Errorf("freshly trained model reported incremental=%v", body["incremental"])
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	code, body := post(t, testSrv.URL+"/predict/batch",
+		`{"pairs":[{"user":1,"item":2},{"user":3,"item":7},{"user":0,"item":0}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch = %d %v", code, body)
+	}
+	if body["count"].(float64) != 3 {
+		t.Errorf("count = %v, want 3", body["count"])
+	}
+	preds := body["predictions"].([]any)
+	if len(preds) != 3 {
+		t.Fatalf("got %d predictions, want 3", len(preds))
+	}
+	first := preds[0].(map[string]any)
+	if first["user"].(float64) != 1 || first["item"].(float64) != 2 {
+		t.Errorf("predictions not in input order: %v", first)
+	}
+	for _, p := range preds {
+		v := p.(map[string]any)["prediction"].(float64)
+		if v < 1 || v > 5 {
+			t.Errorf("prediction %g out of scale", v)
+		}
+	}
+	if _, ok := body["elapsed_ms"]; !ok {
+		t.Error("batch response missing elapsed_ms")
+	}
+}
+
+func TestPredictBatchValidation(t *testing.T) {
+	srv := NewWithOptions(trainSmallModel(t), nil, Options{MaxBatch: 4, MaxBodyBytes: 512})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	big := `{"pairs":[` + strings.Repeat(`{"user":1,"item":1},`, 4) + `{"user":1,"item":1}]}`
+	cases := []struct {
+		name    string
+		payload string
+		code    int
+	}{
+		{"not json", `pairs please`, http.StatusBadRequest},
+		{"empty batch", `{"pairs":[]}`, http.StatusBadRequest},
+		{"missing pairs", `{}`, http.StatusBadRequest},
+		{"oversized batch", big, http.StatusBadRequest},
+		{"trailing garbage", `{"pairs":[{"user":1,"item":1}]} extra`, http.StatusBadRequest},
+		{"second document", `{"pairs":[{"user":1,"item":1}]}{"pairs":[]}`, http.StatusBadRequest},
+		{"oversize body", `{"pairs":[` + strings.Repeat(`{"user":11,"item":11},`, 30) + `{"user":1,"item":1}]}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, c := range cases {
+		code, body := post(t, ts.URL+"/predict/batch", c.payload)
+		if code != c.code {
+			t.Errorf("%s = %d, want %d (%v)", c.name, code, c.code, body)
+		}
+		if _, ok := body["error"]; !ok {
+			t.Errorf("%s: missing error field", c.name)
+		}
+	}
+}
+
+func TestRateBodyLimits(t *testing.T) {
+	srv := NewWithOptions(trainSmallModel(t), nil, Options{MaxBodyBytes: 64})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name    string
+		payload string
+		code    int
+	}{
+		{"oversize body", `{"user":1,"item":1,"rating":3,"pad":"` + strings.Repeat("x", 100) + `"}`, http.StatusRequestEntityTooLarge},
+		{"trailing garbage", `{"user":1,"item":1,"rating":3}garbage`, http.StatusBadRequest},
+		{"second document", `{"user":1,"item":1,"rating":3}{}`, http.StatusBadRequest},
+	}
+	before := srv.Model().Matrix().NumRatings()
+	for _, c := range cases {
+		code, body := post(t, ts.URL+"/rate", c.payload)
+		if code != c.code {
+			t.Errorf("%s = %d, want %d (%v)", c.name, code, c.code, body)
+		}
+	}
+	if after := srv.Model().Matrix().NumRatings(); after != before {
+		t.Errorf("rejected bodies changed the model: %d -> %d ratings", before, after)
+	}
+}
+
+// TestRateGrowthMargin is the allocation-bomb regression test: an id far
+// past the matrix bounds must return 400, not allocate a 2-billion-row
+// matrix.
+func TestRateGrowthMargin(t *testing.T) {
+	srv := New(trainSmallModel(t), nil) // default margin 1, 40×50 matrix
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, c := range []struct {
+		name    string
+		payload string
+		code    int
+	}{
+		{"huge user id", `{"user":2000000000,"item":3,"rating":4}`, http.StatusBadRequest},
+		{"huge item id", `{"user":3,"item":2000000000,"rating":4}`, http.StatusBadRequest},
+		{"user just past margin", `{"user":41,"item":3,"rating":4}`, http.StatusBadRequest},
+		{"item just past margin", `{"user":3,"item":51,"rating":4}`, http.StatusBadRequest},
+		{"next fresh user", `{"user":40,"item":3,"rating":4}`, http.StatusOK},
+	} {
+		code, body := post(t, ts.URL+"/rate", c.payload)
+		if code != c.code {
+			t.Errorf("%s = %d, want %d (%v)", c.name, code, c.code, body)
+		}
+	}
+	// The accepted update grew the matrix by exactly one user.
+	if got := srv.Model().Matrix().NumUsers(); got != 41 {
+		t.Errorf("users = %d, want 41", got)
+	}
+
+	wide := NewWithOptions(trainSmallModel(t), nil, Options{GrowthMargin: 100})
+	tw := httptest.NewServer(wide.Handler())
+	defer tw.Close()
+	if code, body := post(t, tw.URL+"/rate", `{"user":120,"item":3,"rating":4}`); code != http.StatusOK {
+		t.Errorf("margin 100, user 120 = %d, want 200 (%v)", code, body)
+	}
+	if code, _ := post(t, tw.URL+"/rate", `{"user":300,"item":3,"rating":4}`); code != http.StatusBadRequest {
+		t.Errorf("margin 100, user 300 = %d, want 400", code)
+	}
+}
+
+func TestRateMarksModelIncremental(t *testing.T) {
+	srv := New(trainSmallModel(t), nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if code, body := post(t, ts.URL+"/rate", `{"user":1,"item":2,"rating":4}`); code != http.StatusOK {
+		t.Fatalf("rate = %d %v", code, body)
+	}
+	st := srv.Model().Stats()
+	if !st.Incremental || st.UpdatesApplied != 1 {
+		t.Errorf("stats after rate: incremental=%v updates=%d, want true/1", st.Incremental, st.UpdatesApplied)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["incremental"] != true {
+		t.Errorf("/stats incremental = %v, want true", body["incremental"])
+	}
+}
+
+func TestDebugPprofGating(t *testing.T) {
+	mod := trainSmallModel(t)
+	plain := httptest.NewServer(New(mod, nil).Handler())
+	defer plain.Close()
+	resp, err := http.Get(plain.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("pprof reachable without Debug option")
+	}
+
+	dbg := httptest.NewServer(NewWithOptions(mod, nil, Options{Debug: true}).Handler())
+	defer dbg.Close()
+	resp, err = http.Get(dbg.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof with Debug = %d, want 200", resp.StatusCode)
+	}
+}
