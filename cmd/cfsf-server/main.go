@@ -8,10 +8,20 @@
 //
 //	cfsf-server -addr :8080 -data u.data
 //	cfsf-server -model model.gob            # load a saved model instead
+//	cfsf-server -data-dir ./cfsf-data       # durable mode: WAL + snapshots
 //	cfsf-server -debug                      # also mount /debug/pprof
 //
+// With -data-dir the server becomes crash-safe and stateful: every /rate
+// is journaled to a write-ahead log before it is acknowledged, applied
+// to the model in micro-batches, and captured by rotating snapshots; a
+// restart loads the newest snapshot and replays the WAL tail, so a
+// SIGKILL loses nothing (see the README's "Durability & operations").
+// The offline phase then only runs on the very first boot — later boots
+// recover from the snapshot.
+//
 // The process shuts down gracefully on SIGINT/SIGTERM: in-flight
-// requests get -shutdown-timeout to finish before the listener closes.
+// requests get -shutdown-timeout to finish before the listener closes,
+// and in durable mode the queue is drained and a final snapshot written.
 package main
 
 import (
@@ -27,7 +37,10 @@ import (
 
 	"cfsf"
 	"cfsf/internal/core"
+	"cfsf/internal/lifecycle"
+	"cfsf/internal/obs"
 	"cfsf/internal/server"
+	"cfsf/internal/wal"
 )
 
 func main() {
@@ -39,6 +52,17 @@ func main() {
 		data      = flag.String("data", "", "u.data path, or empty/synth for the built-in dataset")
 		modelPath = flag.String("model", "", "load a model saved with `cfsf save` instead of training")
 		seed      = flag.Int64("seed", 1, "synthetic dataset seed")
+
+		dataDir       = flag.String("data-dir", "", "durability root (WAL + snapshots); empty disables the lifecycle manager")
+		fsync         = flag.String("fsync", "always", "WAL fsync policy: always, interval, or never")
+		fsyncInterval = flag.Duration("fsync-interval", 100*time.Millisecond, "flush cadence under -fsync interval")
+		segmentBytes  = flag.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation size")
+		batchMax      = flag.Int("batch-max", 256, "max ratings folded into one micro-batched model refresh")
+		batchWait     = flag.Duration("batch-wait", 0, "extra coalescing delay before each micro-batch (0 = greedy)")
+		queueCap      = flag.Int("queue-cap", 4096, "max journaled-but-unapplied ratings before /rate sheds load (503)")
+		snapshotEvery = flag.Duration("snapshot-every", 10*time.Minute, "background snapshot cadence (0 disables)")
+		snapshotKeep  = flag.Int("snapshot-keep", 2, "how many snapshot files to retain")
+		retrainAfter  = flag.Int("retrain-after", 0, "full background retrain after this many applied ratings (0 disables)")
 
 		debug           = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 		growthMargin    = flag.Int("growth-margin", 1, "how far past current matrix bounds a /rate id may grow the model")
@@ -52,19 +76,22 @@ func main() {
 	)
 	flag.Parse()
 
-	var model *cfsf.Model
+	// bootstrap produces the base model when no snapshot exists yet (and
+	// is the whole story when -data-dir is off). titles are only known
+	// for the synthetic dataset and only when bootstrap actually ran.
 	var titles []string
-	if *modelPath != "" {
-		t := time.Now()
-		var err error
-		model, err = core.LoadFile(*modelPath)
-		if err != nil {
-			log.Fatalf("load model: %v", err)
+	bootstrap := func() (*core.Model, error) {
+		if *modelPath != "" {
+			t := time.Now()
+			model, err := core.LoadFile(*modelPath)
+			if err != nil {
+				return nil, err
+			}
+			log.Printf("loaded model in %v (%d users × %d items)",
+				time.Since(t).Round(time.Millisecond),
+				model.Matrix().NumUsers(), model.Matrix().NumItems())
+			return model, nil
 		}
-		log.Printf("loaded model in %v (%d users × %d items)",
-			time.Since(t).Round(time.Millisecond),
-			model.Matrix().NumUsers(), model.Matrix().NumItems())
-	} else {
 		var m *cfsf.Matrix
 		if *data == "" || *data == "synth" {
 			cfg := cfsf.DefaultSynthConfig()
@@ -75,17 +102,55 @@ func main() {
 			var err error
 			m, err = cfsf.ReadUDataFile(*data)
 			if err != nil {
-				log.Fatalf("load %s: %v", *data, err)
+				return nil, err
 			}
 		}
 		t := time.Now()
-		var err error
-		model, err = cfsf.Train(m, cfsf.DefaultConfig())
+		model, err := cfsf.Train(m, cfsf.DefaultConfig())
 		if err != nil {
-			log.Fatalf("train: %v", err)
+			return nil, err
 		}
 		log.Printf("offline phase complete in %v (%d users × %d items)",
 			time.Since(t).Round(time.Millisecond), m.NumUsers(), m.NumItems())
+		return model, nil
+	}
+
+	registry := obs.NewRegistry()
+	var mgr *lifecycle.Manager
+	var model *core.Model
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := time.Now()
+		mgr, err = lifecycle.Open(bootstrap, lifecycle.Config{
+			DataDir:       *dataDir,
+			Fsync:         policy,
+			FsyncInterval: *fsyncInterval,
+			SegmentBytes:  *segmentBytes,
+			BatchMaxSize:  *batchMax,
+			BatchMaxWait:  *batchWait,
+			QueueCapacity: *queueCap,
+			SnapshotEvery: *snapshotEvery,
+			SnapshotKeep:  *snapshotKeep,
+			RetrainAfter:  *retrainAfter,
+			Registry:      registry,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("open data dir: %v", err)
+		}
+		bs := mgr.BootStats()
+		log.Printf("durable boot in %v: snapshot=%q replayed=%d record(s) in %d batch(es) torn=%dB (fsync=%s)",
+			time.Since(t).Round(time.Millisecond), bs.SnapshotLoaded, bs.ReplayedRecords,
+			bs.ReplayedBatches, bs.TornBytes, policy)
+	} else {
+		var err error
+		model, err = bootstrap()
+		if err != nil {
+			log.Fatalf("build model: %v", err)
+		}
 	}
 
 	srv := server.NewWithOptions(model, titles, server.Options{
@@ -93,6 +158,8 @@ func main() {
 		MaxBodyBytes: *maxBody,
 		MaxBatch:     *maxBatch,
 		Debug:        *debug,
+		Registry:     registry,
+		Manager:      mgr,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -109,7 +176,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s (debug=%v)", *addr, *debug)
+	log.Printf("listening on %s (debug=%v durable=%v)", *addr, *debug, mgr != nil)
 
 	select {
 	case err := <-errc:
@@ -124,6 +191,12 @@ func main() {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("serve: %v", err)
+		}
+		if mgr != nil {
+			if err := mgr.Close(); err != nil {
+				log.Fatalf("close lifecycle manager: %v", err)
+			}
+			log.Printf("lifecycle manager closed (queue drained, final snapshot written)")
 		}
 		log.Printf("shutdown complete")
 	}

@@ -1,0 +1,829 @@
+// Package lifecycle owns the serving model end to end: it journals every
+// incoming rating to a write-ahead log before acknowledging it, folds
+// queued ratings into the model in micro-batches (one O(nnz)
+// Model.WithUpdates rebuild per batch instead of per request), rotates
+// atomic snapshots so restarts are fast, and schedules the full
+// background retrain that internal/core/update.go's drift caveat asks
+// for ("a long stream of updates slowly degrades the clustering; retrain
+// fully at a cadence").
+//
+// Data-dir layout:
+//
+//	<dir>/wal/seg-<firstSeq>.wal    append-only rating journal (internal/wal)
+//	<dir>/snapshots/snap-<seq>.gob  model snapshots; <seq> is the last
+//	                                rating sequence the snapshot covers
+//
+// Boot loads the newest snapshot (or calls the bootstrap function when
+// none exists), replays the WAL tail past the snapshot's sequence —
+// regrouping ratings into exactly the micro-batches the previous process
+// applied, so the recovered model is bit-for-bit identical — and then
+// writes a fresh snapshot so the next boot replays nothing.
+package lifecycle
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cfsf/internal/core"
+	"cfsf/internal/obs"
+	"cfsf/internal/wal"
+)
+
+// Config tunes a Manager. The zero value of each field selects the
+// default noted on it; DataDir is required.
+type Config struct {
+	// DataDir is the durability root; created if missing.
+	DataDir string
+	// Fsync is the WAL fsync policy (default wal.SyncAlways).
+	Fsync wal.SyncPolicy
+	// FsyncInterval is the background flush cadence under
+	// wal.SyncInterval. <= 0 means 100ms.
+	FsyncInterval time.Duration
+	// SegmentBytes is the WAL segment rotation size (wal.Options).
+	SegmentBytes int64
+
+	// BatchMaxSize caps how many queued ratings one WithUpdates call
+	// folds in. <= 0 means 256.
+	BatchMaxSize int
+	// BatchMaxWait, when > 0, delays each apply by this long so more
+	// ratings coalesce into the batch. The default 0 is greedy: the
+	// apply loop drains whatever is queued the moment it is free, so
+	// batching emerges from backpressure without added latency.
+	BatchMaxWait time.Duration
+	// QueueCapacity bounds the unapplied-rating queue; Submit returns
+	// ErrQueueFull beyond it. <= 0 means 4096.
+	QueueCapacity int
+
+	// SnapshotEvery, when > 0, snapshots the model in the background at
+	// this cadence (skipped when nothing changed since the last one).
+	SnapshotEvery time.Duration
+	// SnapshotKeep is how many snapshot files to retain. <= 0 means 2.
+	SnapshotKeep int
+
+	// RetrainAfter, when > 0, triggers a full background retrain once
+	// this many ratings have been applied since the last full train.
+	RetrainAfter int
+	// TrainConfig, when non-nil, is the configuration for background
+	// retrains; nil reuses the serving model's own configuration.
+	TrainConfig *core.Config
+
+	// Registry receives wal/lifecycle metrics; one is created when nil.
+	Registry *obs.Registry
+	// Logf receives operational messages; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.FsyncInterval <= 0 {
+		c.FsyncInterval = 100 * time.Millisecond
+	}
+	if c.BatchMaxSize <= 0 {
+		c.BatchMaxSize = 256
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 4096
+	}
+	if c.SnapshotKeep <= 0 {
+		c.SnapshotKeep = 2
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// ErrQueueFull is returned by Submit when the unapplied-rating queue is
+// at capacity; callers should shed load (the server maps it to 503).
+var ErrQueueFull = fmt.Errorf("lifecycle: update queue full")
+
+// ErrClosed is returned by Submit after Close or Abort.
+var ErrClosed = fmt.Errorf("lifecycle: manager closed")
+
+// modelState pairs the serving model with the last rating sequence
+// folded into it, swapped atomically so snapshots always pair a model
+// with its exact WAL position.
+type modelState struct {
+	mod *core.Model
+	seq uint64
+}
+
+type pendingUpdate struct {
+	seq uint64
+	u   core.RatingUpdate
+}
+
+// BootStats reports what Open did to reach the serving model.
+type BootStats struct {
+	// SnapshotLoaded is the snapshot file the boot started from ("" when
+	// the bootstrap function trained the base model).
+	SnapshotLoaded string
+	// SnapshotSeq is the rating sequence that snapshot covered.
+	SnapshotSeq uint64
+	// ReplayedRecords is how many WAL ratings were folded in on top.
+	ReplayedRecords int
+	// ReplayedBatches is how many WithUpdates calls the replay took
+	// (grouped by the batch-commit records of the previous run).
+	ReplayedBatches int
+	// TornBytes is the size of the torn WAL tail dropped, if any.
+	TornBytes int64
+}
+
+// SnapshotInfo describes one completed snapshot.
+type SnapshotInfo struct {
+	Path       string        `json:"path"`
+	CoveredSeq uint64        `json:"covered_seq"`
+	Bytes      int64         `json:"bytes"`
+	Duration   time.Duration `json:"-"`
+	// Skipped is true when nothing changed since the last snapshot and
+	// no file was written.
+	Skipped bool `json:"skipped,omitempty"`
+}
+
+// Manager owns the serving model, its WAL, and its snapshot/retrain
+// schedule. All exported methods are safe for concurrent use.
+type Manager struct {
+	cfg   Config
+	reg   *obs.Registry
+	w     *wal.WAL
+	state atomic.Pointer[modelState]
+	boot  BootStats
+
+	mu      sync.Mutex // guards pending and orders WAL appends with enqueueing
+	pending []pendingUpdate
+
+	kick    chan struct{}
+	stopc   chan struct{} // Close: drain then exit
+	abortc  chan struct{} // Abort: exit immediately
+	done    chan struct{}
+	closing atomic.Bool
+
+	snapMu       sync.Mutex  // serialises snapshot writes
+	snapForce    atomic.Bool // a retrain swapped the model without advancing seq
+	retrainReq   chan struct{}
+	retrainc     chan retrainResult
+	retraining   bool                // run-loop state: a retrain goroutine is in flight
+	sinceRetrain []core.RatingUpdate // run-loop state: updates applied while retraining
+	driftCount   int                 // run-loop state: updates applied since last full train
+
+	// metrics held once (Registry lookups lock a map)
+	mAppendLat   *obs.Histogram
+	mApplyLat    *obs.Histogram
+	mBatchSize   *obs.Histogram
+	mSnapLat     *obs.Histogram
+	mRetrainLat  *obs.Histogram
+	mApplied     *obs.Counter
+	mBatches     *obs.Counter
+	mApplyErrs   *obs.Counter
+	mQueueFull   *obs.Counter
+	mSnapshots   *obs.Counter
+	mRetrains    *obs.Counter
+	mRetrainErrs *obs.Counter
+	mPending     *obs.Gauge
+}
+
+type retrainResult struct {
+	mod      *core.Model
+	err      error
+	duration time.Duration
+}
+
+// Open builds the serving model from the data directory — newest
+// snapshot plus WAL-tail replay, or bootstrap() when no snapshot exists —
+// takes a fresh snapshot if anything was replayed, and starts the
+// manager loop.
+func Open(bootstrap func() (*core.Model, error), cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("lifecycle: DataDir is required")
+	}
+	if err := os.MkdirAll(snapshotDir(cfg.DataDir), 0o755); err != nil {
+		return nil, fmt.Errorf("lifecycle: create snapshot dir: %w", err)
+	}
+	w, err := wal.Open(filepath.Join(cfg.DataDir, "wal"), wal.Options{
+		SegmentBytes: cfg.SegmentBytes,
+		Sync:         cfg.Fsync,
+		Logf:         cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Manager{
+		cfg:        cfg,
+		reg:        cfg.Registry,
+		w:          w,
+		kick:       make(chan struct{}, 1),
+		stopc:      make(chan struct{}),
+		abortc:     make(chan struct{}),
+		done:       make(chan struct{}),
+		retrainReq: make(chan struct{}, 1),
+		// Buffered so the retrain goroutine can finish even if the loop
+		// is gone (Abort) — it must never block forever on send.
+		retrainc: make(chan retrainResult, 1),
+	}
+	m.bindMetrics()
+
+	if err := m.bootModel(bootstrap); err != nil {
+		w.Close()
+		return nil, err
+	}
+
+	ws := w.Stats()
+	m.boot.TornBytes = ws.TornBytes
+	m.reg.Counter("wal_torn_bytes_dropped_total").Add(ws.TornBytes)
+	m.reg.Counter("wal_replayed_records_total").Add(int64(m.boot.ReplayedRecords))
+	m.reg.Counter("wal_replayed_batches_total").Add(int64(m.boot.ReplayedBatches))
+	m.publishModelGauges()
+
+	go m.run()
+	return m, nil
+}
+
+func (m *Manager) bindMetrics() {
+	r := m.reg
+	m.mAppendLat = r.Histogram("wal_append_latency_ms", nil)
+	m.mApplyLat = r.Histogram("lifecycle_apply_latency_ms", nil)
+	m.mBatchSize = r.Histogram("lifecycle_batch_size", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
+	m.mSnapLat = r.Histogram("lifecycle_snapshot_duration_ms", nil)
+	m.mRetrainLat = r.Histogram("lifecycle_retrain_duration_ms", nil)
+	m.mApplied = r.Counter("lifecycle_applied_total")
+	m.mBatches = r.Counter("lifecycle_batches_total")
+	m.mApplyErrs = r.Counter("lifecycle_apply_errors_total")
+	m.mQueueFull = r.Counter("lifecycle_queue_full_total")
+	m.mSnapshots = r.Counter("lifecycle_snapshots_total")
+	m.mRetrains = r.Counter("lifecycle_retrains_total")
+	m.mRetrainErrs = r.Counter("lifecycle_retrain_errors_total")
+	m.mPending = r.Gauge("lifecycle_pending")
+}
+
+func snapshotDir(dataDir string) string { return filepath.Join(dataDir, "snapshots") }
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".gob"
+)
+
+func snapName(seq uint64) string { return fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix) }
+
+// latestSnapshot returns the newest snapshot file and the sequence it
+// covers, or "" when none exists.
+func latestSnapshot(dataDir string) (path string, seq uint64, err error) {
+	entries, err := os.ReadDir(snapshotDir(dataDir))
+	if err != nil {
+		return "", 0, err
+	}
+	best := ""
+	var bestSeq uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		var s uint64
+		if _, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), "%016x", &s); err != nil {
+			continue
+		}
+		if best == "" || s > bestSeq {
+			best, bestSeq = name, s
+		}
+	}
+	if best == "" {
+		return "", 0, nil
+	}
+	return filepath.Join(snapshotDir(dataDir), best), bestSeq, nil
+}
+
+// bootModel establishes the serving model: snapshot or bootstrap, then
+// WAL-tail replay grouped by the previous run's batch-commit records.
+func (m *Manager) bootModel(bootstrap func() (*core.Model, error)) error {
+	path, baseSeq, err := latestSnapshot(m.cfg.DataDir)
+	if err != nil {
+		return fmt.Errorf("lifecycle: list snapshots: %w", err)
+	}
+	var base *core.Model
+	hadSnapshot := path != ""
+	if hadSnapshot {
+		t := time.Now()
+		base, err = core.LoadFile(path)
+		if err != nil {
+			return fmt.Errorf("lifecycle: load snapshot %s: %w", path, err)
+		}
+		m.cfg.Logf("lifecycle: loaded snapshot %s (covers seq %d) in %v",
+			filepath.Base(path), baseSeq, time.Since(t).Round(time.Millisecond))
+		m.boot.SnapshotLoaded = path
+		m.boot.SnapshotSeq = baseSeq
+	} else {
+		if bootstrap == nil {
+			return fmt.Errorf("lifecycle: no snapshot in %s and no bootstrap function", m.cfg.DataDir)
+		}
+		base, err = bootstrap()
+		if err != nil {
+			return fmt.Errorf("lifecycle: bootstrap model: %w", err)
+		}
+	}
+
+	// Replay the tail, regrouping ratings into the batches the previous
+	// process applied. A commit record covers ratings up to its Covered
+	// sequence only — ratings for the *next* batch may already sit ahead
+	// of it in the file (appends and commits interleave), so the split is
+	// by sequence, not by position. Ratings past the final commit were
+	// journaled but possibly never applied; they form one final batch.
+	cur := base
+	var queued []pendingUpdate
+	lastSeq := baseSeq
+	applyThrough := func(covered uint64) error {
+		cut := 0
+		for cut < len(queued) && queued[cut].seq <= covered {
+			cut++
+		}
+		if cut == 0 {
+			return nil
+		}
+		batch := make([]core.RatingUpdate, cut)
+		for i, p := range queued[:cut] {
+			batch[i] = p.u
+		}
+		queued = queued[cut:]
+		next, err := m.applyUpdates(cur, batch)
+		if err != nil {
+			return fmt.Errorf("lifecycle: replay batch through seq %d: %w", covered, err)
+		}
+		cur = next
+		m.boot.ReplayedBatches++
+		return nil
+	}
+	err = m.w.Replay(baseSeq, func(rec wal.Record) error {
+		switch rec.Type {
+		case wal.RecordRating:
+			queued = append(queued, pendingUpdate{seq: rec.Seq, u: rec.Update})
+			lastSeq = rec.Seq
+			m.boot.ReplayedRecords++
+		case wal.RecordBatchCommit:
+			return applyThrough(rec.Covered)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := applyThrough(lastSeq); err != nil {
+		return err
+	}
+
+	m.state.Store(&modelState{mod: cur, seq: maxU64(baseSeq, lastSeq)})
+
+	// Re-anchor durability: after any replay (or a first boot with no
+	// snapshot at all) write a snapshot so the next boot starts from a
+	// clean point — and so recovery no longer depends on the bootstrap
+	// function reproducing the base model exactly.
+	if m.boot.ReplayedRecords > 0 || !hadSnapshot {
+		if _, err := m.Snapshot(); err != nil {
+			return fmt.Errorf("lifecycle: boot snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// applyUpdates folds updates into mod, falling back to per-update
+// application when the batch fails as a whole so one malformed update
+// cannot wedge the log (bad updates are counted and dropped).
+func (m *Manager) applyUpdates(mod *core.Model, updates []core.RatingUpdate) (*core.Model, error) {
+	next, err := mod.WithUpdates(updates)
+	if err == nil {
+		return next, nil
+	}
+	m.cfg.Logf("lifecycle: batch of %d failed (%v); retrying per update", len(updates), err)
+	cur := mod
+	for _, u := range updates {
+		n, uerr := cur.WithUpdates([]core.RatingUpdate{u})
+		if uerr != nil {
+			m.mApplyErrs.Inc()
+			m.cfg.Logf("lifecycle: dropping unappliable update (%d,%d)=%g: %v", u.User, u.Item, u.Value, uerr)
+			continue
+		}
+		cur = n
+	}
+	return cur, nil
+}
+
+// Model returns the currently served model.
+func (m *Manager) Model() *core.Model { return m.state.Load().mod }
+
+// AppliedSeq returns the WAL sequence of the last rating folded into the
+// serving model.
+func (m *Manager) AppliedSeq() uint64 { return m.state.Load().seq }
+
+// Pending returns the number of journaled-but-unapplied ratings.
+func (m *Manager) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
+
+// BootStats reports how the serving model was reconstructed at Open.
+func (m *Manager) BootStats() BootStats { return m.boot }
+
+// WALStats exposes the journal's current shape (segment count, last
+// sequence, torn bytes dropped at open).
+func (m *Manager) WALStats() wal.OpenStats { return m.w.Stats() }
+
+// Submit journals one rating (durable per the fsync policy once this
+// returns) and queues it for the next micro-batch. It returns the
+// rating's WAL sequence and how many ratings are now pending.
+func (m *Manager) Submit(u core.RatingUpdate) (seq uint64, pending int, err error) {
+	if m.closing.Load() {
+		return 0, 0, ErrClosed
+	}
+	m.mu.Lock()
+	if len(m.pending) >= m.cfg.QueueCapacity {
+		m.mu.Unlock()
+		m.mQueueFull.Inc()
+		return 0, 0, ErrQueueFull
+	}
+	t := time.Now()
+	seq, err = m.w.AppendRating(u)
+	if err != nil {
+		m.mu.Unlock()
+		return 0, 0, err
+	}
+	m.mAppendLat.Observe(durMS(time.Since(t)))
+	m.pending = append(m.pending, pendingUpdate{seq: seq, u: u})
+	pending = len(m.pending)
+	m.mu.Unlock()
+
+	m.mPending.Set(float64(pending))
+	select {
+	case m.kick <- struct{}{}:
+	default:
+	}
+	return seq, pending, nil
+}
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// run is the manager loop: it owns every model swap.
+func (m *Manager) run() {
+	defer close(m.done)
+
+	var syncC, snapC <-chan time.Time
+	if m.cfg.Fsync == wal.SyncInterval {
+		t := time.NewTicker(m.cfg.FsyncInterval)
+		defer t.Stop()
+		syncC = t.C
+	}
+	if m.cfg.SnapshotEvery > 0 {
+		t := time.NewTicker(m.cfg.SnapshotEvery)
+		defer t.Stop()
+		snapC = t.C
+	}
+
+	for {
+		select {
+		case <-m.abortc:
+			return
+		case <-m.stopc:
+			m.applyPending()
+			if m.retraining {
+				// Let the in-flight retrain finish so its goroutine does
+				// not leak; discard the result — Close snapshots the
+				// serving model anyway.
+				res := <-m.retrainc
+				_ = res
+			}
+			return
+		case <-m.kick:
+			if m.cfg.BatchMaxWait > 0 {
+				time.Sleep(m.cfg.BatchMaxWait) // let a batch coalesce
+			}
+			m.applyPending()
+		case <-syncC:
+			if err := m.w.Sync(); err != nil {
+				m.cfg.Logf("lifecycle: interval fsync: %v", err)
+			}
+		case <-snapC:
+			go func() {
+				if _, err := m.Snapshot(); err != nil {
+					m.cfg.Logf("lifecycle: scheduled snapshot: %v", err)
+				}
+			}()
+		case <-m.retrainReq:
+			if !m.retraining {
+				m.startRetrain()
+			}
+		case res := <-m.retrainc:
+			m.finishRetrain(res)
+		}
+	}
+}
+
+// applyPending drains the queue in batches of at most BatchMaxSize,
+// swapping the served model once per batch and journaling a batch-commit
+// record after each swap.
+func (m *Manager) applyPending() {
+	for {
+		m.mu.Lock()
+		if len(m.pending) == 0 {
+			m.mu.Unlock()
+			m.mPending.Set(0)
+			return
+		}
+		n := len(m.pending)
+		if n > m.cfg.BatchMaxSize {
+			n = m.cfg.BatchMaxSize
+		}
+		batch := make([]pendingUpdate, n)
+		copy(batch, m.pending[:n])
+		rest := copy(m.pending, m.pending[n:])
+		m.pending = m.pending[:rest]
+		m.mu.Unlock()
+
+		updates := make([]core.RatingUpdate, n)
+		for i, p := range batch {
+			updates[i] = p.u
+		}
+		lastSeq := batch[n-1].seq
+
+		t := time.Now()
+		cur := m.state.Load()
+		next, err := m.applyUpdates(cur.mod, updates)
+		if err != nil {
+			// applyUpdates only errors when even per-update fallback is
+			// impossible; drop the batch rather than wedge the loop.
+			m.mApplyErrs.Add(int64(n))
+			m.cfg.Logf("lifecycle: dropping batch of %d: %v", n, err)
+			continue
+		}
+		m.state.Store(&modelState{mod: next, seq: lastSeq})
+		if _, err := m.w.AppendBatchCommit(lastSeq); err != nil {
+			m.cfg.Logf("lifecycle: journal batch commit: %v", err)
+		}
+
+		m.mApplyLat.Observe(durMS(time.Since(t)))
+		m.mBatchSize.Observe(float64(n))
+		m.mApplied.Add(int64(n))
+		m.mBatches.Inc()
+		m.publishModelGauges()
+
+		if m.retraining {
+			m.sinceRetrain = append(m.sinceRetrain, updates...)
+		}
+		m.driftCount += n
+		if m.cfg.RetrainAfter > 0 && m.driftCount >= m.cfg.RetrainAfter && !m.retraining {
+			m.startRetrain()
+		}
+	}
+}
+
+// publishModelGauges mirrors the served model's shape into the registry.
+func (m *Manager) publishModelGauges() {
+	st := m.state.Load()
+	mx := st.mod.Matrix()
+	m.reg.Gauge("lifecycle_model_users").Set(float64(mx.NumUsers()))
+	m.reg.Gauge("lifecycle_model_items").Set(float64(mx.NumItems()))
+	m.reg.Gauge("lifecycle_model_ratings").Set(float64(mx.NumRatings()))
+	m.reg.Gauge("lifecycle_applied_seq").Set(float64(st.seq))
+	m.reg.Gauge("wal_last_seq").Set(float64(m.w.LastSeq()))
+	m.reg.Gauge("wal_segments").Set(float64(m.w.Stats().Segments))
+}
+
+// startRetrain kicks off a full offline train of the current matrix in a
+// goroutine; only the run loop calls it, so the captured state and the
+// catch-up buffer stay consistent.
+func (m *Manager) startRetrain() {
+	st := m.state.Load()
+	cfg := st.mod.Config()
+	if m.cfg.TrainConfig != nil {
+		cfg = *m.cfg.TrainConfig
+	}
+	m.retraining = true
+	m.sinceRetrain = nil
+	m.reg.Gauge("lifecycle_retraining").Set(1)
+	m.cfg.Logf("lifecycle: full retrain started (%d ratings, %d applied since last train)",
+		st.mod.Matrix().NumRatings(), m.driftCount)
+	go func() {
+		t := time.Now()
+		mod, err := core.Train(st.mod.Matrix(), cfg)
+		m.retrainc <- retrainResult{mod: mod, err: err, duration: time.Since(t)}
+	}()
+}
+
+// finishRetrain swaps in the retrained model after folding in whatever
+// was applied while it trained, then snapshots so the on-disk state
+// reflects the fresh clustering.
+func (m *Manager) finishRetrain(res retrainResult) {
+	m.retraining = false
+	m.reg.Gauge("lifecycle_retraining").Set(0)
+	catchUp := m.sinceRetrain
+	m.sinceRetrain = nil
+	if res.err != nil {
+		m.mRetrainErrs.Inc()
+		m.cfg.Logf("lifecycle: retrain failed: %v", res.err)
+		return
+	}
+	mod := res.mod
+	if len(catchUp) > 0 {
+		next, err := m.applyUpdates(mod, catchUp)
+		if err != nil {
+			m.mRetrainErrs.Inc()
+			m.cfg.Logf("lifecycle: retrain catch-up failed, keeping old model: %v", err)
+			return
+		}
+		mod = next
+	}
+	seq := m.state.Load().seq // catch-up covered everything applied so far
+	m.state.Store(&modelState{mod: mod, seq: seq})
+	m.driftCount = 0
+	m.mRetrains.Inc()
+	m.mRetrainLat.Observe(durMS(res.duration))
+	m.publishModelGauges()
+	m.cfg.Logf("lifecycle: retrain complete in %v (+%d caught up)", res.duration.Round(time.Millisecond), len(catchUp))
+	// The retrained model replaced the serving one at an unchanged WAL
+	// seq; force the snapshot so it isn't skipped as already-covered —
+	// until it lands, a crash would recover the pre-retrain lineage.
+	m.snapForce.Store(true)
+	go func() {
+		if _, err := m.Snapshot(); err != nil {
+			m.cfg.Logf("lifecycle: post-retrain snapshot: %v", err)
+		}
+	}()
+}
+
+// TriggerRetrain requests a full background retrain. It reports false
+// when a request is already queued or a retrain is in flight.
+func (m *Manager) TriggerRetrain() bool {
+	if m.closing.Load() || m.Retraining() {
+		return false
+	}
+	select {
+	case m.retrainReq <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Retraining reports whether a retrain is in flight (best effort — the
+// run loop owns the authoritative state).
+func (m *Manager) Retraining() bool {
+	return m.reg.Gauge("lifecycle_retraining").Value() == 1
+}
+
+// Snapshot writes the serving model atomically (temp file + rename, both
+// fsynced) to snapshots/snap-<seq>.gob, journals a checkpoint record,
+// prunes WAL segments the snapshot covers, and drops snapshots beyond
+// SnapshotKeep. When nothing was applied since the last snapshot it
+// returns Skipped without touching disk.
+func (m *Manager) Snapshot() (SnapshotInfo, error) {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+
+	st := m.state.Load()
+	path := filepath.Join(snapshotDir(m.cfg.DataDir), snapName(st.seq))
+	// A snapshot file for this seq normally means there is nothing new to
+	// persist — except right after a retrain, which replaces the model
+	// without advancing the WAL seq. snapForce marks that case; the
+	// rename below then overwrites the stale file atomically.
+	force := m.snapForce.Swap(false)
+	if _, err := os.Stat(path); err == nil && !force {
+		return SnapshotInfo{Path: path, CoveredSeq: st.seq, Skipped: true}, nil
+	}
+
+	persisted := false
+	if force {
+		// If this attempt fails, the retrained model is still only in
+		// memory — keep the flag so the next snapshot retries.
+		defer func() {
+			if !persisted {
+				m.snapForce.Store(true)
+			}
+		}()
+	}
+
+	t := time.Now()
+	tmp, err := os.CreateTemp(snapshotDir(m.cfg.DataDir), ".tmp-snap-*")
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("lifecycle: snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) (SnapshotInfo, error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		return SnapshotInfo{}, err
+	}
+	if err := st.mod.Save(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("lifecycle: sync snapshot: %w", err))
+	}
+	size, _ := tmp.Seek(0, 2)
+	if err := tmp.Close(); err != nil {
+		return fail(fmt.Errorf("lifecycle: close snapshot: %w", err))
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return SnapshotInfo{}, fmt.Errorf("lifecycle: publish snapshot: %w", err)
+	}
+	if err := syncDirOf(path); err != nil {
+		return SnapshotInfo{}, err
+	}
+	persisted = true
+
+	if _, err := m.w.AppendCheckpoint(st.seq); err != nil {
+		m.cfg.Logf("lifecycle: journal checkpoint: %v", err)
+	}
+	if n, err := m.w.Prune(st.seq); err != nil {
+		m.cfg.Logf("lifecycle: prune wal: %v", err)
+	} else if n > 0 {
+		m.reg.Counter("wal_segments_pruned_total").Add(int64(n))
+	}
+	m.pruneSnapshots()
+
+	info := SnapshotInfo{Path: path, CoveredSeq: st.seq, Bytes: size, Duration: time.Since(t)}
+	m.mSnapshots.Inc()
+	m.mSnapLat.Observe(durMS(info.Duration))
+	m.reg.Gauge("lifecycle_snapshot_seq").Set(float64(st.seq))
+	m.cfg.Logf("lifecycle: snapshot %s (%d bytes, covers seq %d) in %v",
+		filepath.Base(path), size, st.seq, info.Duration.Round(time.Millisecond))
+	return info, nil
+}
+
+func syncDirOf(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("lifecycle: open dir for sync: %w", err)
+	}
+	err = d.Sync()
+	d.Close()
+	if err != nil {
+		return fmt.Errorf("lifecycle: sync dir: %w", err)
+	}
+	return nil
+}
+
+// pruneSnapshots removes all but the newest SnapshotKeep snapshot files.
+func (m *Manager) pruneSnapshots() {
+	entries, err := os.ReadDir(snapshotDir(m.cfg.DataDir))
+	if err != nil {
+		return
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); strings.HasPrefix(n, snapPrefix) && strings.HasSuffix(n, snapSuffix) {
+			names = append(names, n)
+		}
+	}
+	if len(names) <= m.cfg.SnapshotKeep {
+		return
+	}
+	sort.Strings(names) // hex sequence names sort chronologically
+	for _, n := range names[:len(names)-m.cfg.SnapshotKeep] {
+		if err := os.Remove(filepath.Join(snapshotDir(m.cfg.DataDir), n)); err == nil {
+			m.cfg.Logf("lifecycle: pruned snapshot %s", n)
+		}
+	}
+}
+
+// Close drains the queue (every journaled rating is applied), waits for
+// any in-flight retrain, snapshots the final state, and closes the WAL.
+func (m *Manager) Close() error {
+	if !m.closing.CompareAndSwap(false, true) {
+		<-m.done
+		return nil
+	}
+	close(m.stopc)
+	<-m.done
+	if _, err := m.Snapshot(); err != nil {
+		m.cfg.Logf("lifecycle: final snapshot: %v", err)
+	}
+	return m.w.Close()
+}
+
+// Abort is the crash-simulation counterpart of Close: it stops the loop
+// without draining, snapshotting, or syncing — recovery tests use it to
+// model a SIGKILL. Journaled-but-unapplied ratings are recovered from
+// the WAL on the next Open.
+func (m *Manager) Abort() {
+	if !m.closing.CompareAndSwap(false, true) {
+		return
+	}
+	close(m.abortc)
+	<-m.done
+	m.w.CloseAbrupt()
+}

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// handleAdminSnapshot writes a model snapshot synchronously via the
+// lifecycle manager and reports where it landed. Without a manager the
+// server has no durability layer and responds 503.
+func (s *Server) handleAdminSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if s.mgr == nil {
+		writeError(w, http.StatusServiceUnavailable, errNoManager)
+		return
+	}
+	info, err := s.mgr.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.reg.Counter("admin_snapshot_total").Inc()
+	resp := map[string]any{
+		"status":      "ok",
+		"path":        info.Path,
+		"covered_seq": info.CoveredSeq,
+		"duration_ms": durMS(info.Duration),
+	}
+	if info.Skipped {
+		resp["status"] = "skipped"
+	} else {
+		resp["bytes"] = info.Bytes
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAdminRetrain starts a full background retrain of the serving
+// model (the drift-repair pass internal/core/update.go calls for). The
+// retrained model is swapped in without blocking reads; 409 when a
+// retrain is already in flight.
+func (s *Server) handleAdminRetrain(w http.ResponseWriter, _ *http.Request) {
+	if s.mgr == nil {
+		writeError(w, http.StatusServiceUnavailable, errNoManager)
+		return
+	}
+	if !s.mgr.TriggerRetrain() {
+		writeError(w, http.StatusConflict, fmt.Errorf("retrain already in flight"))
+		return
+	}
+	s.reg.Counter("admin_retrain_total").Inc()
+	writeJSON(w, http.StatusAccepted, map[string]any{"status": "started"})
+}
+
+var errNoManager = fmt.Errorf("no lifecycle manager configured (start the server with -data-dir)")

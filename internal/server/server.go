@@ -16,7 +16,11 @@
 //	                                 parallel fan-out prediction
 //	GET  /recommend?user=U&n=N    -> top-N items for the user
 //	POST /rate                    -> {"user":U,"item":I,"rating":R} applies
-//	                                 an incremental model refresh
+//	                                 an incremental model refresh (or, with a
+//	                                 lifecycle manager, journals the rating
+//	                                 and queues it for the next micro-batch)
+//	POST /admin/snapshot          -> write a model snapshot now (manager mode)
+//	POST /admin/retrain           -> start a full background retrain (manager mode)
 //
 // Every handler is wrapped in middleware that records request count,
 // status class, in-flight gauge, and a latency histogram per endpoint
@@ -30,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -38,6 +43,7 @@ import (
 	"time"
 
 	"cfsf/internal/core"
+	"cfsf/internal/lifecycle"
 	"cfsf/internal/obs"
 )
 
@@ -60,6 +66,12 @@ type Options struct {
 	Debug bool
 	// Registry receives the server's metrics; one is created when nil.
 	Registry *obs.Registry
+	// Manager, when non-nil, owns the serving model: /rate journals to
+	// its WAL and queues the update for micro-batched application
+	// (responding "queued" instead of "applied"), and the /admin
+	// endpoints become operational. Share its obs.Registry with this
+	// Options' Registry so /metrics covers wal/lifecycle instrumentation.
+	Manager *lifecycle.Manager
 }
 
 func (o Options) withDefaults() Options {
@@ -83,8 +95,9 @@ func (o Options) withDefaults() Options {
 // incrementally under a mutex and swap the pointer.
 type Server struct {
 	model  atomic.Pointer[core.Model]
-	mu     sync.Mutex // serialises /rate refreshes
-	titles []string   // optional item display names
+	mu     sync.Mutex         // serialises /rate refreshes (no-manager mode)
+	mgr    *lifecycle.Manager // owns the model when non-nil
+	titles []string           // optional item display names
 	opts   Options
 	reg    *obs.Registry
 	start  time.Time
@@ -103,19 +116,32 @@ func New(model *core.Model, titles []string) *Server {
 func NewWithOptions(model *core.Model, titles []string, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
+		mgr:       opts.Manager,
 		titles:    titles,
 		opts:      opts,
 		reg:       opts.Registry,
 		start:     time.Now(),
 		endpoints: map[string]*endpointMetrics{},
 	}
+	if s.mgr != nil && model == nil {
+		model = s.mgr.Model()
+	}
 	s.model.Store(model)
-	s.recordModelGauges(model)
+	s.recordModelGauges(s.current())
 	return s
 }
 
+// current returns the model to serve this request from: the manager's
+// (which swaps it on every micro-batch) or the server's own pointer.
+func (s *Server) current() *core.Model {
+	if s.mgr != nil {
+		return s.mgr.Model()
+	}
+	return s.model.Load()
+}
+
 // Model returns the currently served model.
-func (s *Server) Model() *core.Model { return s.model.Load() }
+func (s *Server) Model() *core.Model { return s.current() }
 
 // Registry returns the metrics registry backing GET /metrics.
 func (s *Server) Registry() *obs.Registry { return s.reg }
@@ -131,6 +157,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /predict/batch", s.instrument("POST /predict/batch", s.handlePredictBatch))
 	mux.HandleFunc("GET /recommend", s.instrument("GET /recommend", s.handleRecommend))
 	mux.HandleFunc("POST /rate", s.instrument("POST /rate", s.handleRate))
+	mux.HandleFunc("POST /admin/snapshot", s.instrument("POST /admin/snapshot", s.handleAdminSnapshot))
+	mux.HandleFunc("POST /admin/retrain", s.instrument("POST /admin/retrain", s.handleAdminRetrain))
 	if s.opts.Debug {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -188,10 +216,14 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, dst any)
 
 var errBodyTooLarge = errors.New("request body too large")
 
-// handleRate folds one rating into the model via the incremental
-// refresh and swaps the served model. Validation runs under the same
-// lock as the update so a concurrent swap can never change the model
-// between the two.
+// handleRate accepts one rating. Without a lifecycle manager it folds
+// the rating into the model synchronously (validation runs under the
+// same lock as the update so a concurrent swap can never change the
+// model between the two) and responds {"status":"applied"}. With a
+// manager it journals the rating to the WAL, queues it for the next
+// micro-batch, and responds 202 {"status":"queued"} with the pending
+// count — a subsequent read may not see the rating until the batch
+// lands (see the README's read-your-write note).
 func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		User   int     `json:"user"`
@@ -212,20 +244,16 @@ func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if s.mgr != nil {
+		s.handleRateQueued(w, req.User, req.Item, req.Rating, req.Time)
+		return
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.model.Load()
-	m := cur.Matrix()
-	if req.Rating < m.MinRating() || req.Rating > m.MaxRating() {
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("rating %g outside scale %g..%g", req.Rating, m.MinRating(), m.MaxRating()))
-		return
-	}
-	margin := s.opts.GrowthMargin
-	if req.User >= m.NumUsers()+margin || req.Item >= m.NumItems()+margin {
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("id (%d,%d) more than %d past current bounds %d×%d",
-				req.User, req.Item, margin, m.NumUsers(), m.NumItems()))
+	if err := s.validateRate(cur, req.User, req.Item, req.Rating); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	next, err := cur.WithUpdates([]core.RatingUpdate{{
@@ -246,12 +274,56 @@ func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// validateRate checks a rating against the given model's scale and the
+// growth margin.
+func (s *Server) validateRate(cur *core.Model, user, item int, rating float64) error {
+	m := cur.Matrix()
+	if rating < m.MinRating() || rating > m.MaxRating() {
+		return fmt.Errorf("rating %g outside scale %g..%g", rating, m.MinRating(), m.MaxRating())
+	}
+	margin := s.opts.GrowthMargin
+	if user >= m.NumUsers()+margin || item >= m.NumItems()+margin {
+		return fmt.Errorf("id (%d,%d) more than %d past current bounds %d×%d",
+			user, item, margin, m.NumUsers(), m.NumItems())
+	}
+	return nil
+}
+
+// handleRateQueued is the manager-backed /rate path: journal, enqueue,
+// acknowledge. Validation runs against the serving model at submission
+// time; because application is asynchronous the model may grow between
+// validation and apply, which only ever widens what would be accepted.
+func (s *Server) handleRateQueued(w http.ResponseWriter, user, item int, rating float64, ts int64) {
+	if err := s.validateRate(s.mgr.Model(), user, item, rating); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	seq, pending, err := s.mgr.Submit(core.RatingUpdate{User: user, Item: item, Value: rating, Time: ts})
+	switch {
+	case errors.Is(err, lifecycle.ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, lifecycle.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.reg.Counter("rate_queued_total").Inc()
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"status":  "queued",
+		"seq":     seq,
+		"pending": pending,
+	})
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	mod := s.model.Load()
+	mod := s.current()
 	m := mod.Matrix()
 	st := mod.Stats()
 	cfg := mod.Config()
@@ -280,8 +352,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleMetrics reports the per-endpoint view plus the raw registry
-// snapshot (which includes the model gauges refreshed on every swap).
+// snapshot. Model gauges are refreshed at scrape time so they track the
+// serving model even when swaps happen inside the lifecycle manager.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.recordModelGauges(s.current())
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"endpoints":      s.endpointsView(),
@@ -300,7 +374,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	mod := s.model.Load()
+	mod := s.current()
 	m := mod.Matrix()
 	if user < 0 || user >= m.NumUsers() || item < 0 || item >= m.NumItems() {
 		writeError(w, http.StatusNotFound,
@@ -353,7 +427,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	for i, p := range req.Pairs {
 		pairs[i] = core.Pair{User: p.User, Item: p.Item}
 	}
-	mod := s.model.Load()
+	mod := s.current()
 	t := time.Now()
 	values := mod.PredictBatch(pairs)
 	elapsed := time.Since(t)
@@ -384,7 +458,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	mod := s.model.Load()
+	mod := s.current()
 	m := mod.Matrix()
 	if user < 0 || user >= m.NumUsers() {
 		writeError(w, http.StatusNotFound, fmt.Errorf("user %d outside 0..%d", user, m.NumUsers()-1))
@@ -426,4 +500,7 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-func round3(v float64) float64 { return float64(int(v*1000+0.5)) / 1000 }
+// round3 rounds to three decimals. math.Round (round half away from
+// zero) rather than int(v*1000+0.5), which truncates toward zero and
+// mis-rounds negative values (e.g. signed deviations or future metrics).
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }

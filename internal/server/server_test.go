@@ -536,3 +536,23 @@ func TestDebugPprofGating(t *testing.T) {
 		t.Errorf("pprof with Debug = %d, want 200", resp.StatusCode)
 	}
 }
+
+// round3 regression: the old int-cast trick (float64(int(v*1000+0.5))/1000)
+// rounded negatives toward zero minus a millesimal — -1.2345 became
+// -1.234 instead of -1.235 — and overflowed for huge magnitudes.
+func TestRound3Negatives(t *testing.T) {
+	cases := map[float64]float64{
+		1.2345:  1.235,
+		-1.2345: -1.235,
+		-1.2344: -1.234,
+		-0.0005: -0.001,
+		2.5:     2.5,
+		-3.0:    -3,
+		0:       0,
+	}
+	for in, want := range cases {
+		if got := round3(in); got != want {
+			t.Errorf("round3(%v) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package wal is an append-only, segmented write-ahead log for the
+// serving layer's incoming ratings. Every record is length-prefixed and
+// CRC32-guarded, segments rotate by size, and Open truncates a torn tail
+// (a record cut short by a crash mid-append) so recovery is clean. The
+// log stores three record kinds:
+//
+//   - RecordRating: one core.RatingUpdate, appended by /rate before the
+//     update is queued for application (write-ahead discipline);
+//   - RecordBatchCommit: written after a micro-batch of ratings has been
+//     folded into the serving model, recording the last rating sequence
+//     the batch covered — replay regroups ratings into exactly the
+//     batches the live process applied, which is what makes recovery
+//     bit-for-bit identical to the uninterrupted run;
+//   - RecordCheckpoint: written after a model snapshot lands on disk,
+//     recording the last rating sequence the snapshot covers — segments
+//     wholly below it can be pruned.
+//
+// The binary layout of one record frame is
+//
+//	uint32  body length (big endian)
+//	uint32  CRC32-IEEE of body (big endian)
+//	body:   1 byte record type | uint64 sequence | payload
+//
+// and every segment file starts with an 8-byte magic plus the sequence
+// number the segment begins at (which also names the file).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"cfsf/internal/core"
+)
+
+// Type discriminates the record kinds stored in the log.
+type Type uint8
+
+const (
+	// RecordRating carries one rating update.
+	RecordRating Type = 1
+	// RecordBatchCommit marks that every rating with sequence <= Covered
+	// has been applied to the serving model, and that the ratings since
+	// the previous commit formed one application batch.
+	RecordBatchCommit Type = 2
+	// RecordCheckpoint marks that a snapshot covering every rating with
+	// sequence <= Covered is durable on disk.
+	RecordCheckpoint Type = 3
+)
+
+// Record is one decoded log entry.
+type Record struct {
+	Type Type
+	// Seq is the record's own position in the log (1-based, assigned at
+	// append, strictly increasing across all record types).
+	Seq uint64
+	// Update is the rating payload; valid when Type == RecordRating.
+	Update core.RatingUpdate
+	// Covered is the last rating sequence a commit or checkpoint spans;
+	// valid for RecordBatchCommit and RecordCheckpoint.
+	Covered uint64
+}
+
+const (
+	frameHeaderSize  = 8 // length + crc
+	bodyHeaderSize   = 9 // type + seq
+	ratingPayload    = 32
+	coveredPayload   = 8
+	maxBody          = 1 << 16 // far above any legal body; caps corrupt lengths
+	ratingBodySize   = bodyHeaderSize + ratingPayload
+	coveredBodySize  = bodyHeaderSize + coveredPayload
+	maxEncodedRecord = frameHeaderSize + ratingBodySize
+)
+
+var (
+	// errShort reports that the buffer ends before the record does: at a
+	// clean end-of-log this is simply "no more records", inside a file it
+	// is a torn tail.
+	errShort = errors.New("wal: truncated record")
+	// errCorrupt reports a structurally broken record (bad CRC, bad
+	// type, bad length). A torn tail usually surfaces as errShort, but a
+	// crash that tore inside the frame header can also surface here.
+	errCorrupt = errors.New("wal: corrupt record")
+)
+
+// appendRecord encodes rec onto buf and returns the extended slice.
+func appendRecord(buf []byte, rec Record) []byte {
+	var payload []byte
+	switch rec.Type {
+	case RecordRating:
+		var p [ratingPayload]byte
+		binary.BigEndian.PutUint64(p[0:], uint64(int64(rec.Update.User)))
+		binary.BigEndian.PutUint64(p[8:], uint64(int64(rec.Update.Item)))
+		binary.BigEndian.PutUint64(p[16:], math.Float64bits(rec.Update.Value))
+		binary.BigEndian.PutUint64(p[24:], uint64(rec.Update.Time))
+		payload = p[:]
+	case RecordBatchCommit, RecordCheckpoint:
+		var p [coveredPayload]byte
+		binary.BigEndian.PutUint64(p[0:], rec.Covered)
+		payload = p[:]
+	default:
+		panic(fmt.Sprintf("wal: unknown record type %d", rec.Type))
+	}
+
+	body := make([]byte, 0, bodyHeaderSize+len(payload))
+	body = append(body, byte(rec.Type))
+	body = binary.BigEndian.AppendUint64(body, rec.Seq)
+	body = append(body, payload...)
+
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+	return append(buf, body...)
+}
+
+// decodeRecord decodes the first record in buf, returning it and the
+// number of bytes consumed. errShort means buf ends before the record
+// does; errCorrupt means the bytes cannot be a record at all.
+func decodeRecord(buf []byte) (Record, int, error) {
+	if len(buf) < frameHeaderSize {
+		return Record{}, 0, errShort
+	}
+	bodyLen := int(binary.BigEndian.Uint32(buf[0:4]))
+	if bodyLen < bodyHeaderSize || bodyLen > maxBody {
+		return Record{}, 0, fmt.Errorf("%w: body length %d", errCorrupt, bodyLen)
+	}
+	if len(buf) < frameHeaderSize+bodyLen {
+		return Record{}, 0, errShort
+	}
+	body := buf[frameHeaderSize : frameHeaderSize+bodyLen]
+	if crc := crc32.ChecksumIEEE(body); crc != binary.BigEndian.Uint32(buf[4:8]) {
+		return Record{}, 0, fmt.Errorf("%w: crc mismatch", errCorrupt)
+	}
+
+	rec := Record{Type: Type(body[0]), Seq: binary.BigEndian.Uint64(body[1:9])}
+	payload := body[bodyHeaderSize:]
+	switch rec.Type {
+	case RecordRating:
+		if len(payload) != ratingPayload {
+			return Record{}, 0, fmt.Errorf("%w: rating payload %d bytes", errCorrupt, len(payload))
+		}
+		rec.Update = core.RatingUpdate{
+			User:  int(int64(binary.BigEndian.Uint64(payload[0:]))),
+			Item:  int(int64(binary.BigEndian.Uint64(payload[8:]))),
+			Value: math.Float64frombits(binary.BigEndian.Uint64(payload[16:])),
+			Time:  int64(binary.BigEndian.Uint64(payload[24:])),
+		}
+	case RecordBatchCommit, RecordCheckpoint:
+		if len(payload) != coveredPayload {
+			return Record{}, 0, fmt.Errorf("%w: covered payload %d bytes", errCorrupt, len(payload))
+		}
+		rec.Covered = binary.BigEndian.Uint64(payload[0:])
+	default:
+		return Record{}, 0, fmt.Errorf("%w: unknown type %d", errCorrupt, body[0])
+	}
+	return rec, frameHeaderSize + bodyLen, nil
+}

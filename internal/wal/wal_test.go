@@ -1,0 +1,285 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cfsf/internal/core"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) *WAL {
+	t.Helper()
+	w, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func upd(i int) core.RatingUpdate {
+	return core.RatingUpdate{User: i, Item: i * 2, Value: float64(i%5) + 0.5, Time: int64(1000 + i)}
+}
+
+func collect(t *testing.T, w *WAL, afterSeq uint64) []Record {
+	t.Helper()
+	var recs []Record
+	if err := w.Replay(afterSeq, func(r Record) error { recs = append(recs, r); return nil }); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{})
+	for i := 1; i <= 3; i++ {
+		seq, err := w.AppendRating(upd(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("seq = %d, want %d", seq, i)
+		}
+	}
+	if _, err := w.AppendBatchCommit(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendCheckpoint(3); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := collect(t, w, 0)
+	if len(recs) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(recs))
+	}
+	for i := 0; i < 3; i++ {
+		r := recs[i]
+		if r.Type != RecordRating || r.Seq != uint64(i+1) || r.Update != upd(i+1) {
+			t.Errorf("record %d = %+v, want rating %+v at seq %d", i, r, upd(i+1), i+1)
+		}
+	}
+	if recs[3].Type != RecordBatchCommit || recs[3].Covered != 3 {
+		t.Errorf("commit record = %+v", recs[3])
+	}
+	if recs[4].Type != RecordCheckpoint || recs[4].Covered != 3 {
+		t.Errorf("checkpoint record = %+v", recs[4])
+	}
+
+	if got := collect(t, w, 3); len(got) != 2 {
+		t.Errorf("replay after seq 3 yielded %d records, want 2", len(got))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReopenContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{})
+	for i := 1; i <= 4; i++ {
+		if _, err := w.AppendRating(upd(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := mustOpen(t, dir, Options{})
+	st := w2.Stats()
+	if st.Records != 4 || st.LastSeq != 4 || st.TornBytes != 0 {
+		t.Fatalf("reopen stats = %+v", st)
+	}
+	seq, err := w2.AppendRating(upd(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 5 {
+		t.Fatalf("continued seq = %d, want 5", seq)
+	}
+	if recs := collect(t, w2, 0); len(recs) != 5 {
+		t.Fatalf("replayed %d records after reopen, want 5", len(recs))
+	}
+	w2.Close()
+}
+
+// TestTornTailEveryOffset is the crash-recovery matrix: N records, then
+// the file truncated at every byte offset inside the final record; Open
+// must drop exactly the torn record and replay the other N−1, and the
+// log must accept appends again afterwards.
+func TestTornTailEveryOffset(t *testing.T) {
+	const n = 5
+	master := t.TempDir()
+	w := mustOpen(t, master, Options{})
+	for i := 1; i <= n; i++ {
+		if _, err := w.AppendRating(upd(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(master, segName(1))
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recBytes := (len(data) - segHeaderSize) / n
+	lastStart := len(data) - recBytes
+
+	for cut := lastStart + 1; cut < len(data); cut++ {
+		dir := t.TempDir()
+		torn := make([]byte, cut)
+		copy(torn, data[:cut])
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), torn, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		var logged []string
+		w, err := Open(dir, Options{Logf: func(f string, a ...any) {
+			logged = append(logged, f)
+		}})
+		if err != nil {
+			t.Fatalf("cut at %d: open: %v", cut, err)
+		}
+		st := w.Stats()
+		if st.Records != n-1 || st.LastSeq != n-1 {
+			t.Fatalf("cut at %d: records=%d lastSeq=%d, want %d/%d", cut, st.Records, st.LastSeq, n-1, n-1)
+		}
+		if want := int64(cut - lastStart); st.TornBytes != want {
+			t.Errorf("cut at %d: torn bytes = %d, want %d", cut, st.TornBytes, want)
+		}
+		if len(logged) == 0 {
+			t.Errorf("cut at %d: torn tail not logged", cut)
+		}
+		recs := collect(t, w, 0)
+		if len(recs) != n-1 {
+			t.Fatalf("cut at %d: replayed %d, want %d", cut, len(recs), n-1)
+		}
+		for i, r := range recs {
+			if r.Update != upd(i+1) {
+				t.Fatalf("cut at %d: record %d = %+v", cut, i, r)
+			}
+		}
+		// The log keeps working: the next append takes the seq of the
+		// record that was torn away.
+		seq, err := w.AppendRating(upd(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != n {
+			t.Errorf("cut at %d: append seq = %d, want %d", cut, seq, n)
+		}
+		w.Close()
+	}
+}
+
+// TestTornSegmentHeader covers a crash during segment creation itself:
+// the file exists but its 16-byte header is incomplete.
+func TestTornSegmentHeader(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), []byte("CFSF"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w := mustOpen(t, dir, Options{})
+	st := w.Stats()
+	if st.Records != 0 || st.TornBytes != 4 {
+		t.Fatalf("stats after torn header = %+v", st)
+	}
+	if seq, err := w.AppendRating(upd(1)); err != nil || seq != 1 {
+		t.Fatalf("append after header rewrite: seq=%d err=%v", seq, err)
+	}
+	w.Close()
+}
+
+func TestSegmentRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	// Each rating frame is ~49 bytes; a 100-byte segment cap forces a
+	// rotation roughly every other record.
+	w := mustOpen(t, dir, Options{SegmentBytes: 100})
+	const n = 10
+	for i := 1; i <= n; i++ {
+		if _, err := w.AppendRating(upd(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("segments = %d, want rotation to have produced several", st.Segments)
+	}
+	if recs := collect(t, w, 0); len(recs) != n {
+		t.Fatalf("replayed %d, want %d", len(recs), n)
+	}
+
+	removed, err := w.Prune(uint64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != st.Segments-1 {
+		t.Errorf("pruned %d segments, want %d (all but active)", removed, st.Segments-1)
+	}
+	if got := w.Stats().Segments; got != 1 {
+		t.Errorf("segments after prune = %d, want 1", got)
+	}
+	// Pruning below the covered point keeps replay working for the tail.
+	if _, err := w.AppendRating(upd(n + 1)); err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, w, 0)
+	if len(recs) == 0 || recs[len(recs)-1].Seq != uint64(n+1) {
+		t.Fatalf("replay after prune = %d records (last %+v)", len(recs), recs[len(recs)-1])
+	}
+	w.Close()
+
+	// Reopen across the prune gap: segments now start past seq 1.
+	w2 := mustOpen(t, dir, Options{SegmentBytes: 100})
+	if w2.LastSeq() != uint64(n+1) {
+		t.Errorf("reopened lastSeq = %d, want %d", w2.LastSeq(), n+1)
+	}
+	w2.Close()
+}
+
+// TestCorruptionBeforeTailFailsOpen: a flipped byte in a sealed segment
+// is unrecoverable corruption, not a torn tail, and must fail loudly.
+func TestCorruptionBeforeTailFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{SegmentBytes: 100})
+	for i := 1; i <= 6; i++ {
+		if _, err := w.AppendRating(upd(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Stats().Segments < 2 {
+		t.Fatal("test needs at least two segments")
+	}
+	w.Close()
+
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[segHeaderSize+frameHeaderSize+3] ^= 0xFF // corrupt first record's body
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{SegmentBytes: 100}); err == nil {
+		t.Fatal("open succeeded on a corrupt sealed segment")
+	} else if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("error %v does not mention corruption", err)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{"always": SyncAlways, "Interval": SyncInterval, "NEVER": SyncNever} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
