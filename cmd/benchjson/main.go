@@ -1,0 +1,122 @@
+// benchjson converts `go test -bench` text output into JSON so CI can
+// archive benchmark runs as machine-readable artifacts (BENCH_shard.json)
+// and later tooling can diff them across commits.
+//
+// Usage:
+//
+//	go test -bench 'Sharded|Monolithic' -run '^$' ./internal/core | benchjson -o BENCH_shard.json
+//
+// Every "BenchmarkName iterations value unit [value unit ...]" line
+// becomes one result object; goos/goarch/pkg/cpu header lines are
+// captured as metadata. Unparseable lines are ignored, so the tool can
+// consume raw `go test` output including PASS/ok trailers.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []result `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(doc.Results) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parse(r io.Reader) (*document, error) {
+	doc := &document{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := parseBenchLine(line); ok {
+				doc.Results = append(doc.Results, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read input: %w", err)
+	}
+	return doc, nil
+}
+
+// parseBenchLine decodes one benchmark result line: the name, the
+// iteration count, then (value, unit) pairs such as "1234 ns/op" or
+// "56.7 ns/update".
+func parseBenchLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	res := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, true
+}

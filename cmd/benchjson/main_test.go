@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: cfsf/internal/core
+cpu: Intel(R) Xeon(R) CPU @ 2.20GHz
+BenchmarkShardedApplySingleShardBatch-1         100     123456 ns/op     7715.5 ns/update
+BenchmarkMonolithicFullRetrain-1                  2  987654321 ns/op
+BenchmarkBroken-1   notanumber   1 ns/op
+PASS
+ok      cfsf/internal/core      12.3s
+`
+	doc, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "cfsf/internal/core" {
+		t.Errorf("metadata = %+v", doc)
+	}
+	if !strings.Contains(doc.CPU, "Xeon") {
+		t.Errorf("cpu = %q", doc.CPU)
+	}
+	if len(doc.Results) != 2 {
+		t.Fatalf("parsed %d results, want 2 (broken line must be skipped): %+v", len(doc.Results), doc.Results)
+	}
+	r := doc.Results[0]
+	if r.Name != "BenchmarkShardedApplySingleShardBatch-1" || r.Iterations != 100 {
+		t.Errorf("first result = %+v", r)
+	}
+	if r.Metrics["ns/op"] != 123456 || r.Metrics["ns/update"] != 7715.5 {
+		t.Errorf("first result metrics = %v", r.Metrics)
+	}
+	if doc.Results[1].Metrics["ns/op"] != 987654321 {
+		t.Errorf("second result metrics = %v", doc.Results[1].Metrics)
+	}
+}
+
+func TestParseRejectsEmptyAndOddLines(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX-1",
+		"BenchmarkX-1 10 5",          // dangling value without unit
+		"BenchmarkX-1 ten 5 ns/op",   // bad iteration count
+		"BenchmarkX-1 10 five ns/op", // bad value
+	} {
+		if res, ok := parseBenchLine(line); ok {
+			t.Errorf("line %q parsed as %+v, want rejection", line, res)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //	cfsf-server -addr :8080 -data u.data
 //	cfsf-server -model model.gob            # load a saved model instead
 //	cfsf-server -data-dir ./cfsf-data       # durable mode: WAL + snapshots
+//	cfsf-server -shards 30                  # user-cluster count C = shard count
 //	cfsf-server -debug                      # also mount /debug/pprof
 //
 // With -data-dir the server becomes crash-safe and stateful: every /rate
@@ -52,6 +53,7 @@ func main() {
 		data      = flag.String("data", "", "u.data path, or empty/synth for the built-in dataset")
 		modelPath = flag.String("model", "", "load a model saved with `cfsf save` instead of training")
 		seed      = flag.Int64("seed", 1, "synthetic dataset seed")
+		shards    = flag.Int("shards", 0, "user-cluster count C = shard count for fresh training (0 = config default; ignored when loading a model or snapshot)")
 
 		dataDir       = flag.String("data-dir", "", "durability root (WAL + snapshots); empty disables the lifecycle manager")
 		fsync         = flag.String("fsync", "always", "WAL fsync policy: always, interval, or never")
@@ -62,7 +64,9 @@ func main() {
 		queueCap      = flag.Int("queue-cap", 4096, "max journaled-but-unapplied ratings before /rate sheds load (503)")
 		snapshotEvery = flag.Duration("snapshot-every", 10*time.Minute, "background snapshot cadence (0 disables)")
 		snapshotKeep  = flag.Int("snapshot-keep", 2, "how many snapshot files to retain")
-		retrainAfter  = flag.Int("retrain-after", 0, "full background retrain after this many applied ratings (0 disables)")
+		retrainAfter  = flag.Int("retrain-after", 0, "background retrain after this many applied ratings (0 disables)")
+		retrainMode   = flag.String("retrain-mode", "shards", "background retrain style: shards (per-shard sweep) or full (stop-the-world KMeans)")
+		snapVerify    = flag.Bool("snapshot-verify", true, "load each snapshot back and compare predictions before it may prune the WAL")
 
 		debug           = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 		growthMargin    = flag.Int("growth-margin", 1, "how far past current matrix bounds a /rate id may grow the model")
@@ -105,8 +109,12 @@ func main() {
 				return nil, err
 			}
 		}
+		cfg := cfsf.DefaultConfig()
+		if *shards > 0 {
+			cfg.Clusters = *shards
+		}
 		t := time.Now()
-		model, err := cfsf.Train(m, cfsf.DefaultConfig())
+		model, err := cfsf.Train(m, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -125,18 +133,20 @@ func main() {
 		}
 		t := time.Now()
 		mgr, err = lifecycle.Open(bootstrap, lifecycle.Config{
-			DataDir:       *dataDir,
-			Fsync:         policy,
-			FsyncInterval: *fsyncInterval,
-			SegmentBytes:  *segmentBytes,
-			BatchMaxSize:  *batchMax,
-			BatchMaxWait:  *batchWait,
-			QueueCapacity: *queueCap,
-			SnapshotEvery: *snapshotEvery,
-			SnapshotKeep:  *snapshotKeep,
-			RetrainAfter:  *retrainAfter,
-			Registry:      registry,
-			Logf:          log.Printf,
+			DataDir:            *dataDir,
+			Fsync:              policy,
+			FsyncInterval:      *fsyncInterval,
+			SegmentBytes:       *segmentBytes,
+			BatchMaxSize:       *batchMax,
+			BatchMaxWait:       *batchWait,
+			QueueCapacity:      *queueCap,
+			SnapshotEvery:      *snapshotEvery,
+			SnapshotKeep:       *snapshotKeep,
+			RetrainAfter:       *retrainAfter,
+			RetrainMode:        *retrainMode,
+			SkipSnapshotVerify: !*snapVerify,
+			Registry:           registry,
+			Logf:               log.Printf,
 		})
 		if err != nil {
 			log.Fatalf("open data dir: %v", err)

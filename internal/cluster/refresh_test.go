@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"cfsf/internal/ratings"
+)
+
+func randMatrix(rng *rand.Rand, users, items, n int) *ratings.Matrix {
+	b := ratings.NewBuilder(users, items).SetScale(1, 5)
+	for k := 0; k < n; k++ {
+		b.MustAdd(rng.Intn(users), rng.Intn(items), float64(rng.Intn(9)+1)/2)
+	}
+	return b.Build()
+}
+
+// requireSameResult asserts that the incremental refresh and the full
+// reassignment produced identical clusterings. Untouched clusters in the
+// refresh may carry shorter (pre-growth) centroid arrays; the values in
+// the shared prefix must match exactly and the full rebuild must be zero
+// beyond it.
+func requireSameResult(t *testing.T, want, got *Result) {
+	t.Helper()
+	if want.K != got.K {
+		t.Fatalf("K: want %d got %d", want.K, got.K)
+	}
+	if len(want.Assign) != len(got.Assign) {
+		t.Fatalf("assign len: want %d got %d", len(want.Assign), len(got.Assign))
+	}
+	for u := range want.Assign {
+		if want.Assign[u] != got.Assign[u] {
+			t.Fatalf("user %d: want cluster %d got %d", u, want.Assign[u], got.Assign[u])
+		}
+	}
+	for c := 0; c < want.K; c++ {
+		if len(want.Members[c]) != len(got.Members[c]) {
+			t.Fatalf("cluster %d members: want %d got %d", c, len(want.Members[c]), len(got.Members[c]))
+		}
+		for j := range want.Members[c] {
+			if want.Members[c][j] != got.Members[c][j] {
+				t.Fatalf("cluster %d member[%d]: want %d got %d", c, j, want.Members[c][j], got.Members[c][j])
+			}
+		}
+		for i := range want.Mean[c] {
+			wm, wc := want.Mean[c][i], want.Count[c][i]
+			var gm float64
+			var gc int32
+			if i < len(got.Mean[c]) {
+				gm, gc = got.Mean[c][i], got.Count[c][i]
+			}
+			if wm != gm || wc != gc {
+				t.Fatalf("cluster %d item %d: want (%v,%d) got (%v,%d)", c, i, wm, wc, gm, gc)
+			}
+		}
+	}
+}
+
+func TestRefreshUsersMatchesReassign(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		m := randMatrix(rng, 25, 15, 180)
+		res, err := Run(m, Options{K: 4, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A changed-user set, possibly with new users and new items.
+		growU := rng.Intn(3)
+		growI := rng.Intn(3)
+		b := ratings.NewBuilder(25+growU, 15+growI).SetScale(1, 5)
+		for u := 0; u < 25; u++ {
+			for _, e := range m.UserRatings(u) {
+				b.MustAdd(u, int(e.Index), e.Value)
+			}
+		}
+		users := map[int]bool{}
+		for k := 0; k < rng.Intn(5)+1; k++ {
+			u := rng.Intn(25 + growU)
+			b.MustAdd(u, rng.Intn(15+growI), float64(rng.Intn(9)+1)/2)
+			users[u] = true
+		}
+		for u := 25; u < 25+growU; u++ { // every new user must rate something
+			b.MustAdd(u, rng.Intn(15+growI), float64(rng.Intn(9)+1)/2)
+			users[u] = true
+		}
+		m2 := b.Build()
+		list := make([]int, 0, len(users))
+		for u := range users {
+			list = append(list, u)
+		}
+
+		want := res.ReassignUsers(m2, list)
+		got, affected := res.RefreshUsers(m2, list)
+		requireSameResult(t, want, got)
+
+		// Every listed user's old and new cluster must be flagged.
+		for _, u := range list {
+			if u < len(res.Assign) && !affected[res.Assign[u]] {
+				t.Fatalf("old cluster %d of user %d not marked affected", res.Assign[u], u)
+			}
+			if !affected[got.Assign[u]] {
+				t.Fatalf("new cluster %d of user %d not marked affected", got.Assign[u], u)
+			}
+		}
+	}
+}
+
+func TestRefreshUsersSharesUntouchedClusters(t *testing.T) {
+	m := blockMatrix(40, 20)
+	res, err := Run(m, Options{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Change one user without moving it: same block, new rating value.
+	u := res.Members[0][0]
+	b := ratings.NewBuilder(40, 20)
+	for v := 0; v < 40; v++ {
+		for _, e := range m.UserRatings(v) {
+			b.MustAdd(v, int(e.Index), e.Value)
+		}
+	}
+	b.MustAdd(u, int(m.UserRatings(u)[0].Index), 4)
+	m2 := b.Build()
+
+	got, affected := res.RefreshUsers(m2, []int{u})
+	if len(affected) != 1 || !affected[0] {
+		t.Fatalf("affected = %v, want exactly {0}", affected)
+	}
+	// Cluster 1 structures are shared, not copied.
+	if &got.Mean[1][0] != &res.Mean[1][0] {
+		t.Fatal("untouched cluster's mean array was copied")
+	}
+	if &got.Members[1][0] != &res.Members[1][0] {
+		t.Fatal("untouched cluster's member list was copied")
+	}
+}
+
+func TestNearestAllMatchesNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randMatrix(rng, 30, 12, 200)
+	res, err := Run(m, Options{K: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := []int{0, 7, 13, 29}
+	got := res.NearestAll(m, users)
+	for j, u := range users {
+		if want := res.Nearest(m, u); got[j] != want {
+			t.Fatalf("user %d: NearestAll %d, Nearest %d", u, got[j], want)
+		}
+	}
+}

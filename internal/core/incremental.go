@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"cfsf/internal/ratings"
+	"cfsf/internal/smoothing"
+)
+
+// withUpdatesIncremental is the shard-local refresh behind
+// ShardedModel.Apply. It produces the same model WithUpdates would —
+// bit-for-bit, including every floating-point aggregate — but rebuilds
+// only the structures a batch can actually invalidate:
+//
+//   - changed users' matrix rows and changed items' columns (the rest of
+//     the immutable matrix is shared, not re-sorted);
+//   - GIS neighbour lists of the changed items (same Refresh call the
+//     monolithic path makes);
+//   - cluster statistics of the affected shards (each changed user's old
+//     and new cluster);
+//   - smoothing deviations of the affected shards plus the global
+//     deviations of every item in a changed user's row (a new rating
+//     moves the user's mean, which shifts the whole row's centred
+//     values);
+//   - iCluster entries for the affected shards (re-sorted per user) and
+//     full rankings for the changed users themselves.
+//
+// ok is false when the batch cannot be applied incrementally and the
+// caller must fall back to the full WithUpdates pass: under time decay
+// (the recency multipliers depend on the global newest timestamp, so any
+// timed update dirties every shard) and on a times-transition (first
+// timed update into an untimed matrix).
+func (mod *Model) withUpdatesIncremental(updates []RatingUpdate) (next *Model, ok bool, err error) {
+	if len(updates) == 0 {
+		return mod, true, nil
+	}
+	if mod.decay != nil {
+		return nil, false, nil // time decay: every shard's weights change
+	}
+	start := time.Now()
+
+	ups := make([]ratings.Upsert, len(updates))
+	changedUsers := map[int]bool{}
+	changedItems := map[int]bool{}
+	for k, up := range updates {
+		if up.User < 0 || up.Item < 0 {
+			return nil, false, fmt.Errorf("cfsf: negative id in update (%d,%d)", up.User, up.Item)
+		}
+		ups[k] = ratings.Upsert{User: up.User, Item: up.Item, Value: up.Value, Time: up.Time}
+		changedUsers[up.User] = true
+		changedItems[up.Item] = true
+	}
+
+	m, mok, err := mod.m.Upserted(ups)
+	if err != nil {
+		return nil, false, err
+	}
+	if !mok {
+		return nil, false, nil // times transition: full rebuild required
+	}
+
+	itemList := make([]int, 0, len(changedItems))
+	for i := range changedItems {
+		itemList = append(itemList, i)
+	}
+	userList := make([]int, 0, len(changedUsers))
+	for u := range changedUsers {
+		userList = append(userList, u)
+	}
+
+	out := &Model{cfg: mod.cfg, m: m}
+
+	t := time.Now()
+	out.gis = mod.gis.Refresh(m, itemList, mod.gis.Options())
+	out.stats.GISDuration = time.Since(t)
+	out.stats.GISNeighbors = out.gis.TotalNeighbors()
+
+	t = time.Now()
+	cl, affected := mod.clusters.RefreshUsers(m, userList)
+	out.clusters = cl
+	out.stats.ClusterDuration = time.Since(t)
+	out.stats.ClusterIters = 0 // no K-means pass ran
+
+	// decay is nil by the guard above, and stays nil: Upserted preserves
+	// HasTimes, so buildDecay would produce nil here too.
+
+	affItems := map[int]bool{}
+	for u := range changedUsers {
+		for _, e := range m.UserRatings(u) {
+			affItems[int(e.Index)] = true
+		}
+	}
+
+	t = time.Now()
+	out.sm = mod.sm.Refresh(m, cl, affected, affItems)
+	out.stats.SmoothDuration = time.Since(t)
+
+	t = time.Now()
+	out.ic = smoothing.RefreshICluster(mod.ic, out.sm, affected, changedUsers, mod.cfg.Workers)
+	out.stats.IClusterDuration = time.Since(t)
+
+	out.neighborCache = make([]atomic.Pointer[[]likeMinded], m.NumUsers())
+	out.stats.Incremental = true
+	out.stats.UpdatesApplied = len(updates)
+	out.stats.TotalDuration = time.Since(start)
+	return out, true, nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"cfsf/internal/synth"
+)
+
+// Benchmarks for the sharded vs monolithic apply/retrain paths at the
+// paper's C=30. The batch targets users of a single shard — the common
+// case the sharding refactor optimises — so the monolithic number pays
+// the full O(C·nnz) rebuild while the sharded one touches one cluster.
+
+// benchModel trains at the paper's MovieLens-100K scale (943 users, 1682
+// items, ~100k ratings) with the paper's C=30 — the workload the sharding
+// refactor targets.
+func benchModel(b *testing.B) *Model {
+	b.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.Users = 943
+	cfg.Items = 1682
+	cfg.MinPerUser = 20
+	cfg.MeanPerUser = 106
+	cfg.Archetypes = 16
+	d := synth.MustGenerate(cfg)
+	mcfg := DefaultConfig()
+	mcfg.Clusters = 30
+	mod, err := Train(d.Matrix, mcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mod
+}
+
+// singleShardBatch builds a batch touching only shard 0's users, re-rating
+// items they already rated so no user changes cluster.
+func singleShardBatch(b *testing.B, mod *Model, n int) []RatingUpdate {
+	b.Helper()
+	members := mod.Clusters().Members[0]
+	var ups []RatingUpdate
+	for len(ups) < n {
+		for _, u := range members {
+			row := mod.Matrix().UserRatings(u)
+			if len(row) == 0 {
+				continue
+			}
+			e := row[len(ups)%len(row)]
+			ups = append(ups, RatingUpdate{User: u, Item: int(e.Index), Value: 3})
+			if len(ups) == n {
+				break
+			}
+		}
+		if len(members) == 0 {
+			b.Skip("empty shard 0")
+		}
+	}
+	return ups
+}
+
+func BenchmarkMonolithicApplySingleShardBatch(b *testing.B) {
+	mod := benchModel(b)
+	ups := singleShardBatch(b, mod, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mod.WithUpdates(ups); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(ups)), "ns/update")
+}
+
+func BenchmarkShardedApplySingleShardBatch(b *testing.B) {
+	mod := benchModel(b)
+	sharded := NewSharded(mod)
+	ups := singleShardBatch(b, mod, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sharded.Apply(ups); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(ups)), "ns/update")
+}
+
+func BenchmarkMonolithicFullRetrain(b *testing.B) {
+	mod := benchModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(mod.Matrix(), mod.Config()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardedRetrainOneShard(b *testing.B) {
+	mod := benchModel(b)
+	sharded := NewSharded(mod)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sharded.RetrainShard(i % sharded.NumShards()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

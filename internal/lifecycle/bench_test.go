@@ -62,7 +62,7 @@ func BenchmarkWALAppend(b *testing.B) {
 			u := testUpdate(1)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := w.AppendRating(u); err != nil {
+				if _, err := w.AppendRating(u, -1); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,11 +1,12 @@
 // Package lifecycle owns the serving model end to end: it journals every
-// incoming rating to a write-ahead log before acknowledging it, folds
-// queued ratings into the model in micro-batches (one O(nnz)
-// Model.WithUpdates rebuild per batch instead of per request), rotates
-// atomic snapshots so restarts are fast, and schedules the full
-// background retrain that internal/core/update.go's drift caveat asks
-// for ("a long stream of updates slowly degrades the clustering; retrain
-// fully at a cadence").
+// incoming rating to a write-ahead log before acknowledging it, routes
+// queued ratings to the model shard (= user cluster) they touch, folds
+// them in per-shard micro-batches — a batch confined to one shard pays a
+// shard-local core.ShardedModel.Apply instead of the monolithic O(nnz)
+// rebuild — rotates atomic snapshots so restarts are fast, and schedules
+// the background retrain that internal/core/update.go's drift caveat
+// asks for, either as a per-shard sweep (RetrainMode "shards") or as the
+// legacy stop-the-world KMeans pass ("full").
 //
 // Data-dir layout:
 //
@@ -13,11 +14,17 @@
 //	<dir>/snapshots/snap-<seq>.gob  model snapshots; <seq> is the last
 //	                                rating sequence the snapshot covers
 //
-// Boot loads the newest snapshot (or calls the bootstrap function when
-// none exists), replays the WAL tail past the snapshot's sequence —
-// regrouping ratings into exactly the micro-batches the previous process
-// applied, so the recovered model is bit-for-bit identical — and then
-// writes a fresh snapshot so the next boot replays nothing.
+// Boot loads the newest loadable snapshot — unreadable or
+// unknown-version files are skipped in favour of older ones — or calls
+// the bootstrap function when none loads, then replays the WAL tail past
+// the snapshot's sequence. Each rating record carries the shard it was
+// routed to and each batch-commit record the shard it was applied on, so
+// replay regroups ratings into exactly the per-shard micro-batches the
+// previous process applied and the recovered model is bit-for-bit
+// identical. A fresh snapshot is then written so the next boot replays
+// nothing — but only after it passes a load-and-predict self-check; a
+// snapshot that cannot be read back and reproduce the serving model's
+// predictions never prunes the WAL it claims to cover.
 package lifecycle
 
 import (
@@ -66,12 +73,24 @@ type Config struct {
 	// SnapshotKeep is how many snapshot files to retain. <= 0 means 2.
 	SnapshotKeep int
 
-	// RetrainAfter, when > 0, triggers a full background retrain once
-	// this many ratings have been applied since the last full train.
+	// RetrainAfter, when > 0, triggers a background retrain once this
+	// many ratings have been applied since the last retrain.
 	RetrainAfter int
-	// TrainConfig, when non-nil, is the configuration for background
-	// retrains; nil reuses the serving model's own configuration.
+	// RetrainMode selects what a background retrain does: "shards" (the
+	// default) rebuilds the shared GIS and then re-fits one shard at a
+	// time (core.ShardedModel.RetrainShard swept across every shard);
+	// "full" is the legacy stop-the-world core.Train pass.
+	RetrainMode string
+	// TrainConfig, when non-nil, is the configuration for "full"-mode
+	// background retrains; nil reuses the serving model's own
+	// configuration. "shards" mode keeps the serving configuration.
 	TrainConfig *core.Config
+
+	// SkipSnapshotVerify disables the load-and-predict self-check that
+	// every written snapshot must pass before it is checkpointed and the
+	// WAL it covers pruned. Only tests (and operators who prefer faster
+	// snapshots over the read-back guarantee) should set it.
+	SkipSnapshotVerify bool
 
 	// Registry receives wal/lifecycle metrics; one is created when nil.
 	Registry *obs.Registry
@@ -92,6 +111,9 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotKeep <= 0 {
 		c.SnapshotKeep = 2
 	}
+	if c.RetrainMode == "" {
+		c.RetrainMode = RetrainShards
+	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
@@ -101,6 +123,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// RetrainMode values for Config.RetrainMode.
+const (
+	RetrainShards = "shards"
+	RetrainFull   = "full"
+)
+
 // ErrQueueFull is returned by Submit when the unapplied-rating queue is
 // at capacity; callers should shed load (the server maps it to 503).
 var ErrQueueFull = fmt.Errorf("lifecycle: update queue full")
@@ -108,17 +136,23 @@ var ErrQueueFull = fmt.Errorf("lifecycle: update queue full")
 // ErrClosed is returned by Submit after Close or Abort.
 var ErrClosed = fmt.Errorf("lifecycle: manager closed")
 
-// modelState pairs the serving model with the last rating sequence
-// folded into it, swapped atomically so snapshots always pair a model
-// with its exact WAL position.
+// modelState pairs the serving model with its WAL position, swapped
+// atomically. seq is the contiguous applied watermark: every rating with
+// sequence <= seq is folded in. complete additionally means *only* those
+// ratings are folded in — per-shard batching can apply a later-sequence
+// rating while an earlier one (bound for another shard) still queues, and
+// such a mid-drain model must never be snapshotted: a snapshot labelled
+// with the watermark would double-apply the later rating on replay.
 type modelState struct {
-	mod *core.Model
-	seq uint64
+	sharded  *core.ShardedModel
+	seq      uint64
+	complete bool
 }
 
 type pendingUpdate struct {
-	seq uint64
-	u   core.RatingUpdate
+	seq   uint64
+	u     core.RatingUpdate
+	shard int // routing decision recorded in the WAL, reused for batching
 }
 
 // BootStats reports what Open did to reach the serving model.
@@ -157,8 +191,9 @@ type Manager struct {
 	state atomic.Pointer[modelState]
 	boot  BootStats
 
-	mu      sync.Mutex // guards pending and orders WAL appends with enqueueing
+	mu      sync.Mutex // guards pending/maxSeq and orders WAL appends with enqueueing
 	pending []pendingUpdate
+	maxSeq  uint64 // highest rating sequence ever enqueued
 
 	kick    chan struct{}
 	stopc   chan struct{} // Close: drain then exit
@@ -168,7 +203,7 @@ type Manager struct {
 
 	snapMu       sync.Mutex  // serialises snapshot writes
 	snapForce    atomic.Bool // a retrain swapped the model without advancing seq
-	retrainReq   chan struct{}
+	retrainReq   chan string // requested RetrainMode ("" = configured default)
 	retrainc     chan retrainResult
 	retraining   bool                // run-loop state: a retrain goroutine is in flight
 	sinceRetrain []core.RatingUpdate // run-loop state: updates applied while retraining
@@ -191,7 +226,7 @@ type Manager struct {
 }
 
 type retrainResult struct {
-	mod      *core.Model
+	sharded  *core.ShardedModel
 	err      error
 	duration time.Duration
 }
@@ -204,6 +239,10 @@ func Open(bootstrap func() (*core.Model, error), cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
 	if cfg.DataDir == "" {
 		return nil, fmt.Errorf("lifecycle: DataDir is required")
+	}
+	if cfg.RetrainMode != RetrainShards && cfg.RetrainMode != RetrainFull {
+		return nil, fmt.Errorf("lifecycle: unknown retrain mode %q (want %q or %q)",
+			cfg.RetrainMode, RetrainShards, RetrainFull)
 	}
 	if err := os.MkdirAll(snapshotDir(cfg.DataDir), 0o755); err != nil {
 		return nil, fmt.Errorf("lifecycle: create snapshot dir: %w", err)
@@ -225,7 +264,7 @@ func Open(bootstrap func() (*core.Model, error), cfg Config) (*Manager, error) {
 		stopc:      make(chan struct{}),
 		abortc:     make(chan struct{}),
 		done:       make(chan struct{}),
-		retrainReq: make(chan struct{}, 1),
+		retrainReq: make(chan string, 1),
 		// Buffered so the retrain goroutine can finish even if the loop
 		// is gone (Abort) — it must never block forever on send.
 		retrainc: make(chan retrainResult, 1),
@@ -274,15 +313,19 @@ const (
 
 func snapName(seq uint64) string { return fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix) }
 
-// latestSnapshot returns the newest snapshot file and the sequence it
-// covers, or "" when none exists.
-func latestSnapshot(dataDir string) (path string, seq uint64, err error) {
+type snapshotFile struct {
+	path string
+	seq  uint64
+}
+
+// listSnapshots returns every snapshot file in the data dir, newest
+// (highest covered sequence) first.
+func listSnapshots(dataDir string) ([]snapshotFile, error) {
 	entries, err := os.ReadDir(snapshotDir(dataDir))
 	if err != nil {
-		return "", 0, err
+		return nil, err
 	}
-	best := ""
-	var bestSeq uint64
+	var snaps []snapshotFile
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
@@ -292,38 +335,56 @@ func latestSnapshot(dataDir string) (path string, seq uint64, err error) {
 		if _, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), "%016x", &s); err != nil {
 			continue
 		}
-		if best == "" || s > bestSeq {
-			best, bestSeq = name, s
-		}
+		snaps = append(snaps, snapshotFile{path: filepath.Join(snapshotDir(dataDir), name), seq: s})
 	}
-	if best == "" {
-		return "", 0, nil
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq > snaps[j].seq })
+	return snaps, nil
+}
+
+// latestSnapshot returns the newest snapshot file and the sequence it
+// covers, or "" when none exists.
+func latestSnapshot(dataDir string) (path string, seq uint64, err error) {
+	snaps, err := listSnapshots(dataDir)
+	if err != nil || len(snaps) == 0 {
+		return "", 0, err
 	}
-	return filepath.Join(snapshotDir(dataDir), best), bestSeq, nil
+	return snaps[0].path, snaps[0].seq, nil
 }
 
 // bootModel establishes the serving model: snapshot or bootstrap, then
 // WAL-tail replay grouped by the previous run's batch-commit records.
 func (m *Manager) bootModel(bootstrap func() (*core.Model, error)) error {
-	path, baseSeq, err := latestSnapshot(m.cfg.DataDir)
+	snaps, err := listSnapshots(m.cfg.DataDir)
 	if err != nil {
 		return fmt.Errorf("lifecycle: list snapshots: %w", err)
 	}
+	// Try snapshots newest-first: a file that cannot be decoded — torn by
+	// the filesystem, or written by a newer build whose wire version this
+	// binary rejects — is skipped in favour of the next older one. The
+	// WAL needed to catch up from an older snapshot is still present
+	// because segments are only pruned once a *verified* snapshot covers
+	// them.
 	var base *core.Model
-	hadSnapshot := path != ""
-	if hadSnapshot {
+	var baseSeq uint64
+	hadSnapshot := false
+	for _, s := range snaps {
 		t := time.Now()
-		base, err = core.LoadFile(path)
-		if err != nil {
-			return fmt.Errorf("lifecycle: load snapshot %s: %w", path, err)
+		mod, lerr := core.LoadFile(s.path)
+		if lerr != nil {
+			m.reg.Counter("lifecycle_snapshot_load_failures_total").Inc()
+			m.cfg.Logf("lifecycle: snapshot %s unusable (%v); trying an older one", filepath.Base(s.path), lerr)
+			continue
 		}
 		m.cfg.Logf("lifecycle: loaded snapshot %s (covers seq %d) in %v",
-			filepath.Base(path), baseSeq, time.Since(t).Round(time.Millisecond))
-		m.boot.SnapshotLoaded = path
-		m.boot.SnapshotSeq = baseSeq
-	} else {
+			filepath.Base(s.path), s.seq, time.Since(t).Round(time.Millisecond))
+		base, baseSeq, hadSnapshot = mod, s.seq, true
+		m.boot.SnapshotLoaded = s.path
+		m.boot.SnapshotSeq = s.seq
+		break
+	}
+	if !hadSnapshot {
 		if bootstrap == nil {
-			return fmt.Errorf("lifecycle: no snapshot in %s and no bootstrap function", m.cfg.DataDir)
+			return fmt.Errorf("lifecycle: no loadable snapshot in %s and no bootstrap function", m.cfg.DataDir)
 		}
 		base, err = bootstrap()
 		if err != nil {
@@ -335,24 +396,30 @@ func (m *Manager) bootModel(bootstrap func() (*core.Model, error)) error {
 	// process applied. A commit record covers ratings up to its Covered
 	// sequence only — ratings for the *next* batch may already sit ahead
 	// of it in the file (appends and commits interleave), so the split is
-	// by sequence, not by position. Ratings past the final commit were
-	// journaled but possibly never applied; they form one final batch.
-	cur := base
+	// by sequence, not by position. A commit that carries a shard id
+	// closes a per-shard batch: only queued ratings *routed to that
+	// shard* are in it; ratings bound for other shards stay queued for
+	// their own commits. Legacy commits (shard -1) cover every queued
+	// rating, the pre-sharding batching. Ratings past the final commit
+	// were journaled but possibly never applied; they form one final
+	// batch.
+	cur := core.NewSharded(base)
 	var queued []pendingUpdate
 	lastSeq := baseSeq
-	applyThrough := func(covered uint64) error {
-		cut := 0
-		for cut < len(queued) && queued[cut].seq <= covered {
-			cut++
+	applyThrough := func(covered uint64, shard int) error {
+		batch := make([]core.RatingUpdate, 0, len(queued))
+		kept := queued[:0]
+		for _, p := range queued {
+			if p.seq <= covered && (shard < 0 || p.shard == shard) {
+				batch = append(batch, p.u)
+			} else {
+				kept = append(kept, p)
+			}
 		}
-		if cut == 0 {
+		if len(batch) == 0 {
 			return nil
 		}
-		batch := make([]core.RatingUpdate, cut)
-		for i, p := range queued[:cut] {
-			batch[i] = p.u
-		}
-		queued = queued[cut:]
+		queued = kept
 		next, err := m.applyUpdates(cur, batch)
 		if err != nil {
 			return fmt.Errorf("lifecycle: replay batch through seq %d: %w", covered, err)
@@ -364,22 +431,23 @@ func (m *Manager) bootModel(bootstrap func() (*core.Model, error)) error {
 	err = m.w.Replay(baseSeq, func(rec wal.Record) error {
 		switch rec.Type {
 		case wal.RecordRating:
-			queued = append(queued, pendingUpdate{seq: rec.Seq, u: rec.Update})
+			queued = append(queued, pendingUpdate{seq: rec.Seq, u: rec.Update, shard: rec.Shard})
 			lastSeq = rec.Seq
 			m.boot.ReplayedRecords++
 		case wal.RecordBatchCommit:
-			return applyThrough(rec.Covered)
+			return applyThrough(rec.Covered, rec.Shard)
 		}
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	if err := applyThrough(lastSeq); err != nil {
+	if err := applyThrough(lastSeq, -1); err != nil {
 		return err
 	}
 
-	m.state.Store(&modelState{mod: cur, seq: maxU64(baseSeq, lastSeq)})
+	m.maxSeq = maxU64(baseSeq, lastSeq)
+	m.state.Store(&modelState{sharded: cur, seq: m.maxSeq, complete: true})
 
 	// Re-anchor durability: after any replay (or a first boot with no
 	// snapshot at all) write a snapshot so the next boot starts from a
@@ -400,18 +468,19 @@ func maxU64(a, b uint64) uint64 {
 	return b
 }
 
-// applyUpdates folds updates into mod, falling back to per-update
-// application when the batch fails as a whole so one malformed update
-// cannot wedge the log (bad updates are counted and dropped).
-func (m *Manager) applyUpdates(mod *core.Model, updates []core.RatingUpdate) (*core.Model, error) {
-	next, err := mod.WithUpdates(updates)
+// applyUpdates folds updates into the sharded model, falling back to
+// per-update application when the batch fails as a whole so one
+// malformed update cannot wedge the log (bad updates are counted and
+// dropped).
+func (m *Manager) applyUpdates(sm *core.ShardedModel, updates []core.RatingUpdate) (*core.ShardedModel, error) {
+	next, err := sm.Apply(updates)
 	if err == nil {
 		return next, nil
 	}
 	m.cfg.Logf("lifecycle: batch of %d failed (%v); retrying per update", len(updates), err)
-	cur := mod
+	cur := sm
 	for _, u := range updates {
-		n, uerr := cur.WithUpdates([]core.RatingUpdate{u})
+		n, uerr := cur.Apply([]core.RatingUpdate{u})
 		if uerr != nil {
 			m.mApplyErrs.Inc()
 			m.cfg.Logf("lifecycle: dropping unappliable update (%d,%d)=%g: %v", u.User, u.Item, u.Value, uerr)
@@ -423,10 +492,14 @@ func (m *Manager) applyUpdates(mod *core.Model, updates []core.RatingUpdate) (*c
 }
 
 // Model returns the currently served model.
-func (m *Manager) Model() *core.Model { return m.state.Load().mod }
+func (m *Manager) Model() *core.Model { return m.state.Load().sharded.Model() }
 
-// AppliedSeq returns the WAL sequence of the last rating folded into the
-// serving model.
+// ShardStats returns the per-shard view of the serving model: user and
+// rating counts plus apply/retrain activity for every shard.
+func (m *Manager) ShardStats() []core.ShardStats { return m.state.Load().sharded.ShardStats() }
+
+// AppliedSeq returns the contiguous applied watermark: every rating with
+// a WAL sequence at or below it is folded into the serving model.
 func (m *Manager) AppliedSeq() uint64 { return m.state.Load().seq }
 
 // Pending returns the number of journaled-but-unapplied ratings.
@@ -444,12 +517,14 @@ func (m *Manager) BootStats() BootStats { return m.boot }
 func (m *Manager) WALStats() wal.OpenStats { return m.w.Stats() }
 
 // Submit journals one rating (durable per the fsync policy once this
-// returns) and queues it for the next micro-batch. It returns the
-// rating's WAL sequence and how many ratings are now pending.
+// returns), routed to the shard its user belongs to, and queues it for
+// that shard's next micro-batch. It returns the rating's WAL sequence
+// and how many ratings are now pending.
 func (m *Manager) Submit(u core.RatingUpdate) (seq uint64, pending int, err error) {
 	if m.closing.Load() {
 		return 0, 0, ErrClosed
 	}
+	shard := m.state.Load().sharded.ShardOf(u.User)
 	m.mu.Lock()
 	if len(m.pending) >= m.cfg.QueueCapacity {
 		m.mu.Unlock()
@@ -457,13 +532,14 @@ func (m *Manager) Submit(u core.RatingUpdate) (seq uint64, pending int, err erro
 		return 0, 0, ErrQueueFull
 	}
 	t := time.Now()
-	seq, err = m.w.AppendRating(u)
+	seq, err = m.w.AppendRating(u, shard)
 	if err != nil {
 		m.mu.Unlock()
 		return 0, 0, err
 	}
 	m.mAppendLat.Observe(durMS(time.Since(t)))
-	m.pending = append(m.pending, pendingUpdate{seq: seq, u: u})
+	m.pending = append(m.pending, pendingUpdate{seq: seq, u: u, shard: shard})
+	m.maxSeq = seq
 	pending = len(m.pending)
 	m.mu.Unlock()
 
@@ -473,6 +549,52 @@ func (m *Manager) Submit(u core.RatingUpdate) (seq uint64, pending int, err erro
 	default:
 	}
 	return seq, pending, nil
+}
+
+// SubmitBatch journals a batch of ratings as one WAL append group — a
+// single write and, under SyncAlways, a single fsync for the whole
+// request — then routes each rating to its shard's queue. It returns the
+// per-rating WAL sequences (in batch order) and the pending count. The
+// batch is all-or-nothing at the queue: if it would overflow
+// QueueCapacity, nothing is journaled and ErrQueueFull is returned.
+func (m *Manager) SubmitBatch(ups []core.RatingUpdate) (seqs []uint64, pending int, err error) {
+	if m.closing.Load() {
+		return nil, 0, ErrClosed
+	}
+	if len(ups) == 0 {
+		return nil, m.Pending(), nil
+	}
+	st := m.state.Load()
+	shards := make([]int, len(ups))
+	for i, u := range ups {
+		shards[i] = st.sharded.ShardOf(u.User)
+	}
+	m.mu.Lock()
+	if len(m.pending)+len(ups) > m.cfg.QueueCapacity {
+		m.mu.Unlock()
+		m.mQueueFull.Inc()
+		return nil, 0, ErrQueueFull
+	}
+	t := time.Now()
+	seqs, err = m.w.AppendRatings(ups, shards)
+	if err != nil {
+		m.mu.Unlock()
+		return nil, 0, err
+	}
+	m.mAppendLat.Observe(durMS(time.Since(t)))
+	for i, u := range ups {
+		m.pending = append(m.pending, pendingUpdate{seq: seqs[i], u: u, shard: shards[i]})
+	}
+	m.maxSeq = seqs[len(seqs)-1]
+	pending = len(m.pending)
+	m.mu.Unlock()
+
+	m.mPending.Set(float64(pending))
+	select {
+	case m.kick <- struct{}{}:
+	default:
+	}
+	return seqs, pending, nil
 }
 
 func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -522,9 +644,12 @@ func (m *Manager) run() {
 					m.cfg.Logf("lifecycle: scheduled snapshot: %v", err)
 				}
 			}()
-		case <-m.retrainReq:
+		case mode := <-m.retrainReq:
 			if !m.retraining {
-				m.startRetrain()
+				if mode == "" {
+					mode = m.cfg.RetrainMode
+				}
+				m.startRetrain(mode)
 			}
 		case res := <-m.retrainc:
 			m.finishRetrain(res)
@@ -532,27 +657,48 @@ func (m *Manager) run() {
 	}
 }
 
-// applyPending drains the queue in batches of at most BatchMaxSize,
-// swapping the served model once per batch and journaling a batch-commit
-// record after each swap.
+// applyPending drains the queue in per-shard batches: each round cuts up
+// to BatchMaxSize pending ratings routed to the shard at the head of the
+// queue (oldest first), so a burst confined to one user cluster rebuilds
+// only that shard's structures. The served model is swapped once per
+// batch and a batch-commit record carrying the shard id is journaled
+// after each swap, which is what lets crash-replay regroup the exact
+// same per-shard batches.
 func (m *Manager) applyPending() {
 	for {
 		m.mu.Lock()
 		if len(m.pending) == 0 {
 			m.mu.Unlock()
 			m.mPending.Set(0)
+			// A forced snapshot (post-retrain) that arrived mid-drain was
+			// deferred until the model was complete again; retry it now.
+			if m.snapForce.Load() {
+				go func() {
+					if _, err := m.Snapshot(); err != nil {
+						m.cfg.Logf("lifecycle: deferred snapshot: %v", err)
+					}
+				}()
+			}
 			return
 		}
-		n := len(m.pending)
-		if n > m.cfg.BatchMaxSize {
-			n = m.cfg.BatchMaxSize
+		// Cut the head shard's batch: pending is in sequence order, so the
+		// cut is the first BatchMaxSize entries routed to that shard, and
+		// every entry of that shard left behind has a later sequence than
+		// the batch's commit will cover.
+		shard := m.pending[0].shard
+		batch := make([]pendingUpdate, 0, min(len(m.pending), m.cfg.BatchMaxSize))
+		kept := m.pending[:0]
+		for _, p := range m.pending {
+			if p.shard == shard && len(batch) < m.cfg.BatchMaxSize {
+				batch = append(batch, p)
+			} else {
+				kept = append(kept, p)
+			}
 		}
-		batch := make([]pendingUpdate, n)
-		copy(batch, m.pending[:n])
-		rest := copy(m.pending, m.pending[n:])
-		m.pending = m.pending[:rest]
+		m.pending = kept
 		m.mu.Unlock()
 
+		n := len(batch)
 		updates := make([]core.RatingUpdate, n)
 		for i, p := range batch {
 			updates[i] = p.u
@@ -561,7 +707,7 @@ func (m *Manager) applyPending() {
 
 		t := time.Now()
 		cur := m.state.Load()
-		next, err := m.applyUpdates(cur.mod, updates)
+		next, err := m.applyUpdates(cur.sharded, updates)
 		if err != nil {
 			// applyUpdates only errors when even per-update fallback is
 			// impossible; drop the batch rather than wedge the loop.
@@ -569,8 +715,19 @@ func (m *Manager) applyPending() {
 			m.cfg.Logf("lifecycle: dropping batch of %d: %v", n, err)
 			continue
 		}
-		m.state.Store(&modelState{mod: next, seq: lastSeq})
-		if _, err := m.w.AppendBatchCommit(lastSeq); err != nil {
+		// The watermark only reaches maxSeq once every queue entry below it
+		// is applied; between per-shard batches it trails the oldest still-
+		// pending rating, and the model is marked incomplete so snapshots
+		// wait (see modelState).
+		m.mu.Lock()
+		st := &modelState{sharded: next, seq: m.maxSeq, complete: true}
+		if len(m.pending) > 0 {
+			st.seq = m.pending[0].seq - 1
+			st.complete = false
+		}
+		m.state.Store(st)
+		m.mu.Unlock()
+		if _, err := m.w.AppendBatchCommit(lastSeq, shard); err != nil {
 			m.cfg.Logf("lifecycle: journal batch commit: %v", err)
 		}
 
@@ -585,7 +742,7 @@ func (m *Manager) applyPending() {
 		}
 		m.driftCount += n
 		if m.cfg.RetrainAfter > 0 && m.driftCount >= m.cfg.RetrainAfter && !m.retraining {
-			m.startRetrain()
+			m.startRetrain(m.cfg.RetrainMode)
 		}
 	}
 }
@@ -593,33 +750,55 @@ func (m *Manager) applyPending() {
 // publishModelGauges mirrors the served model's shape into the registry.
 func (m *Manager) publishModelGauges() {
 	st := m.state.Load()
-	mx := st.mod.Matrix()
+	mx := st.sharded.Model().Matrix()
 	m.reg.Gauge("lifecycle_model_users").Set(float64(mx.NumUsers()))
 	m.reg.Gauge("lifecycle_model_items").Set(float64(mx.NumItems()))
 	m.reg.Gauge("lifecycle_model_ratings").Set(float64(mx.NumRatings()))
+	m.reg.Gauge("lifecycle_shards").Set(float64(st.sharded.NumShards()))
 	m.reg.Gauge("lifecycle_applied_seq").Set(float64(st.seq))
 	m.reg.Gauge("wal_last_seq").Set(float64(m.w.LastSeq()))
 	m.reg.Gauge("wal_segments").Set(float64(m.w.Stats().Segments))
 }
 
-// startRetrain kicks off a full offline train of the current matrix in a
+// startRetrain kicks off a background retrain of the current matrix in a
 // goroutine; only the run loop calls it, so the captured state and the
-// catch-up buffer stay consistent.
-func (m *Manager) startRetrain() {
+// catch-up buffer stay consistent. Mode "shards" rebuilds the shared GIS
+// and then re-fits one shard at a time; "full" is a stop-the-world
+// core.Train.
+func (m *Manager) startRetrain(mode string) {
 	st := m.state.Load()
-	cfg := st.mod.Config()
-	if m.cfg.TrainConfig != nil {
-		cfg = *m.cfg.TrainConfig
-	}
 	m.retraining = true
 	m.sinceRetrain = nil
 	m.reg.Gauge("lifecycle_retraining").Set(1)
-	m.cfg.Logf("lifecycle: full retrain started (%d ratings, %d applied since last train)",
-		st.mod.Matrix().NumRatings(), m.driftCount)
+	m.cfg.Logf("lifecycle: %s retrain started (%d ratings, %d applied since last train)",
+		mode, st.sharded.Model().Matrix().NumRatings(), m.driftCount)
 	go func() {
 		t := time.Now()
-		mod, err := core.Train(st.mod.Matrix(), cfg)
-		m.retrainc <- retrainResult{mod: mod, err: err, duration: time.Since(t)}
+		var res retrainResult
+		if mode == RetrainFull {
+			cfg := st.sharded.Model().Config()
+			if m.cfg.TrainConfig != nil {
+				cfg = *m.cfg.TrainConfig
+			}
+			mod, err := core.Train(st.sharded.Model().Matrix(), cfg)
+			if err == nil {
+				res.sharded = core.NewSharded(mod)
+			}
+			res.err = err
+		} else {
+			// Per-shard sweep: fresh GIS first (incremental GIS refreshes
+			// leave truncated neighbour lists of unchanged items stale, so
+			// the sweep reads repaired similarities), then one Lloyd
+			// re-assignment pass per shard.
+			sm := st.sharded.RebuildGIS()
+			var err error
+			for s := 0; s < sm.NumShards() && err == nil; s++ {
+				sm, err = sm.RetrainShard(s)
+			}
+			res.sharded, res.err = sm, err
+		}
+		res.duration = time.Since(t)
+		m.retrainc <- res
 	}()
 }
 
@@ -636,7 +815,7 @@ func (m *Manager) finishRetrain(res retrainResult) {
 		m.cfg.Logf("lifecycle: retrain failed: %v", res.err)
 		return
 	}
-	mod := res.mod
+	mod := res.sharded
 	if len(catchUp) > 0 {
 		next, err := m.applyUpdates(mod, catchUp)
 		if err != nil {
@@ -646,8 +825,8 @@ func (m *Manager) finishRetrain(res retrainResult) {
 		}
 		mod = next
 	}
-	seq := m.state.Load().seq // catch-up covered everything applied so far
-	m.state.Store(&modelState{mod: mod, seq: seq})
+	cur := m.state.Load() // catch-up covered everything applied so far
+	m.state.Store(&modelState{sharded: mod, seq: cur.seq, complete: cur.complete})
 	m.driftCount = 0
 	m.mRetrains.Inc()
 	m.mRetrainLat.Observe(durMS(res.duration))
@@ -664,14 +843,19 @@ func (m *Manager) finishRetrain(res retrainResult) {
 	}()
 }
 
-// TriggerRetrain requests a full background retrain. It reports false
-// when a request is already queued or a retrain is in flight.
-func (m *Manager) TriggerRetrain() bool {
+// TriggerRetrain requests a background retrain in the given mode
+// (RetrainShards, RetrainFull, or "" for the configured default). It
+// reports false when the mode is unknown, a request is already queued,
+// or a retrain is in flight.
+func (m *Manager) TriggerRetrain(mode string) bool {
+	if mode != "" && mode != RetrainShards && mode != RetrainFull {
+		return false
+	}
 	if m.closing.Load() || m.Retraining() {
 		return false
 	}
 	select {
-	case m.retrainReq <- struct{}{}:
+	case m.retrainReq <- mode:
 		return true
 	default:
 		return false
@@ -685,15 +869,22 @@ func (m *Manager) Retraining() bool {
 }
 
 // Snapshot writes the serving model atomically (temp file + rename, both
-// fsynced) to snapshots/snap-<seq>.gob, journals a checkpoint record,
-// prunes WAL segments the snapshot covers, and drops snapshots beyond
-// SnapshotKeep. When nothing was applied since the last snapshot it
+// fsynced) to snapshots/snap-<seq>.gob, verifies it with a load-and-
+// predict self-check, and only then journals a checkpoint record, prunes
+// WAL segments the snapshot covers, and drops snapshots beyond
+// SnapshotKeep — a snapshot that cannot reproduce the serving model's
+// predictions is deleted and never shrinks the WAL. When nothing was
+// applied since the last snapshot, or the model is mid-drain (per-shard
+// batching has applied a rating beyond the contiguous watermark), it
 // returns Skipped without touching disk.
 func (m *Manager) Snapshot() (SnapshotInfo, error) {
 	m.snapMu.Lock()
 	defer m.snapMu.Unlock()
 
 	st := m.state.Load()
+	if !st.complete {
+		return SnapshotInfo{CoveredSeq: st.seq, Skipped: true}, nil
+	}
 	path := filepath.Join(snapshotDir(m.cfg.DataDir), snapName(st.seq))
 	// A snapshot file for this seq normally means there is nothing new to
 	// persist — except right after a retrain, which replaces the model
@@ -726,7 +917,7 @@ func (m *Manager) Snapshot() (SnapshotInfo, error) {
 		os.Remove(tmpName)
 		return SnapshotInfo{}, err
 	}
-	if err := st.mod.Save(tmp); err != nil {
+	if err := st.sharded.Model().Save(tmp); err != nil {
 		return fail(err)
 	}
 	if err := tmp.Sync(); err != nil {
@@ -742,6 +933,21 @@ func (m *Manager) Snapshot() (SnapshotInfo, error) {
 	}
 	if err := syncDirOf(path); err != nil {
 		return SnapshotInfo{}, err
+	}
+
+	// Self-check before the snapshot is allowed to shrink the WAL: load
+	// the published file back and demand bit-identical predictions from
+	// the reconstructed model. A snapshot that fails is removed — the WAL
+	// (and any older verified snapshot) still covers everything, so
+	// durability is unchanged; what is prevented is pruning the log on
+	// the word of a file that cannot actually restore the model.
+	if !m.cfg.SkipSnapshotVerify {
+		if err := verifySnapshot(path, st.sharded.Model()); err != nil {
+			m.reg.Counter("lifecycle_snapshot_verify_failures_total").Inc()
+			os.Remove(path)
+			return SnapshotInfo{}, fmt.Errorf("lifecycle: snapshot %s failed self-check: %w", filepath.Base(path), err)
+		}
+		m.reg.Counter("lifecycle_snapshots_verified_total").Inc()
 	}
 	persisted = true
 
@@ -762,6 +968,37 @@ func (m *Manager) Snapshot() (SnapshotInfo, error) {
 	m.cfg.Logf("lifecycle: snapshot %s (%d bytes, covers seq %d) in %v",
 		filepath.Base(path), size, st.seq, info.Duration.Round(time.Millisecond))
 	return info, nil
+}
+
+// verifySnapshot loads the snapshot file back and compares a grid sample
+// of its predictions against the live model's, exactly. Load rebuilds
+// the smoothing tables and iCluster rankings from the persisted matrix
+// and clustering, so equality here means the file actually carries
+// everything recovery needs.
+func verifySnapshot(path string, live *core.Model) error {
+	loaded, err := core.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	lm, vm := live.Matrix(), loaded.Matrix()
+	if lm.NumUsers() != vm.NumUsers() || lm.NumItems() != vm.NumItems() || lm.NumRatings() != vm.NumRatings() {
+		return fmt.Errorf("reloaded dimensions %dx%d/%d differ from %dx%d/%d",
+			vm.NumUsers(), vm.NumItems(), vm.NumRatings(), lm.NumUsers(), lm.NumItems(), lm.NumRatings())
+	}
+	// Sample a coarse grid rather than the full P×Q matrix: wrong
+	// clustering, deviations, or similarities shift predictions across
+	// whole rows, so a strided sample catches structural corruption at a
+	// fraction of the cost.
+	uStep := max(1, lm.NumUsers()/16)
+	iStep := max(1, lm.NumItems()/16)
+	for u := 0; u < lm.NumUsers(); u += uStep {
+		for i := 0; i < lm.NumItems(); i += iStep {
+			if got, want := loaded.Predict(u, i), live.Predict(u, i); got != want {
+				return fmt.Errorf("prediction (%d,%d) reloads as %v, serving model says %v", u, i, got, want)
+			}
+		}
+	}
+	return nil
 }
 
 func syncDirOf(path string) error {

@@ -169,15 +169,15 @@ func TestRecoveryGroupsBatchesBySeq(t *testing.T) {
 		ups = append(ups, testUpdate(i))
 	}
 	for _, u := range ups[:2] {
-		if _, err := w.AppendRating(u); err != nil {
+		if _, err := w.AppendRating(u, -1); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := w.AppendBatchCommit(2); err != nil {
+	if _, err := w.AppendBatchCommit(2, -1); err != nil {
 		t.Fatal(err)
 	}
 	for _, u := range ups[2:] {
-		if _, err := w.AppendRating(u); err != nil {
+		if _, err := w.AppendRating(u, -1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -345,6 +345,10 @@ func TestRetrainAfterDrift(t *testing.T) {
 		DataDir:      dir,
 		Fsync:        wal.SyncNever,
 		RetrainAfter: 4,
+		// This test pins the legacy stop-the-world retrain: it asserts the
+		// swapped-in model is a fresh KMeans fit (ClusterIters > 0), which
+		// the per-shard sweep deliberately avoids.
+		RetrainMode: RetrainFull,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -374,7 +378,7 @@ func TestRetrainAfterDrift(t *testing.T) {
 	})
 
 	// A manual trigger works too, and reports conflict while running.
-	if !m.TriggerRetrain() {
+	if !m.TriggerRetrain("") {
 		t.Fatal("manual retrain trigger refused while idle")
 	}
 	waitUntil(t, "manual retrain", func() bool { return m.reg.Counter("lifecycle_retrains_total").Value() >= 2 })
@@ -409,7 +413,7 @@ func TestPostRetrainSnapshotNotSkipped(t *testing.T) {
 	}
 	// ...which must not stop the post-retrain snapshot from overwriting it.
 	writes := m.reg.Counter("lifecycle_snapshots_total").Value()
-	if !m.TriggerRetrain() {
+	if !m.TriggerRetrain("") {
 		t.Fatal("retrain trigger refused")
 	}
 	waitUntil(t, "post-retrain snapshot write", func() bool {

@@ -1,0 +1,298 @@
+package lifecycle
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cfsf/internal/core"
+	"cfsf/internal/wal"
+)
+
+// shardGroups mirrors applyPending's batching on a plain update list:
+// repeatedly cut the first batchMax entries routed to the shard at the
+// head of the queue. The returned groups are exactly the per-shard
+// micro-batches the manager applies (and journals commits for).
+func shardGroups(base *core.Model, ups []core.RatingUpdate, batchMax int) [][]core.RatingUpdate {
+	router := core.NewSharded(base)
+	type entry struct {
+		u     core.RatingUpdate
+		shard int
+	}
+	pending := make([]entry, len(ups))
+	for i, u := range ups {
+		pending[i] = entry{u: u, shard: router.ShardOf(u.User)}
+	}
+	var groups [][]core.RatingUpdate
+	for len(pending) > 0 {
+		shard := pending[0].shard
+		var batch []core.RatingUpdate
+		kept := pending[:0]
+		for _, p := range pending {
+			if p.shard == shard && len(batch) < batchMax {
+				batch = append(batch, p.u)
+			} else {
+				kept = append(kept, p)
+			}
+		}
+		pending = kept
+		groups = append(groups, batch)
+	}
+	return groups
+}
+
+// TestShardedBatchParityAndRecovery is the sharding acceptance test: a
+// batch of ratings spanning several shards, ingested through SubmitBatch
+// and folded in per-shard micro-batches, must produce — live, and again
+// after a kill-and-reboot replay — exactly the model that monolithic
+// WithUpdates calls over the same per-shard groups produce.
+func TestShardedBatchParityAndRecovery(t *testing.T) {
+	base := newBaseModel(t)
+	dir := t.TempDir()
+
+	a, err := Open(bootWith(base), Config{
+		DataDir:      dir,
+		Fsync:        wal.SyncAlways,
+		BatchMaxWait: 200 * time.Millisecond, // whole batch pending before the drain
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ups := make([]core.RatingUpdate, 12)
+	for i := range ups {
+		ups[i] = testUpdate(i)
+	}
+	seqs, pending, err := a.SubmitBatch(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != len(ups) || pending != len(ups) {
+		t.Fatalf("SubmitBatch returned %d seqs, %d pending; want %d each", len(seqs), pending, len(ups))
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+1 {
+			t.Fatalf("seqs not consecutive: %v", seqs)
+		}
+	}
+	last := seqs[len(seqs)-1]
+	waitUntil(t, "batch applied", func() bool { return a.AppliedSeq() >= last })
+
+	// Comparator: monolithic WithUpdates over the same per-shard groups.
+	groups := shardGroups(base, ups, 256)
+	if len(groups) < 2 {
+		t.Fatalf("test updates all routed to one shard (%d group); widen the spread", len(groups))
+	}
+	comparator := base
+	for _, g := range groups {
+		if comparator, err = comparator.WithUpdates(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := predictions(comparator)
+	samePredictions(t, "sharded live vs monolithic groups", want, predictions(a.Model()))
+	if batches := a.reg.Counter("lifecycle_batches_total").Value(); batches != int64(len(groups)) {
+		t.Errorf("manager used %d batches, expected %d per-shard groups", batches, len(groups))
+	}
+
+	// Per-shard stats: every touched shard saw at least one apply.
+	touched := 0
+	for _, st := range a.ShardStats() {
+		if st.Applies > 0 {
+			touched++
+			if st.Applied == 0 || st.LastApplyMS < 0 {
+				t.Errorf("shard %d: applies=%d but applied=%d", st.ID, st.Applies, st.Applied)
+			}
+		}
+	}
+	if touched != len(groups) {
+		t.Errorf("%d shards saw applies, expected %d", touched, len(groups))
+	}
+
+	a.Abort() // SIGKILL stand-in
+
+	b, err := Open(noBoot(t), Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	bs := b.BootStats()
+	if bs.ReplayedRecords != len(ups) || bs.ReplayedBatches != len(groups) {
+		t.Fatalf("replayed %d records in %d batches, want %d in %d",
+			bs.ReplayedRecords, bs.ReplayedBatches, len(ups), len(groups))
+	}
+	samePredictions(t, "recovered vs monolithic groups", want, predictions(b.Model()))
+}
+
+// TestSubmitBatchAtomicity: one SubmitBatch is one WAL append group with
+// consecutive sequences, an empty batch is a no-op, and a batch that
+// would overflow the queue is rejected whole — nothing journaled, so the
+// next submission's sequence proves the WAL never saw it.
+func TestSubmitBatchAtomicity(t *testing.T) {
+	base := newBaseModel(t)
+	m, err := Open(bootWith(base), Config{
+		DataDir:       t.TempDir(),
+		Fsync:         wal.SyncNever,
+		QueueCapacity: 4,
+		BatchMaxWait:  500 * time.Millisecond, // keep the queue occupied
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if seqs, _, err := m.SubmitBatch(nil); err != nil || len(seqs) != 0 {
+		t.Fatalf("empty batch = (%v, %v), want no-op", seqs, err)
+	}
+
+	seqs, pending, err := m.SubmitBatch([]core.RatingUpdate{testUpdate(0), testUpdate(1), testUpdate(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 3 || pending != 3 {
+		t.Fatalf("batch of 3 = (%v, %d)", seqs, pending)
+	}
+
+	// 3 pending + 2 > capacity 4: rejected atomically.
+	if _, _, err := m.SubmitBatch([]core.RatingUpdate{testUpdate(3), testUpdate(4)}); err != ErrQueueFull {
+		t.Fatalf("overflow batch = %v, want ErrQueueFull", err)
+	}
+	if got := m.reg.Counter("lifecycle_queue_full_total").Value(); got != 1 {
+		t.Errorf("queue_full counter = %d, want 1", got)
+	}
+
+	// The rejected batch journaled nothing: the next rating continues
+	// directly after the accepted batch.
+	seq, _, err := m.Submit(testUpdate(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := seqs[2] + 1; seq != want {
+		t.Fatalf("post-rejection seq = %d, want %d (rejected batch leaked into the WAL)", seq, want)
+	}
+}
+
+// TestShardRetrainMode: the default background retrain is the per-shard
+// sweep — every shard records a retrain pass, the serving model keeps
+// answering, and unknown modes are refused outright.
+func TestShardRetrainMode(t *testing.T) {
+	base := newBaseModel(t)
+	m, err := Open(bootWith(base), Config{
+		DataDir:      t.TempDir(),
+		Fsync:        wal.SyncNever,
+		RetrainAfter: 4, // default RetrainMode: "shards"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	for i := 0; i < 4; i++ {
+		seq, _, err := m.Submit(testUpdate(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitUntil(t, "update applied", func() bool { return m.AppliedSeq() >= seq })
+	}
+	waitUntil(t, "per-shard retrain", func() bool {
+		return m.reg.Counter("lifecycle_retrains_total").Value() >= 1
+	})
+	waitUntil(t, "sweep visited every shard", func() bool {
+		for _, st := range m.ShardStats() {
+			if st.Retrains < 1 {
+				return false
+			}
+		}
+		return true
+	})
+	mod := m.Model()
+	if got := mod.Predict(0, 0); got < mod.Matrix().MinRating() || got > mod.Matrix().MaxRating() {
+		t.Errorf("post-sweep prediction %v outside rating scale", got)
+	}
+
+	if m.TriggerRetrain("bogus") {
+		t.Error("unknown retrain mode accepted")
+	}
+}
+
+// TestBootSkipsBadSnapshot: a newest snapshot that cannot be decoded
+// (torn write, unknown wire version) must not take the boot down — the
+// manager falls back to the next older verified snapshot and replays the
+// WAL tail from there, bit-for-bit. With nothing to fall back to and no
+// bootstrap, Open fails loudly instead of serving garbage.
+func TestBootSkipsBadSnapshot(t *testing.T) {
+	base := newBaseModel(t)
+	dir := t.TempDir()
+
+	a, err := Open(bootWith(base), Config{DataDir: dir, Fsync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		seq, _, err := a.Submit(testUpdate(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitUntil(t, "update applied", func() bool { return a.AppliedSeq() >= seq })
+	}
+	info, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Skipped {
+		t.Fatalf("snapshot skipped: %+v", info)
+	}
+	goodSnap := filepath.Base(info.Path)
+	if got := a.reg.Counter("lifecycle_snapshots_verified_total").Value(); got < 1 {
+		t.Fatalf("snapshot self-check never ran (verified=%d)", got)
+	}
+	// Two more ratings land in the WAL only (no snapshot covers them).
+	for i := 3; i < 5; i++ {
+		seq, _, err := a.Submit(testUpdate(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitUntil(t, "update applied", func() bool { return a.AppliedSeq() >= seq })
+	}
+	want := predictions(a.Model())
+	a.Abort()
+
+	// Plant a garbage "snapshot" claiming to be the newest.
+	bad := filepath.Join(snapshotDir(dir), snapName(99))
+	if err := os.WriteFile(bad, []byte("v99 model from the future"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := Open(noBoot(t), Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := b.BootStats()
+	if filepath.Base(bs.SnapshotLoaded) != goodSnap {
+		t.Fatalf("boot loaded %q, want fallback to %q", bs.SnapshotLoaded, goodSnap)
+	}
+	if bs.ReplayedRecords != 2 {
+		t.Fatalf("replayed %d records from the good snapshot, want 2", bs.ReplayedRecords)
+	}
+	if got := b.reg.Counter("lifecycle_snapshot_load_failures_total").Value(); got != 1 {
+		t.Errorf("load_failures counter = %d, want 1", got)
+	}
+	samePredictions(t, "fallback recovery", want, predictions(b.Model()))
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only a bad snapshot and no bootstrap: refuse to boot.
+	dir2 := t.TempDir()
+	if err := os.MkdirAll(snapshotDir(dir2), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(snapshotDir(dir2), snapName(1)), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(nil, Config{DataDir: dir2}); err == nil || !strings.Contains(err.Error(), "no loadable snapshot") {
+		t.Fatalf("boot from garbage-only dir = %v, want refusal", err)
+	}
+}

@@ -3,6 +3,8 @@ package server
 import (
 	"fmt"
 	"net/http"
+
+	"cfsf/internal/lifecycle"
 )
 
 // handleAdminSnapshot writes a model snapshot synchronously via the
@@ -33,21 +35,29 @@ func (s *Server) handleAdminSnapshot(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleAdminRetrain starts a full background retrain of the serving
-// model (the drift-repair pass internal/core/update.go calls for). The
-// retrained model is swapped in without blocking reads; 409 when a
-// retrain is already in flight.
-func (s *Server) handleAdminRetrain(w http.ResponseWriter, _ *http.Request) {
+// handleAdminRetrain starts a background retrain of the serving model
+// (the drift-repair pass internal/core/update.go calls for). ?mode=
+// selects "shards" (per-shard sweep) or "full" (stop-the-world KMeans);
+// empty means the manager's configured default. The retrained model is
+// swapped in without blocking reads; 409 when a retrain is already in
+// flight, 400 for an unknown mode.
+func (s *Server) handleAdminRetrain(w http.ResponseWriter, r *http.Request) {
 	if s.mgr == nil {
 		writeError(w, http.StatusServiceUnavailable, errNoManager)
 		return
 	}
-	if !s.mgr.TriggerRetrain() {
+	mode := r.URL.Query().Get("mode")
+	if mode != "" && mode != lifecycle.RetrainShards && mode != lifecycle.RetrainFull {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown retrain mode %q (want %q or %q)",
+			mode, lifecycle.RetrainShards, lifecycle.RetrainFull))
+		return
+	}
+	if !s.mgr.TriggerRetrain(mode) {
 		writeError(w, http.StatusConflict, fmt.Errorf("retrain already in flight"))
 		return
 	}
 	s.reg.Counter("admin_retrain_total").Inc()
-	writeJSON(w, http.StatusAccepted, map[string]any{"status": "started"})
+	writeJSON(w, http.StatusAccepted, map[string]any{"status": "started", "mode": mode})
 }
 
 var errNoManager = fmt.Errorf("no lifecycle manager configured (start the server with -data-dir)")

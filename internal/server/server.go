@@ -18,7 +18,10 @@
 //	POST /rate                    -> {"user":U,"item":I,"rating":R} applies
 //	                                 an incremental model refresh (or, with a
 //	                                 lifecycle manager, journals the rating
-//	                                 and queues it for the next micro-batch)
+//	                                 and queues it for the next micro-batch);
+//	                                 an array body [{...},{...}] ingests the
+//	                                 whole batch under one WAL append group
+//	                                 and answers with per-item seqs
 //	POST /admin/snapshot          -> write a model snapshot now (manager mode)
 //	POST /admin/retrain           -> start a full background retrain (manager mode)
 //
@@ -187,6 +190,7 @@ func (s *Server) recordModelGauges(mod *core.Model) {
 		incremental = 1
 	}
 	s.reg.Gauge("model_incremental").Set(incremental)
+	s.reg.Gauge("model_shards").Set(float64(mod.Config().Clusters))
 }
 
 func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -216,27 +220,43 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, dst any)
 
 var errBodyTooLarge = errors.New("request body too large")
 
-// handleRate accepts one rating. Without a lifecycle manager it folds
-// the rating into the model synchronously (validation runs under the
-// same lock as the update so a concurrent swap can never change the
-// model between the two) and responds {"status":"applied"}. With a
-// manager it journals the rating to the WAL, queues it for the next
-// micro-batch, and responds 202 {"status":"queued"} with the pending
-// count — a subsequent read may not see the rating until the batch
-// lands (see the README's read-your-write note).
+// rateReq is one rating in a POST /rate body — either the whole body
+// (single-object form) or one element of the array form.
+type rateReq struct {
+	User   int     `json:"user"`
+	Item   int     `json:"item"`
+	Rating float64 `json:"rating"`
+	Time   int64   `json:"time,omitempty"`
+}
+
+// handleRate accepts one rating or an array of them. Without a
+// lifecycle manager it folds the rating(s) into the model synchronously
+// (validation runs under the same lock as the update so a concurrent
+// swap can never change the model between the two) and responds
+// {"status":"applied"}. With a manager it journals the rating(s) to the
+// WAL — an array body becomes ONE append group: a single buffered write
+// and fsync covering every entry — queues them for micro-batched
+// application, and responds 202 {"status":"queued"} with the assigned
+// seq (or per-item "seqs") and the pending count; a subsequent read may
+// not see the ratings until their batch lands (see the README's
+// read-your-write note).
 func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		User   int     `json:"user"`
-		Item   int     `json:"item"`
-		Rating float64 `json:"rating"`
-		Time   int64   `json:"time,omitempty"`
-	}
-	if err := decodeJSON(w, r, s.opts.MaxBodyBytes, &req); err != nil {
+	var raw json.RawMessage
+	if err := decodeJSON(w, r, s.opts.MaxBodyBytes, &raw); err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, errBodyTooLarge) {
 			status = http.StatusRequestEntityTooLarge
 		}
 		writeError(w, status, err)
+		return
+	}
+	if isJSONArray(raw) {
+		s.handleRateBatch(w, raw)
+		return
+	}
+	var req rateReq
+	if err := json.Unmarshal(raw, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %v", err))
 		return
 	}
 	if req.User < 0 || req.Item < 0 {
@@ -277,16 +297,122 @@ func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
 // validateRate checks a rating against the given model's scale and the
 // growth margin.
 func (s *Server) validateRate(cur *core.Model, user, item int, rating float64) error {
+	return s.validateRateMargin(cur, user, item, rating, s.opts.GrowthMargin)
+}
+
+// validateRateMargin is validateRate with an explicit growth margin: the
+// batch path widens it by the entry's position so a batch may introduce
+// several consecutive fresh users or items in one request.
+func (s *Server) validateRateMargin(cur *core.Model, user, item int, rating float64, margin int) error {
 	m := cur.Matrix()
 	if rating < m.MinRating() || rating > m.MaxRating() {
 		return fmt.Errorf("rating %g outside scale %g..%g", rating, m.MinRating(), m.MaxRating())
 	}
-	margin := s.opts.GrowthMargin
 	if user >= m.NumUsers()+margin || item >= m.NumItems()+margin {
 		return fmt.Errorf("id (%d,%d) more than %d past current bounds %d×%d",
 			user, item, margin, m.NumUsers(), m.NumItems())
 	}
 	return nil
+}
+
+// isJSONArray reports whether the document's first non-whitespace byte
+// opens an array — the discriminator between /rate's two body forms.
+func isJSONArray(raw json.RawMessage) bool {
+	for _, b := range raw {
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		}
+		return b == '['
+	}
+	return false
+}
+
+// handleRateBatch is the array-body form of /rate: every entry is
+// validated up front, then the whole batch is ingested atomically — one
+// WAL append group (manager mode) or one WithUpdates pass (standalone).
+// Entry i may reference ids up to GrowthMargin+i past the current
+// bounds, since earlier entries in the same batch may have introduced
+// the ids it builds on.
+func (s *Server) handleRateBatch(w http.ResponseWriter, raw json.RawMessage) {
+	var reqs []rateReq
+	if err := json.Unmarshal(raw, &reqs); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %v", err))
+		return
+	}
+	if len(reqs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if len(reqs) > s.opts.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch size %d exceeds limit %d", len(reqs), s.opts.MaxBatch))
+		return
+	}
+	validate := func(cur *core.Model) ([]core.RatingUpdate, error) {
+		ups := make([]core.RatingUpdate, len(reqs))
+		for i, q := range reqs {
+			if q.User < 0 || q.Item < 0 {
+				return nil, fmt.Errorf("entry %d: negative id", i)
+			}
+			if err := s.validateRateMargin(cur, q.User, q.Item, q.Rating, s.opts.GrowthMargin+i); err != nil {
+				return nil, fmt.Errorf("entry %d: %w", i, err)
+			}
+			ups[i] = core.RatingUpdate{User: q.User, Item: q.Item, Value: q.Rating, Time: q.Time}
+		}
+		return ups, nil
+	}
+
+	if s.mgr != nil {
+		ups, err := validate(s.mgr.Model())
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		seqs, pending, err := s.mgr.SubmitBatch(ups)
+		switch {
+		case errors.Is(err, lifecycle.ErrQueueFull), errors.Is(err, lifecycle.ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.reg.Counter("rate_queued_total").Add(int64(len(ups)))
+		s.reg.Counter("rate_batches_total").Inc()
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"status":  "queued",
+			"count":   len(seqs),
+			"seqs":    seqs,
+			"pending": pending,
+		})
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.model.Load()
+	ups, err := validate(cur)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	next, err := cur.WithUpdates(ups)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.model.Store(next)
+	s.recordModelGauges(next)
+	s.reg.Counter("rate_applied_total").Add(int64(len(ups)))
+	s.reg.Counter("rate_batches_total").Inc()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "applied",
+		"count":   len(ups),
+		"users":   next.Matrix().NumUsers(),
+		"items":   next.Matrix().NumItems(),
+		"ratings": next.Matrix().NumRatings(),
+	})
 }
 
 // handleRateQueued is the manager-backed /rate path: journal, enqueue,
@@ -322,12 +448,26 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// shardStats returns the per-shard view of the serving model: the
+// manager's live counters when one owns the model, otherwise a fresh
+// routing-only view of the standalone model (sizes are real, apply and
+// retrain counters are zero because the standalone path doesn't shard).
+func (s *Server) shardStats() []core.ShardStats {
+	if s.mgr != nil {
+		return s.mgr.ShardStats()
+	}
+	return core.NewSharded(s.current()).ShardStats()
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	mod := s.current()
 	m := mod.Matrix()
 	st := mod.Stats()
 	cfg := mod.Config()
+	shards := s.shardStats()
 	writeJSON(w, http.StatusOK, map[string]any{
+		"num_shards":    len(shards),
+		"shards":        shards,
 		"users":         m.NumUsers(),
 		"items":         m.NumItems(),
 		"ratings":       m.NumRatings(),
@@ -360,6 +500,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"endpoints":      s.endpointsView(),
 		"registry":       s.reg.Snapshot(),
+		"shards":         s.shardStats(),
 	})
 }
 

@@ -55,12 +55,13 @@ func BuildGISWithContent(m *ratings.Matrix, features [][]float64, blend float64,
 	parallel.ForChunked(q, opts.Workers, func(lo, hi int) {
 		cf := make([]float64, q)
 		hasCF := make([]bool, q)
+		scratch := newCandidateScratch(q)
 		for a := lo; a < hi; a++ {
 			// Collaborative side: the full candidate list for a.
 			for i := range cf {
 				cf[i], hasCF[i] = 0, false
 			}
-			for _, n := range candidateList(m, a, opts) {
+			for _, n := range candidateList(m, a, opts, scratch) {
 				cf[n.Index] = n.Score
 				hasCF[n.Index] = true
 			}

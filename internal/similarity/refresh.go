@@ -2,7 +2,7 @@ package similarity
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"cfsf/internal/mathx"
 	"cfsf/internal/parallel"
@@ -26,80 +26,200 @@ import (
 // is the standard staleness trade-off of incremental similarity indices;
 // run a full rebuild periodically to re-fill.
 func (g *GIS) Refresh(m *ratings.Matrix, changedItems []int, opts GISOptions) *GIS {
-	changed := make(map[int32]bool, len(changedItems))
+	// changed and symmetric are dense, index-by-item structures rather
+	// than maps: steps 2+3 below probe them once per stored neighbour
+	// entry, and at that volume map overhead dominates the whole refresh.
+	q := m.NumItems()
+	changed := make([]bool, q)
 	for _, i := range changedItems {
-		if i >= 0 && i < m.NumItems() {
-			changed[int32(i)] = true
+		if i >= 0 && i < q {
+			changed[i] = true
 		}
 	}
-	q := m.NumItems()
 	out := &GIS{neighbors: make([][]mathx.Scored, q), opts: opts}
 
 	// Step 1: full candidate lists (untruncated) for changed items, so
-	// symmetric insertion in step 3 is not limited by TopN.
-	fullLists := make(map[int32][]mathx.Scored, len(changed))
-	changedIdx := make([]int32, 0, len(changed))
-	for i := range changed {
-		changedIdx = append(changedIdx, i)
+	// symmetric insertion in step 3 is not limited by TopN. Only the
+	// stored per-item list needs ranking; the symmetric pass consumes the
+	// full list in any order, so topScored selects instead of sorting the
+	// whole candidate set.
+	changedIdx := make([]int32, 0, len(changedItems))
+	for i := int32(0); int(i) < q; i++ {
+		if changed[i] {
+			changedIdx = append(changedIdx, i)
+		}
 	}
-	sort.Slice(changedIdx, func(a, b int) bool { return changedIdx[a] < changedIdx[b] })
 
 	lists := make([][]mathx.Scored, len(changedIdx))
-	parallel.For(len(changedIdx), opts.Workers, func(k int) {
-		lists[k] = candidateList(m, int(changedIdx[k]), opts)
+	parallel.ForChunked(len(changedIdx), opts.Workers, func(lo, hi int) {
+		scratch := newCandidateScratch(q)
+		for k := lo; k < hi; k++ {
+			i := int(changedIdx[k])
+			lists[k] = candidateList(m, i, opts, scratch)
+			out.neighbors[i] = topScored(lists[k], opts.TopN)
+		}
 	})
-	for k, i := range changedIdx {
-		fullLists[i] = lists[k]
-		out.neighbors[i] = truncate(lists[k], opts.TopN)
-	}
 
 	// Step 3 preparation: symmetric entries grouped by unchanged item.
-	symmetric := make(map[int32][]mathx.Scored)
-	for b, list := range fullLists {
-		for _, n := range list {
+	symmetric := make([][]mathx.Scored, q)
+	for k, i := range changedIdx {
+		for _, n := range lists[k] {
 			if changed[n.Index] {
 				continue // changed↔changed pairs are already in both lists
 			}
-			symmetric[n.Index] = append(symmetric[n.Index], mathx.Scored{Index: b, Score: n.Score})
+			symmetric[n.Index] = append(symmetric[n.Index], mathx.Scored{Index: i, Score: n.Score})
 		}
 	}
 
-	// Steps 2+3: rebuild unchanged lists.
-	for i := 0; i < q; i++ {
-		if changed[int32(i)] {
-			continue
-		}
-		var old []mathx.Scored
-		if i < len(g.neighbors) {
-			old = g.neighbors[i]
-		}
-		merged := make([]mathx.Scored, 0, len(old)+len(symmetric[int32(i)]))
-		for _, n := range old {
-			if !changed[n.Index] {
-				merged = append(merged, n)
+	// Steps 2+3: rebuild unchanged lists (parallel over items). Stripping
+	// changed entries preserves sort order, and the symmetric insertions
+	// — already few and sorted — go in by a single merge pass that skips
+	// stripped entries in place, so no intermediate copy is ever built.
+	// Lists untouched by both share their old backing array outright.
+	// The merged order is identical to a full sort because both inputs
+	// are ordered by the same strict total order (score desc, index asc)
+	// and hold disjoint item ids. Output lists are carved from a
+	// per-chunk slab: their exact lengths are known up front, and one
+	// bulk allocation per chunk beats thousands of small ones.
+	parallel.ForChunked(q, opts.Workers, func(lo, hi int) {
+		var buf scoredSlab
+		for i := lo; i < hi; i++ {
+			if changed[i] {
+				continue
 			}
-		}
-		merged = append(merged, symmetric[int32(i)]...)
-		sort.Slice(merged, func(a, b int) bool {
-			if merged[a].Score != merged[b].Score {
-				return merged[a].Score > merged[b].Score
+			var old []mathx.Scored
+			if i < len(g.neighbors) {
+				old = g.neighbors[i]
 			}
-			return merged[a].Index < merged[b].Index
-		})
-		out.neighbors[i] = truncate(merged, opts.TopN)
-	}
+			stripped := 0
+			for _, n := range old {
+				if changed[n.Index] {
+					stripped++
+				}
+			}
+			flen := len(old) - stripped
+			ins := symmetric[i]
+			if len(ins) > 0 && opts.TopN > 0 && flen >= opts.TopN {
+				// The list is full: an insertion sorting at or below the
+				// last surviving entry cannot make the top-N cut (at
+				// least flen ≥ TopN entries precede it), so dropping it
+				// here changes nothing — and in the common case (a
+				// re-rating nudges similarities far under every top-N
+				// cutoff) it empties ins and skips the merge for the
+				// whole list.
+				last := old[len(old)-1]
+				for j := len(old) - 1; j >= 0; j-- {
+					if !changed[old[j].Index] {
+						last = old[j]
+						break
+					}
+				}
+				kept := ins[:0]
+				for _, e := range ins {
+					if precedes(e, last) {
+						kept = append(kept, e)
+					}
+				}
+				ins = kept
+			}
+			if len(ins) == 0 {
+				if stripped == 0 {
+					out.neighbors[i] = truncate(old, opts.TopN)
+					continue
+				}
+				cp := buf.take(flen)
+				for _, n := range old {
+					if !changed[n.Index] {
+						cp = append(cp, n)
+					}
+				}
+				out.neighbors[i] = truncate(cp, opts.TopN)
+				continue
+			}
+			sortScored(ins)
+			want := flen + len(ins)
+			if opts.TopN > 0 && want > opts.TopN {
+				want = opts.TopN // everything past the cutoff is truncated anyway
+			}
+			merged := buf.take(want)
+			a, b := 0, 0
+			for len(merged) < want {
+				for a < len(old) && changed[old[a].Index] {
+					a++ // stripped in place: never copied, never merged
+				}
+				switch {
+				case b >= len(ins):
+					merged = append(merged, old[a])
+					a++
+				case a >= len(old):
+					merged = append(merged, ins[b])
+					b++
+				case precedes(old[a], ins[b]):
+					merged = append(merged, old[a])
+					a++
+				default:
+					merged = append(merged, ins[b])
+					b++
+				}
+			}
+			out.neighbors[i] = merged
+		}
+	})
 	return out
 }
 
+// scoredSlab hands out fixed-capacity sub-slices from bulk allocations.
+// Callers must know the final length up front: each take is capped (via
+// a full slice expression) so appends beyond it reallocate instead of
+// clobbering a neighbour's carve.
+type scoredSlab struct {
+	buf  []mathx.Scored
+	used int
+}
+
+func (s *scoredSlab) take(n int) []mathx.Scored {
+	if s.used+n > len(s.buf) {
+		sz := 1 << 15
+		if n > sz {
+			sz = n
+		}
+		s.buf = make([]mathx.Scored, sz)
+		s.used = 0
+	}
+	out := s.buf[s.used : s.used : s.used+n]
+	s.used += n
+	return out
+}
+
+// candidateScratch is the per-item accumulation state of candidateList,
+// reused across the items of one worker's chunk. Only the cells recorded
+// in touched are dirtied, and candidateList re-zeroes exactly those on
+// its way out, so reuse never leaks state between items.
+type candidateScratch struct {
+	sxy, sxx, syy []float64
+	co            []int32
+	touched       []int32
+}
+
+func newCandidateScratch(q int) *candidateScratch {
+	return &candidateScratch{
+		sxy:     make([]float64, q),
+		sxx:     make([]float64, q),
+		syy:     make([]float64, q),
+		co:      make([]int32, q),
+		touched: make([]int32, 0, 256),
+	}
+}
+
 // candidateList computes item a's full (untruncated) neighbour list on m,
-// using the same accumulation as BuildGIS.
-func candidateList(m *ratings.Matrix, a int, opts GISOptions) []mathx.Scored {
-	q := m.NumItems()
-	sxy := make([]float64, q)
-	sxx := make([]float64, q)
-	syy := make([]float64, q)
-	co := make([]int32, q)
-	touched := make([]int32, 0, 256)
+// using the same accumulation as BuildGIS. The returned list is in
+// accumulation order, not ranked: both callers either scatter it into
+// dense arrays or rank it separately, and skipping the sort keeps the
+// hot incremental-refresh path off the O(n log n) cost of ordering
+// entries that truncation would discard anyway.
+func candidateList(m *ratings.Matrix, a int, opts GISOptions, sc *candidateScratch) []mathx.Scored {
+	sxy, sxx, syy, co := sc.sxy, sc.sxx, sc.syy, sc.co
+	touched := sc.touched[:0]
 
 	ma := m.ItemMean(a)
 	for _, ue := range m.ItemRatings(a) {
@@ -146,13 +266,82 @@ func candidateList(m *ratings.Matrix, a int, opts GISOptions) []mathx.Scored {
 		}
 		out = append(out, mathx.Scored{Index: b, Score: sim})
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
-			return out[a].Score > out[b].Score
-		}
-		return out[a].Index < out[b].Index
-	})
+	for _, b := range touched {
+		sxy[b], sxx[b], syy[b], co[b] = 0, 0, 0, 0
+	}
+	sc.touched = touched[:0]
 	return out
+}
+
+// precedes reports whether a sorts strictly before b under the ranking
+// order used throughout the GIS: score descending, index ascending.
+// Indices are unique within a list, so this is a strict total order.
+func precedes(a, b mathx.Scored) bool {
+	return a.Score > b.Score || (a.Score == b.Score && a.Index < b.Index)
+}
+
+// sortScored orders by score descending, index ascending — a strict total
+// order (indices are unique), so the non-reflection slices.SortFunc gives
+// the same result as a stable sort at a fraction of the cost.
+func sortScored(list []mathx.Scored) {
+	slices.SortFunc(list, func(a, b mathx.Scored) int {
+		if a.Score != b.Score {
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
+		}
+		return int(a.Index - b.Index)
+	})
+}
+
+// topScored returns the topN entries of list in ranked order — exactly
+// sortScored followed by truncate, computed without ordering the tail.
+// With no truncation (topN <= 0) or a list that already fits, it sorts
+// list in place and returns it; otherwise list is left untouched and a
+// fresh slice of length topN comes back. Selection runs over a bounded
+// min-heap whose root is the worst retained entry under the same strict
+// total order (score desc, index asc), so cutoff ties resolve
+// identically to the full sort no matter the input order.
+func topScored(list []mathx.Scored, topN int) []mathx.Scored {
+	if topN <= 0 || len(list) <= topN {
+		sortScored(list)
+		return list
+	}
+	h := make([]mathx.Scored, topN)
+	copy(h, list[:topN])
+	for i := topN/2 - 1; i >= 0; i-- {
+		siftWorstDown(h, i)
+	}
+	for _, e := range list[topN:] {
+		if precedes(e, h[0]) {
+			h[0] = e
+			siftWorstDown(h, 0)
+		}
+	}
+	sortScored(h)
+	return h
+}
+
+// siftWorstDown restores the heap property at node i for a heap ordered
+// so that every parent sorts after its children — the root is the entry
+// ranked last among those retained.
+func siftWorstDown(h []mathx.Scored, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		w := i
+		if l < len(h) && precedes(h[w], h[l]) {
+			w = l
+		}
+		if r < len(h) && precedes(h[w], h[r]) {
+			w = r
+		}
+		if w == i {
+			return
+		}
+		h[i], h[w] = h[w], h[i]
+		i = w
+	}
 }
 
 func truncate(list []mathx.Scored, topN int) []mathx.Scored {

@@ -1,0 +1,160 @@
+package smoothing
+
+import (
+	"cfsf/internal/cluster"
+	"cfsf/internal/parallel"
+	"cfsf/internal/ratings"
+)
+
+// Incremental refresh of the smoothing structures, the smoothing half of
+// the sharded apply path. A micro-batch that touches users in a handful
+// of clusters invalidates exactly those clusters' Eq. 8 deviation rows
+// (their membership or their members' rows/means changed) plus the global
+// deviations of the items the changed users rated (a changed user mean
+// shifts every centred rating in that user's row). Everything else is
+// bit-identical to what NewWeighted would recompute, so it is shared.
+//
+// Both refreshes reproduce the full build's floating-point accumulation
+// order exactly: per-cluster sums iterate members in ascending user order
+// (NewWeighted's u = 0..P loop visits a fixed cluster's members in that
+// order), and per-item global sums iterate the item's column, which the
+// matrix stores in ascending user order. This is what lets the sharded
+// and monolithic apply paths produce byte-identical models.
+
+// Refresh returns a new Smoother for the updated matrix and clustering in
+// which only the listed clusters' deviation rows and the listed items'
+// global deviations are recomputed; the rest is shared with s. It is only
+// valid for uniformly-weighted smoothers (weights change globally under
+// time decay; callers fall back to NewWeighted there).
+func (s *Smoother) Refresh(m *ratings.Matrix, cl *cluster.Result, affectedClusters map[int]bool, affectedItems map[int]bool) *Smoother {
+	k, q := cl.K, m.NumItems()
+	out := &Smoother{
+		m:         m,
+		assign:    cl.Assign,
+		dev:       make([][]float64, k),
+		has:       make([][]bool, k),
+		globalDev: make([]float64, q),
+		hasGlobal: make([]bool, q),
+		k:         k,
+	}
+	for c := 0; c < k; c++ {
+		if !affectedClusters[c] {
+			out.dev[c] = padDevs(s.dev[c], q)
+			out.has[c] = padFlags(s.has[c], q)
+			continue
+		}
+		sum := make([]float64, q)
+		cnt := make([]float64, q)
+		out.dev[c] = make([]float64, q)
+		out.has[c] = make([]bool, q)
+		for _, u := range cl.Members[c] {
+			um := m.UserMean(u)
+			for _, e := range m.UserRatings(u) {
+				sum[e.Index] += e.Value - um
+				cnt[e.Index]++
+			}
+		}
+		for i := 0; i < q; i++ {
+			if cnt[i] > 0 {
+				out.dev[c][i] = sum[i] / cnt[i]
+				out.has[c][i] = true
+			}
+		}
+	}
+
+	copy(out.globalDev, s.globalDev)
+	copy(out.hasGlobal, s.hasGlobal)
+	for i := range affectedItems {
+		if i >= q {
+			continue
+		}
+		var gSum, gCnt float64
+		for _, e := range m.ItemRatings(i) {
+			gSum += e.Value - m.UserMean(int(e.Index))
+			gCnt++
+		}
+		out.globalDev[i], out.hasGlobal[i] = 0, false
+		if gCnt > 0 {
+			out.globalDev[i] = gSum / gCnt
+			out.hasGlobal[i] = true
+		}
+	}
+	return out
+}
+
+// RefreshICluster re-ranks clusters per user after a shard-local apply.
+// Users listed in changedUsers (and users beyond the old ranking's length,
+// i.e. newly added ones) get a full Eq. 9 recompute; everyone else keeps
+// their similarities to untouched clusters and recomputes only the
+// affected clusters' entries before re-sorting. The sort comparator is a
+// strict total order (similarity desc, cluster id asc), so the resulting
+// ranking is identical to BuildICluster's regardless of which path
+// produced each similarity.
+func RefreshICluster(old *ICluster, s *Smoother, affectedClusters map[int]bool, changedUsers map[int]bool, workers int) *ICluster {
+	p := s.m.NumUsers()
+	ic := &ICluster{
+		Order: make([][]int32, p),
+		Sim:   make([][]float64, p),
+	}
+	affList := make([]int, 0, len(affectedClusters))
+	for c := range affectedClusters {
+		affList = append(affList, c)
+	}
+	parallel.For(p, workers, func(u int) {
+		sims := make([]float64, s.k)
+		if changedUsers[u] || u >= len(old.Order) || len(old.Order[u]) != s.k {
+			for c := 0; c < s.k; c++ {
+				sims[c] = s.UserClusterSim(u, c)
+			}
+		} else {
+			for r, c := range old.Order[u] {
+				sims[c] = old.Sim[u][r]
+			}
+			same := true
+			for _, c := range affList {
+				v := s.UserClusterSim(u, c)
+				if v != sims[c] {
+					sims[c] = v
+					same = false
+				}
+			}
+			if same {
+				// No similarity moved: the old ranking is the new
+				// ranking; share its slices instead of re-sorting.
+				ic.Order[u] = old.Order[u]
+				ic.Sim[u] = old.Sim[u]
+				return
+			}
+		}
+		order := make([]int32, s.k)
+		for c := range order {
+			order[c] = int32(c)
+		}
+		sortClusterOrder(order, sims)
+		sorted := make([]float64, s.k)
+		for r, c := range order {
+			sorted[r] = sims[c]
+		}
+		ic.Order[u] = order
+		ic.Sim[u] = sorted
+	})
+	return ic
+}
+
+func padDevs(a []float64, n int) []float64 {
+	if len(a) == n {
+		return a
+	}
+	out := make([]float64, n)
+	copy(out, a)
+	return out
+}
+
+func padFlags(a []bool, n int) []bool {
+	if len(a) == n {
+		return a
+	}
+	out := make([]bool, n)
+	copy(out, a)
+	return out
+}

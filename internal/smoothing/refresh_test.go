@@ -1,0 +1,137 @@
+package smoothing
+
+import (
+	"math/rand"
+	"testing"
+
+	"cfsf/internal/cluster"
+	"cfsf/internal/ratings"
+)
+
+func randMatrix(rng *rand.Rand, users, items, n int) *ratings.Matrix {
+	b := ratings.NewBuilder(users, items).SetScale(1, 5)
+	for k := 0; k < n; k++ {
+		b.MustAdd(rng.Intn(users), rng.Intn(items), float64(rng.Intn(9)+1)/2)
+	}
+	return b.Build()
+}
+
+func requireSameSmoother(t *testing.T, want, got *Smoother, k, q int) {
+	t.Helper()
+	for c := 0; c < k; c++ {
+		for i := 0; i < q; i++ {
+			wd, wh := want.Deviation(c, i)
+			gd, gh := got.Deviation(c, i)
+			if wd != gd || wh != gh {
+				t.Fatalf("cluster %d item %d: want (%v,%v) got (%v,%v)", c, i, wd, wh, gd, gh)
+			}
+		}
+	}
+	if len(want.globalDev) != len(got.globalDev) {
+		t.Fatalf("globalDev len: want %d got %d", len(want.globalDev), len(got.globalDev))
+	}
+	for i := range want.globalDev {
+		if want.globalDev[i] != got.globalDev[i] || want.hasGlobal[i] != got.hasGlobal[i] {
+			t.Fatalf("globalDev[%d]: want (%v,%v) got (%v,%v)",
+				i, want.globalDev[i], want.hasGlobal[i], got.globalDev[i], got.hasGlobal[i])
+		}
+	}
+}
+
+func requireSameICluster(t *testing.T, want, got *ICluster) {
+	t.Helper()
+	if len(want.Order) != len(got.Order) {
+		t.Fatalf("order len: want %d got %d", len(want.Order), len(got.Order))
+	}
+	for u := range want.Order {
+		for r := range want.Order[u] {
+			if want.Order[u][r] != got.Order[u][r] {
+				t.Fatalf("user %d rank %d: want cluster %d got %d", u, r, want.Order[u][r], got.Order[u][r])
+			}
+			if want.Sim[u][r] != got.Sim[u][r] {
+				t.Fatalf("user %d rank %d: want sim %v got %v", u, r, want.Sim[u][r], got.Sim[u][r])
+			}
+		}
+	}
+}
+
+// TestRefreshMatchesFullBuild drives random update batches through the
+// incremental Refresh/RefreshICluster pair and the full NewWeighted/
+// BuildICluster rebuild, requiring exact equality of every deviation,
+// every similarity, and every ranking.
+func TestRefreshMatchesFullBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		m := randMatrix(rng, 24, 14, 170)
+		cl, err := cluster.Run(m, cluster.Options{K: 4, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm := NewWeighted(m, cl, nil)
+		ic := BuildICluster(sm, 1)
+
+		// Random upsert batch, possibly growing users/items.
+		growU, growI := rng.Intn(2), rng.Intn(2)
+		nu, ni := 24+growU, 14+growI
+		b := ratings.NewBuilder(nu, ni).SetScale(1, 5)
+		for u := 0; u < 24; u++ {
+			for _, e := range m.UserRatings(u) {
+				b.MustAdd(u, int(e.Index), e.Value)
+			}
+		}
+		changed := map[int]bool{}
+		for k := 0; k < rng.Intn(5)+1; k++ {
+			u := rng.Intn(nu)
+			b.MustAdd(u, rng.Intn(ni), float64(rng.Intn(9)+1)/2)
+			changed[u] = true
+		}
+		for u := 24; u < nu; u++ {
+			b.MustAdd(u, rng.Intn(ni), float64(rng.Intn(9)+1)/2)
+			changed[u] = true
+		}
+		m2 := b.Build()
+		list := make([]int, 0, len(changed))
+		for u := range changed {
+			list = append(list, u)
+		}
+
+		cl2, affected := cl.RefreshUsers(m2, list)
+		// Affected items: everything in a changed user's (new) row, since
+		// the user mean shift touches every centred rating of the row.
+		affItems := map[int]bool{}
+		for u := range changed {
+			for _, e := range m2.UserRatings(u) {
+				affItems[int(e.Index)] = true
+			}
+		}
+
+		wantSm := NewWeighted(m2, cl2, nil)
+		gotSm := sm.Refresh(m2, cl2, affected, affItems)
+		requireSameSmoother(t, wantSm, gotSm, cl2.K, m2.NumItems())
+
+		wantIC := BuildICluster(wantSm, 1)
+		gotIC := RefreshICluster(ic, gotSm, affected, changed, 1)
+		requireSameICluster(t, wantIC, gotIC)
+	}
+}
+
+// TestRefreshSharesUntouchedClusters pins the structural-sharing contract:
+// a batch confined to one cluster must not copy the other clusters' rows.
+func TestRefreshSharesUntouchedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randMatrix(rng, 20, 10, 140)
+	cl, err := cluster.Run(m, cluster.Options{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := NewWeighted(m, cl, nil)
+	got := sm.Refresh(m, cl, map[int]bool{0: true}, map[int]bool{})
+	for c := 1; c < cl.K; c++ {
+		if &got.dev[c][0] != &sm.dev[c][0] {
+			t.Fatalf("cluster %d dev row was copied, expected shared", c)
+		}
+	}
+	if &got.dev[0][0] == &sm.dev[0][0] {
+		t.Fatal("affected cluster's dev row was shared, expected rebuilt")
+	}
+}

@@ -11,7 +11,7 @@ package smoothing
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"cfsf/internal/cluster"
 	"cfsf/internal/parallel"
@@ -178,12 +178,7 @@ func BuildICluster(s *Smoother, workers int) *ICluster {
 		for c := range order {
 			order[c] = int32(c)
 		}
-		sort.SliceStable(order, func(a, b int) bool {
-			if sims[order[a]] != sims[order[b]] {
-				return sims[order[a]] > sims[order[b]]
-			}
-			return order[a] < order[b]
-		})
+		sortClusterOrder(order, sims)
 		sorted := make([]float64, s.k)
 		for r, c := range order {
 			sorted[r] = sims[c]
@@ -192,6 +187,22 @@ func BuildICluster(s *Smoother, workers int) *ICluster {
 		ic.Sim[u] = sorted
 	})
 	return ic
+}
+
+// sortClusterOrder orders cluster ids by similarity descending, id
+// ascending. The comparator is a strict total order (ids are unique), so
+// any comparison sort yields the same ranking; slices.SortFunc avoids the
+// reflection overhead of sort.Slice in what is a per-user hot loop.
+func sortClusterOrder(order []int32, sims []float64) {
+	slices.SortFunc(order, func(a, b int32) int {
+		if sims[a] != sims[b] {
+			if sims[a] > sims[b] {
+				return -1
+			}
+			return 1
+		}
+		return int(a - b)
+	})
 }
 
 // UserClusterSim computes Eq. 9: the correlation between user u's centred

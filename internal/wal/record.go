@@ -61,16 +61,27 @@ type Record struct {
 	// Covered is the last rating sequence a commit or checkpoint spans;
 	// valid for RecordBatchCommit and RecordCheckpoint.
 	Covered uint64
+	// Shard is the model shard the record was routed to: the shard of
+	// Update.User for ratings, the shard a commit's batch was applied on
+	// for batch commits. Records written before sharding existed (32-byte
+	// rating / 8-byte commit payloads) decode with Shard = -1, which
+	// replay treats as "route by the recovered model's clustering".
+	Shard int
 }
 
 const (
-	frameHeaderSize  = 8 // length + crc
-	bodyHeaderSize   = 9 // type + seq
-	ratingPayload    = 32
-	coveredPayload   = 8
+	frameHeaderSize = 8 // length + crc
+	bodyHeaderSize  = 9 // type + seq
+	// Payload sizes. Ratings and batch commits grew an int64 shard id when
+	// the model was sharded; decode discriminates versions by length, and
+	// the pre-shard sizes remain decodable so old logs replay unchanged.
+	ratingPayloadV1  = 32      // user, item, value, time
+	ratingPayload    = 40      // + shard
+	coveredPayloadV1 = 8       // covered
+	commitPayload    = 16      // covered + shard
+	checkpointPay    = 8       // covered (checkpoints are shard-agnostic)
 	maxBody          = 1 << 16 // far above any legal body; caps corrupt lengths
 	ratingBodySize   = bodyHeaderSize + ratingPayload
-	coveredBodySize  = bodyHeaderSize + coveredPayload
 	maxEncodedRecord = frameHeaderSize + ratingBodySize
 )
 
@@ -95,9 +106,15 @@ func appendRecord(buf []byte, rec Record) []byte {
 		binary.BigEndian.PutUint64(p[8:], uint64(int64(rec.Update.Item)))
 		binary.BigEndian.PutUint64(p[16:], math.Float64bits(rec.Update.Value))
 		binary.BigEndian.PutUint64(p[24:], uint64(rec.Update.Time))
+		binary.BigEndian.PutUint64(p[32:], uint64(int64(rec.Shard)))
 		payload = p[:]
-	case RecordBatchCommit, RecordCheckpoint:
-		var p [coveredPayload]byte
+	case RecordBatchCommit:
+		var p [commitPayload]byte
+		binary.BigEndian.PutUint64(p[0:], rec.Covered)
+		binary.BigEndian.PutUint64(p[8:], uint64(int64(rec.Shard)))
+		payload = p[:]
+	case RecordCheckpoint:
+		var p [checkpointPay]byte
 		binary.BigEndian.PutUint64(p[0:], rec.Covered)
 		payload = p[:]
 	default:
@@ -133,11 +150,11 @@ func decodeRecord(buf []byte) (Record, int, error) {
 		return Record{}, 0, fmt.Errorf("%w: crc mismatch", errCorrupt)
 	}
 
-	rec := Record{Type: Type(body[0]), Seq: binary.BigEndian.Uint64(body[1:9])}
+	rec := Record{Type: Type(body[0]), Seq: binary.BigEndian.Uint64(body[1:9]), Shard: -1}
 	payload := body[bodyHeaderSize:]
 	switch rec.Type {
 	case RecordRating:
-		if len(payload) != ratingPayload {
+		if len(payload) != ratingPayload && len(payload) != ratingPayloadV1 {
 			return Record{}, 0, fmt.Errorf("%w: rating payload %d bytes", errCorrupt, len(payload))
 		}
 		rec.Update = core.RatingUpdate{
@@ -146,8 +163,19 @@ func decodeRecord(buf []byte) (Record, int, error) {
 			Value: math.Float64frombits(binary.BigEndian.Uint64(payload[16:])),
 			Time:  int64(binary.BigEndian.Uint64(payload[24:])),
 		}
-	case RecordBatchCommit, RecordCheckpoint:
-		if len(payload) != coveredPayload {
+		if len(payload) == ratingPayload {
+			rec.Shard = int(int64(binary.BigEndian.Uint64(payload[32:])))
+		}
+	case RecordBatchCommit:
+		if len(payload) != commitPayload && len(payload) != coveredPayloadV1 {
+			return Record{}, 0, fmt.Errorf("%w: covered payload %d bytes", errCorrupt, len(payload))
+		}
+		rec.Covered = binary.BigEndian.Uint64(payload[0:])
+		if len(payload) == commitPayload {
+			rec.Shard = int(int64(binary.BigEndian.Uint64(payload[8:])))
+		}
+	case RecordCheckpoint:
+		if len(payload) != checkpointPay {
 			return Record{}, 0, fmt.Errorf("%w: covered payload %d bytes", errCorrupt, len(payload))
 		}
 		rec.Covered = binary.BigEndian.Uint64(payload[0:])

@@ -322,15 +322,58 @@ func (w *WAL) LastSeq() uint64 {
 	return w.lastSeq
 }
 
-// AppendRating appends one rating update and returns its sequence.
-func (w *WAL) AppendRating(u core.RatingUpdate) (uint64, error) {
-	return w.append(Record{Type: RecordRating, Update: u})
+// AppendRating appends one rating update routed to the given model shard
+// (-1 when the caller does not shard) and returns its sequence.
+func (w *WAL) AppendRating(u core.RatingUpdate, shard int) (uint64, error) {
+	return w.append(Record{Type: RecordRating, Update: u, Shard: shard})
+}
+
+// AppendRatings appends a batch of rating updates as one write (and, under
+// SyncAlways, one fsync): the batched-ingestion path pays the durability
+// cost once per request instead of once per rating. shards[i] is the model
+// shard ups[i] routes to (-1 when unsharded); len(shards) must equal
+// len(ups). The returned sequences are consecutive and in batch order.
+func (w *WAL) AppendRatings(ups []core.RatingUpdate, shards []int) ([]uint64, error) {
+	if len(ups) != len(shards) {
+		return nil, fmt.Errorf("wal: %d updates but %d shard ids", len(ups), len(shards))
+	}
+	if len(ups) == 0 {
+		return nil, nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, fmt.Errorf("wal: append on closed log")
+	}
+	if w.size >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(w.lastSeq + 1); err != nil {
+			return nil, err
+		}
+	}
+	seqs := make([]uint64, len(ups))
+	buf := make([]byte, 0, maxEncodedRecord*len(ups))
+	for i, u := range ups {
+		seqs[i] = w.lastSeq + 1 + uint64(i)
+		buf = appendRecord(buf, Record{Type: RecordRating, Seq: seqs[i], Update: u, Shard: shards[i]})
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		return nil, fmt.Errorf("wal: append batch: %w", err)
+	}
+	w.size += int64(len(buf))
+	w.lastSeq = seqs[len(seqs)-1]
+	if w.opts.Sync == SyncAlways {
+		if err := w.f.Sync(); err != nil {
+			return nil, fmt.Errorf("wal: fsync: %w", err)
+		}
+	}
+	return seqs, nil
 }
 
 // AppendBatchCommit records that every rating with sequence <= covered
-// is applied, closing the current replay batch.
-func (w *WAL) AppendBatchCommit(covered uint64) (uint64, error) {
-	return w.append(Record{Type: RecordBatchCommit, Covered: covered})
+// is applied, closing the current replay batch. shard is the model shard
+// the batch was applied on (-1 for a monolithic or multi-shard apply).
+func (w *WAL) AppendBatchCommit(covered uint64, shard int) (uint64, error) {
+	return w.append(Record{Type: RecordBatchCommit, Covered: covered, Shard: shard})
 }
 
 // AppendCheckpoint records that a durable snapshot covers every rating

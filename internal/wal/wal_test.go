@@ -1,6 +1,9 @@
 package wal
 
 import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -35,7 +38,7 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	w := mustOpen(t, dir, Options{})
 	for i := 1; i <= 3; i++ {
-		seq, err := w.AppendRating(upd(i))
+		seq, err := w.AppendRating(upd(i), i)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -43,7 +46,7 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 			t.Fatalf("seq = %d, want %d", seq, i)
 		}
 	}
-	if _, err := w.AppendBatchCommit(3); err != nil {
+	if _, err := w.AppendBatchCommit(3, 7); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := w.AppendCheckpoint(3); err != nil {
@@ -56,11 +59,11 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 	}
 	for i := 0; i < 3; i++ {
 		r := recs[i]
-		if r.Type != RecordRating || r.Seq != uint64(i+1) || r.Update != upd(i+1) {
-			t.Errorf("record %d = %+v, want rating %+v at seq %d", i, r, upd(i+1), i+1)
+		if r.Type != RecordRating || r.Seq != uint64(i+1) || r.Update != upd(i+1) || r.Shard != i+1 {
+			t.Errorf("record %d = %+v, want rating %+v at seq %d shard %d", i, r, upd(i+1), i+1, i+1)
 		}
 	}
-	if recs[3].Type != RecordBatchCommit || recs[3].Covered != 3 {
+	if recs[3].Type != RecordBatchCommit || recs[3].Covered != 3 || recs[3].Shard != 7 {
 		t.Errorf("commit record = %+v", recs[3])
 	}
 	if recs[4].Type != RecordCheckpoint || recs[4].Covered != 3 {
@@ -79,7 +82,7 @@ func TestReopenContinuesSequence(t *testing.T) {
 	dir := t.TempDir()
 	w := mustOpen(t, dir, Options{})
 	for i := 1; i <= 4; i++ {
-		if _, err := w.AppendRating(upd(i)); err != nil {
+		if _, err := w.AppendRating(upd(i), i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -92,7 +95,7 @@ func TestReopenContinuesSequence(t *testing.T) {
 	if st.Records != 4 || st.LastSeq != 4 || st.TornBytes != 0 {
 		t.Fatalf("reopen stats = %+v", st)
 	}
-	seq, err := w2.AppendRating(upd(5))
+	seq, err := w2.AppendRating(upd(5), -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +117,7 @@ func TestTornTailEveryOffset(t *testing.T) {
 	master := t.TempDir()
 	w := mustOpen(t, master, Options{})
 	for i := 1; i <= n; i++ {
-		if _, err := w.AppendRating(upd(i)); err != nil {
+		if _, err := w.AppendRating(upd(i), i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -165,7 +168,7 @@ func TestTornTailEveryOffset(t *testing.T) {
 		}
 		// The log keeps working: the next append takes the seq of the
 		// record that was torn away.
-		seq, err := w.AppendRating(upd(99))
+		seq, err := w.AppendRating(upd(99), -1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -188,7 +191,7 @@ func TestTornSegmentHeader(t *testing.T) {
 	if st.Records != 0 || st.TornBytes != 4 {
 		t.Fatalf("stats after torn header = %+v", st)
 	}
-	if seq, err := w.AppendRating(upd(1)); err != nil || seq != 1 {
+	if seq, err := w.AppendRating(upd(1), -1); err != nil || seq != 1 {
 		t.Fatalf("append after header rewrite: seq=%d err=%v", seq, err)
 	}
 	w.Close()
@@ -201,7 +204,7 @@ func TestSegmentRotationAndPrune(t *testing.T) {
 	w := mustOpen(t, dir, Options{SegmentBytes: 100})
 	const n = 10
 	for i := 1; i <= n; i++ {
-		if _, err := w.AppendRating(upd(i)); err != nil {
+		if _, err := w.AppendRating(upd(i), i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -224,7 +227,7 @@ func TestSegmentRotationAndPrune(t *testing.T) {
 		t.Errorf("segments after prune = %d, want 1", got)
 	}
 	// Pruning below the covered point keeps replay working for the tail.
-	if _, err := w.AppendRating(upd(n + 1)); err != nil {
+	if _, err := w.AppendRating(upd(n+1), -1); err != nil {
 		t.Fatal(err)
 	}
 	recs := collect(t, w, 0)
@@ -247,7 +250,7 @@ func TestCorruptionBeforeTailFailsOpen(t *testing.T) {
 	dir := t.TempDir()
 	w := mustOpen(t, dir, Options{SegmentBytes: 100})
 	for i := 1; i <= 6; i++ {
-		if _, err := w.AppendRating(upd(i)); err != nil {
+		if _, err := w.AppendRating(upd(i), i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -270,6 +273,122 @@ func TestCorruptionBeforeTailFailsOpen(t *testing.T) {
 	} else if !strings.Contains(err.Error(), "corrupt") {
 		t.Fatalf("error %v does not mention corruption", err)
 	}
+}
+
+func TestAppendRatingsBatch(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{})
+	ups := []core.RatingUpdate{upd(1), upd(2), upd(3), upd(4)}
+	shards := []int{2, 0, 2, 5}
+	seqs, err := w.AppendRatings(ups, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("seqs = %v, want consecutive from 1", seqs)
+		}
+	}
+	if _, err := w.AppendBatchCommit(4, -1); err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, w, 0)
+	if len(recs) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(recs))
+	}
+	for i := 0; i < 4; i++ {
+		r := recs[i]
+		if r.Type != RecordRating || r.Update != ups[i] || r.Shard != shards[i] {
+			t.Errorf("record %d = %+v, want %+v shard %d", i, r, ups[i], shards[i])
+		}
+	}
+
+	if _, err := w.AppendRatings(ups, shards[:2]); err == nil {
+		t.Error("length-mismatched batch accepted")
+	}
+	if seqs, err := w.AppendRatings(nil, nil); err != nil || seqs != nil {
+		t.Errorf("empty batch = %v, %v", seqs, err)
+	}
+	// The batch is one frame group; a following single append continues
+	// the sequence.
+	if seq, err := w.AppendRating(upd(9), 1); err != nil || seq != 6 {
+		t.Errorf("append after batch: seq=%d err=%v", seq, err)
+	}
+	w.Close()
+
+	w2 := mustOpen(t, dir, Options{})
+	if w2.LastSeq() != 6 {
+		t.Errorf("reopened lastSeq = %d, want 6", w2.LastSeq())
+	}
+	w2.Close()
+}
+
+// legacyFrame encodes a record in the pre-shard layout: 32-byte rating
+// payloads and 8-byte commit payloads, exactly what logs written before
+// the sharding refactor contain.
+func legacyFrame(rec Record) []byte {
+	var payload []byte
+	switch rec.Type {
+	case RecordRating:
+		var p [ratingPayloadV1]byte
+		binary.BigEndian.PutUint64(p[0:], uint64(int64(rec.Update.User)))
+		binary.BigEndian.PutUint64(p[8:], uint64(int64(rec.Update.Item)))
+		binary.BigEndian.PutUint64(p[16:], math.Float64bits(rec.Update.Value))
+		binary.BigEndian.PutUint64(p[24:], uint64(rec.Update.Time))
+		payload = p[:]
+	case RecordBatchCommit, RecordCheckpoint:
+		var p [coveredPayloadV1]byte
+		binary.BigEndian.PutUint64(p[0:], rec.Covered)
+		payload = p[:]
+	}
+	body := append([]byte{byte(rec.Type)}, binary.BigEndian.AppendUint64(nil, rec.Seq)...)
+	body = append(body, payload...)
+	frame := binary.BigEndian.AppendUint32(nil, uint32(len(body)))
+	frame = binary.BigEndian.AppendUint32(frame, crc32.ChecksumIEEE(body))
+	return append(frame, body...)
+}
+
+// TestLegacyLogReplays: a log written before shard ids existed must open
+// and replay cleanly, with every record reporting Shard = -1.
+func TestLegacyLogReplays(t *testing.T) {
+	dir := t.TempDir()
+	var data []byte
+	data = append(data, segMagic[:]...)
+	data = binary.BigEndian.AppendUint64(data, 1)
+	data = append(data, legacyFrame(Record{Type: RecordRating, Seq: 1, Update: upd(1)})...)
+	data = append(data, legacyFrame(Record{Type: RecordRating, Seq: 2, Update: upd(2)})...)
+	data = append(data, legacyFrame(Record{Type: RecordBatchCommit, Seq: 3, Covered: 2})...)
+	data = append(data, legacyFrame(Record{Type: RecordCheckpoint, Seq: 4, Covered: 2})...)
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w := mustOpen(t, dir, Options{})
+	st := w.Stats()
+	if st.Records != 4 || st.LastSeq != 4 || st.TornBytes != 0 || st.LastCheckpoint != 2 {
+		t.Fatalf("legacy open stats = %+v", st)
+	}
+	recs := collect(t, w, 0)
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d legacy records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if r.Shard != -1 {
+			t.Errorf("legacy record %d decoded shard %d, want -1", i, r.Shard)
+		}
+	}
+	if recs[0].Update != upd(1) || recs[1].Update != upd(2) || recs[2].Covered != 2 {
+		t.Errorf("legacy payloads mangled: %+v", recs[:3])
+	}
+	// New-format appends continue the legacy log in place.
+	if seq, err := w.AppendRating(upd(3), 4); err != nil || seq != 5 {
+		t.Fatalf("append after legacy log: seq=%d err=%v", seq, err)
+	}
+	recs = collect(t, w, 4)
+	if len(recs) != 1 || recs[0].Shard != 4 {
+		t.Fatalf("mixed-format tail = %+v", recs)
+	}
+	w.Close()
 }
 
 func TestParseSyncPolicy(t *testing.T) {
