@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race lint vet fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs the repo's own invariant checkers. It must exit clean: the
+# baseline file is a migration tool, not a parking lot, and CI runs the
+# same command as a blocking step.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/cfsf-lint ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .

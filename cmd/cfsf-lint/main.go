@@ -1,0 +1,198 @@
+// Command cfsf-lint runs the repo's invariant analyzers (see
+// internal/analysis) over go-list package patterns and reports findings.
+//
+// Usage:
+//
+//	cfsf-lint [-json] [-baseline file] [-write-baseline file] [patterns...]
+//
+// Patterns default to ./... . Exit status: 0 when clean, 1 when findings
+// remain, 2 on usage or load errors.
+//
+// Scoping: mapiterfloat and nondeterm police the crash-replay guarantee,
+// so they run only on replay-path packages (core, smoothing, similarity,
+// cluster, wal, lifecycle) — the serving layer may read wall clocks and
+// iterate maps freely. lockcheck and walerr run everywhere.
+//
+// A baseline file (one "analyzer|package|file|message" line per tolerated
+// finding, no line numbers so unrelated edits don't invalidate it)
+// suppresses known findings; -write-baseline records the current set.
+// Policy: the baseline must stay empty — it exists for incident
+// bisection, not for parking debt. New suppressions go through
+// //cfsf:* annotations with justification strings instead.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"cfsf/internal/analysis"
+	"cfsf/internal/analysis/lockcheck"
+	"cfsf/internal/analysis/mapiterfloat"
+	"cfsf/internal/analysis/nondeterm"
+	"cfsf/internal/analysis/walerr"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], "", os.Stdout, os.Stderr))
+}
+
+// replayPackages are the packages on the WAL-replay path: recovery
+// replays journaled micro-batches through them and must reproduce the
+// serving model bit for bit.
+var replayPackages = map[string]bool{
+	"cfsf/internal/core":       true,
+	"cfsf/internal/smoothing":  true,
+	"cfsf/internal/similarity": true,
+	"cfsf/internal/cluster":    true,
+	"cfsf/internal/wal":        true,
+	"cfsf/internal/lifecycle":  true,
+}
+
+// replayOnly names the analyzers scoped to replayPackages.
+var replayOnly = map[string]bool{
+	"mapiterfloat": true,
+	"nondeterm":    true,
+}
+
+var analyzers = []*analysis.Analyzer{
+	lockcheck.Analyzer,
+	mapiterfloat.Analyzer,
+	nondeterm.Analyzer,
+	walerr.Analyzer,
+}
+
+// run is the driver body, factored from main for testing. dir is the
+// directory go list runs in ("" = current).
+func run(args []string, dir string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cfsf-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	baselinePath := fs.String("baseline", "", "suppress findings listed in this baseline file")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit 0")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: cfsf-lint [-json] [-baseline file] [-write-baseline file] [patterns...]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	pkgs, err := analysis.LoadPackages(dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers, func(a *analysis.Analyzer, pkgPath string) bool {
+		return !replayOnly[a.Name] || replayPackages[pkgPath]
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	if *writeBaseline != "" {
+		if err := saveBaseline(*writeBaseline, diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "cfsf-lint: wrote %d baseline entries to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+	if *baselinePath != "" {
+		base, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		kept := diags[:0]
+		for _, d := range diags {
+			if !base[baselineKey(d)] {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "cfsf-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// baselineKey identifies a finding without its line number, so the
+// baseline survives unrelated edits to the same file.
+func baselineKey(d analysis.Diagnostic) string {
+	return strings.Join([]string{d.Analyzer, d.Package, filepath.Base(d.Pos.Filename), d.Message}, "|")
+}
+
+func loadBaseline(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cfsf-lint: baseline: %w", err)
+	}
+	defer f.Close()
+	base := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		base[line] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cfsf-lint: baseline: %w", err)
+	}
+	return base, nil
+}
+
+func saveBaseline(path string, diags []analysis.Diagnostic) error {
+	seen := map[string]bool{}
+	lines := make([]string, 0, len(diags))
+	for _, d := range diags {
+		k := baselineKey(d)
+		if !seen[k] {
+			seen[k] = true
+			lines = append(lines, k)
+		}
+	}
+	sort.Strings(lines)
+	var b strings.Builder
+	b.WriteString("# cfsf-lint baseline: analyzer|package|file|message per line.\n")
+	b.WriteString("# Policy: keep this file empty; fix or annotate instead of baselining.\n")
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteString("\n")
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("cfsf-lint: baseline: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cfsf/internal/analysis"
+)
+
+// violatingModule writes a throwaway module with one walerr violation
+// (a silently discarded Sync on a write handle) and returns its root.
+func violatingModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module lintfixture\n\ngo 1.21\n")
+	writeFile(t, filepath.Join(dir, "main.go"), `package main
+
+import "os"
+
+func main() {
+	f, err := os.Create("out.txt")
+	if err != nil {
+		return
+	}
+	f.Sync()
+	_ = f.Close()
+}
+`)
+	return dir
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleanAtHead(t *testing.T) {
+	// The repo's own invariant: cfsf-lint reports nothing on HEAD, with
+	// no baseline. This is the same gate CI applies.
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./..."}, "../..", &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("cfsf-lint on HEAD: exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("cfsf-lint on HEAD printed findings:\n%s", stdout.String())
+	}
+}
+
+func TestViolationExitsNonZero(t *testing.T) {
+	dir := violatingModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./..."}, dir, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Sync is silently discarded") {
+		t.Fatalf("missing walerr finding in output:\n%s", stdout.String())
+	}
+}
+
+func TestJSONOutputShape(t *testing.T) {
+	dir := violatingModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "./..."}, dir, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "walerr" {
+		t.Errorf("Analyzer = %q, want walerr", d.Analyzer)
+	}
+	if d.Package != "lintfixture" {
+		t.Errorf("Package = %q, want lintfixture", d.Package)
+	}
+	if filepath.Base(d.Pos.Filename) != "main.go" || d.Pos.Line == 0 {
+		t.Errorf("Pos = %+v, want main.go with a line number", d.Pos)
+	}
+	if d.Message == "" {
+		t.Errorf("empty Message")
+	}
+}
+
+func TestJSONEmptyIsArray(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module lintclean\n\ngo 1.21\n")
+	writeFile(t, filepath.Join(dir, "main.go"), "package main\n\nfunc main() {}\n")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "./..."}, dir, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("clean -json output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 0 {
+		t.Fatalf("got %d findings, want 0", len(diags))
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := violatingModule(t)
+	baseline := filepath.Join(t.TempDir(), "baseline.txt")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-write-baseline", baseline, "./..."}, dir, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline exit = %d; stderr:\n%s", code, stderr.String())
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "walerr|lintfixture|main.go|") {
+		t.Fatalf("baseline missing expected entry:\n%s", data)
+	}
+
+	// With the baseline, the same findings are suppressed and the run is
+	// clean.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", baseline, "./..."}, dir, &stdout, &stderr); code != 0 {
+		t.Fatalf("baselined run exit = %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("baselined run printed findings:\n%s", stdout.String())
+	}
+
+	// Without it, the finding is back: the baseline suppresses, it does
+	// not erase.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"./..."}, dir, &stdout, &stderr); code != 1 {
+		t.Fatalf("unbaselined run exit = %d, want 1", code)
+	}
+}
+
+func TestBadFlagExitsUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, "../..", &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

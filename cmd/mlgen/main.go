@@ -89,7 +89,7 @@ func writeItems(path string, d *synth.Dataset) error {
 		fmt.Fprintf(w, "%d\t%s\t%s\n", i+1, title, strings.Join(names, "|"))
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

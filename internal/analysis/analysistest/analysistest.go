@@ -1,0 +1,302 @@
+// Package analysistest runs an analyzer over fixture packages laid out
+// GOPATH-style under testdata/src/<pkg> and checks its diagnostics
+// against `// want "regex"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only.
+//
+// Fixture packages may import each other (resolved from testdata/src),
+// standard-library packages, and packages of this module (resolved from
+// compiler export data via `go list -export`).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cfsf/internal/analysis"
+)
+
+// Run loads each fixture package under filepath.Join(dir, "src"), applies
+// the analyzer, and reports mismatches between its diagnostics and the
+// fixtures' want comments on t. It returns the diagnostics for callers
+// that assert more.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) []analysis.Diagnostic {
+	t.Helper()
+	pkgs, err := loadFixtures(dir, pkgpaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		checkWants(t, pkg, diags)
+	}
+	return diags
+}
+
+// loadFixtures type-checks the named fixture packages (and, recursively,
+// the fixture packages they import).
+func loadFixtures(dir string, pkgpaths []string) ([]*analysis.Package, error) {
+	src := filepath.Join(dir, "src")
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{
+		src:    src,
+		fset:   fset,
+		loaded: map[string]*analysis.Package{},
+	}
+	// Collect every external import reachable from the fixture tree so a
+	// single `go list -export` resolves them all.
+	external, err := ld.externalImports()
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	if len(external) > 0 {
+		// Run from the current directory: for a `go test` process that is
+		// the analyzer's package directory inside the module, so
+		// module-local imports resolve alongside the standard library.
+		exports, err = analysis.ListExports("", external...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ld.fallback = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok || e == "" {
+			return nil, fmt.Errorf("analysistest: no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+
+	var out []*analysis.Package
+	for _, p := range pkgpaths {
+		pkg, err := ld.load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+type fixtureLoader struct {
+	src      string
+	fset     *token.FileSet
+	loaded   map[string]*analysis.Package
+	loading  []string
+	fallback types.Importer
+}
+
+// Import implements types.Importer over the fixture tree with export-data
+// fallback, so fixture packages can import each other.
+func (ld *fixtureLoader) Import(path string) (*types.Package, error) {
+	if dirExists(filepath.Join(ld.src, path)) {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.fallback.Import(path)
+}
+
+func (ld *fixtureLoader) load(path string) (*analysis.Package, error) {
+	if pkg, ok := ld.loaded[path]; ok {
+		return pkg, nil
+	}
+	for _, p := range ld.loading {
+		if p == path {
+			return nil, fmt.Errorf("analysistest: import cycle through %q", path)
+		}
+	}
+	ld.loading = append(ld.loading, path)
+	defer func() { ld.loading = ld.loading[:len(ld.loading)-1] }()
+
+	dir := filepath.Join(ld.src, path)
+	filenames, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("analysistest: no .go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(filenames))
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(ld.fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: typecheck fixture %s: %w", path, err)
+	}
+	pkg := &analysis.Package{Path: path, Dir: dir, Fset: ld.fset, Files: files, Types: tpkg, Info: info}
+	ld.loaded[path] = pkg
+	return pkg, nil
+}
+
+// externalImports scans every fixture file for imports that have no
+// directory under testdata/src.
+func (ld *fixtureLoader) externalImports() ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(ld.src, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if !dirExists(filepath.Join(ld.src, p)) {
+				seen[p] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func dirExists(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// want is one expectation parsed from a `// want "re"` comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// checkWants matches the package's diagnostics against its want comments.
+func checkWants(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range splitQuoted(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		if d.Package != pkg.Path {
+			continue
+		}
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// splitQuoted extracts the double-quoted strings from a want comment's
+// tail, honoring escapes via strconv.Unquote.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		rest := s[i:]
+		// Find the closing quote, skipping escaped ones.
+		end := 1
+		for end < len(rest) {
+			if rest[end] == '\\' {
+				end += 2
+				continue
+			}
+			if rest[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(rest) {
+			return out
+		}
+		if q, err := strconv.Unquote(rest[:end+1]); err == nil {
+			out = append(out, q)
+		}
+		s = rest[end+1:]
+	}
+}

@@ -1,0 +1,490 @@
+// Package lockcheck enforces two field-level concurrency contracts
+// declared by annotation:
+//
+//   - //cfsf:guarded-by <mutex> — the field may only be accessed while
+//     <mutex> (a sync.Mutex or sync.RWMutex field of the same struct) is
+//     held on the local call path: a Lock/RLock on the same receiver
+//     chain earlier in the function (deferred Unlocks keep it held), a
+//     //cfsf:locked <mutex> contract on the enclosing function, or the
+//     value being freshly constructed in this function and therefore not
+//     yet published.
+//
+//   - //cfsf:immutable — the field is written only while its struct is
+//     under construction (assigned from a composite literal in the same
+//     function) or inside a function annotated //cfsf:init-only <why>.
+//     This is the copy-on-write contract of Model and ShardedModel: a
+//     published model is never mutated; every apply/retrain builds a
+//     fresh value and swaps a pointer at the documented publication
+//     point. An in-place write to a shared model — the GIS swap bug
+//     class — is exactly what this flags.
+//
+// The analysis is local and flow-approximate by design: it walks each
+// function's statements in source order, tracking Lock/Unlock pairs by
+// the receiver expression's spelling (m.mu, w.mu). That catches the bug
+// class that matters — an access with no lock acquisition on any local
+// path — without whole-program may-alias analysis. Helper functions
+// called with the lock held declare it with //cfsf:locked <mutex>.
+package lockcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cfsf/internal/analysis"
+)
+
+// Analyzer is the lockcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "enforces //cfsf:guarded-by and //cfsf:immutable field contracts",
+	Run:  run,
+}
+
+// fieldContract describes one annotated field.
+type fieldContract struct {
+	mutex     string // guarded-by mutex field name ("" for immutable-only)
+	immutable bool
+}
+
+func run(pass *analysis.Pass) error {
+	contracts := collectContracts(pass)
+	if len(contracts) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, contracts)
+		}
+	}
+	return nil
+}
+
+// collectContracts parses field annotations from every struct type
+// declaration, validating that a guarded-by target names a sync.Mutex or
+// sync.RWMutex field of the same struct.
+func collectContracts(pass *analysis.Pass) map[types.Object]fieldContract {
+	contracts := map[types.Object]fieldContract{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			mutexFields := map[string]bool{}
+			for _, field := range st.Fields.List {
+				t := pass.Info.TypeOf(field.Type)
+				if isMutex(t) {
+					for _, name := range field.Names {
+						mutexFields[name.Name] = true
+					}
+				}
+			}
+			for _, field := range st.Fields.List {
+				gb, hasGB := analysis.FieldAnnotation(field, "guarded-by")
+				_, hasIM := analysis.FieldAnnotation(field, "immutable")
+				if !hasGB && !hasIM {
+					continue
+				}
+				c := fieldContract{immutable: hasIM}
+				if hasGB {
+					mutex, _, _ := strings.Cut(gb.Arg, " ")
+					if mutex == "" || !mutexFields[mutex] {
+						pass.Reportf(gb.Pos, "//cfsf:guarded-by %q does not name a sync.Mutex/RWMutex field of this struct", mutex)
+						continue
+					}
+					c.mutex = mutex
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						contracts[obj] = c
+					}
+				}
+			}
+			return true
+		})
+	}
+	return contracts
+}
+
+func isMutex(t types.Type) bool {
+	return analysis.IsNamedType(t, "sync", "Mutex") || analysis.IsNamedType(t, "sync", "RWMutex")
+}
+
+// checker carries the per-function lock state.
+type checker struct {
+	pass      *analysis.Pass
+	contracts map[types.Object]fieldContract
+	held      map[string]bool       // "m.mu" -> locked on the current path
+	fresh     map[types.Object]bool // vars assigned from composite literals here
+	initOnly  bool                  // //cfsf:init-only function
+	// reported dedupes per selector node: assignment targets are visited
+	// by both checkWrite (chain walk) and checkExpr (read scan).
+	reported map[*ast.SelectorExpr]bool
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, contracts map[types.Object]fieldContract) {
+	c := &checker{
+		pass:      pass,
+		contracts: contracts,
+		held:      map[string]bool{},
+		fresh:     map[types.Object]bool{},
+		reported:  map[*ast.SelectorExpr]bool{},
+	}
+	if a, ok := analysis.FuncAnnotation(fd.Doc, "locked"); ok {
+		// The first word names the mutex; anything after it is the
+		// justification (why the caller holds it / why the value is
+		// unpublished).
+		mutex, _, _ := strings.Cut(a.Arg, " ")
+		if mutex == "" {
+			pass.Reportf(a.Pos, "//cfsf:locked requires the mutex name")
+		} else if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+			c.held[fd.Recv.List[0].Names[0].Name+"."+mutex] = true
+		}
+	}
+	if a, ok := analysis.FuncAnnotation(fd.Doc, "init-only"); ok {
+		c.initOnly = pass.JustificationOrReport(a)
+	}
+	c.stmts(fd.Body.List)
+}
+
+// stmts walks a statement list in source order, updating lock state and
+// checking every field access. Branch bodies share (and persist) the
+// state — an over-approximation that matches the straight-line
+// lock-use idiom this repo follows.
+func (c *checker) stmts(list []ast.Stmt) {
+	for _, stmt := range list {
+		c.stmt(stmt)
+	}
+}
+
+func (c *checker) stmt(stmt ast.Stmt) {
+	switch v := stmt.(type) {
+	case *ast.ExprStmt:
+		if !c.lockCall(v.X, false) {
+			c.checkExpr(v.X)
+		}
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end; any
+		// other deferred call is checked with the current state.
+		if !c.lockCall(v.Call, true) {
+			c.checkExpr(v.Call)
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range v.Rhs {
+			c.checkExpr(rhs)
+		}
+		c.trackFresh(v)
+		for _, lhs := range v.Lhs {
+			c.checkWrite(lhs)
+			c.checkExpr(lhs)
+		}
+	case *ast.IncDecStmt:
+		c.checkWrite(v.X)
+		c.checkExpr(v.X)
+	case *ast.DeclStmt:
+		if gd, ok := v.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						c.checkExpr(val)
+					}
+					c.trackFreshSpec(vs)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range v.Results {
+			c.checkExpr(r)
+		}
+	case *ast.IfStmt:
+		if v.Init != nil {
+			c.stmt(v.Init)
+		}
+		c.checkExpr(v.Cond)
+		// A branch that ends in return/break/continue/panic never reaches
+		// the statements after the if: its lock changes (the early-return
+		// `mu.Unlock(); return` idiom) must not leak onto the fall-through
+		// path.
+		saved := copyHeld(c.held)
+		c.stmts(v.Body.List)
+		if terminates(v.Body.List) {
+			c.held = saved
+		}
+		if v.Else != nil {
+			saved = copyHeld(c.held)
+			c.stmt(v.Else)
+			if blk, ok := v.Else.(*ast.BlockStmt); ok && terminates(blk.List) {
+				c.held = saved
+			}
+		}
+	case *ast.ForStmt:
+		if v.Init != nil {
+			c.stmt(v.Init)
+		}
+		if v.Cond != nil {
+			c.checkExpr(v.Cond)
+		}
+		c.stmts(v.Body.List)
+		if v.Post != nil {
+			c.stmt(v.Post)
+		}
+	case *ast.RangeStmt:
+		c.checkExpr(v.X)
+		c.stmts(v.Body.List)
+	case *ast.BlockStmt:
+		c.stmts(v.List)
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			c.stmt(v.Init)
+		}
+		if v.Tag != nil {
+			c.checkExpr(v.Tag)
+		}
+		for _, cl := range v.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					c.checkExpr(e)
+				}
+				c.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			c.stmt(v.Init)
+		}
+		c.stmt(v.Assign)
+		for _, cl := range v.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range v.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					c.stmt(cc.Comm)
+				}
+				c.stmts(cc.Body)
+			}
+		}
+	case *ast.GoStmt:
+		c.checkExpr(v.Call)
+	case *ast.SendStmt:
+		c.checkExpr(v.Chan)
+		c.checkExpr(v.Value)
+	case *ast.LabeledStmt:
+		c.stmt(v.Stmt)
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// terminates reports whether a statement list always leaves the
+// enclosing flow: its last statement is a return, a branch
+// (break/continue/goto), or a panic call.
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(last.List)
+	}
+	return false
+}
+
+// lockCall updates lock state if e is a mutex Lock/Unlock call on a
+// field selector; it reports true when the call was lock management.
+func (c *checker) lockCall(e ast.Expr, deferred bool) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recv := c.pass.Info.TypeOf(sel.X)
+	if !isMutex(recv) {
+		return false
+	}
+	key := analysis.ExprString(sel.X)
+	if key == "" {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		c.held[key] = true
+		return true
+	case "Unlock", "RUnlock":
+		if !deferred {
+			delete(c.held, key)
+		}
+		return true
+	case "TryLock", "TryRLock":
+		// The result decides; treat as acquired (over-approximate).
+		c.held[key] = true
+		return true
+	}
+	return false
+}
+
+// trackFresh records LHS variables assigned from composite literals
+// (construction sites: the value is not yet published).
+func (c *checker) trackFresh(v *ast.AssignStmt) {
+	if len(v.Lhs) != len(v.Rhs) {
+		return
+	}
+	for i, rhs := range v.Rhs {
+		if !isCompositeLit(rhs) {
+			continue
+		}
+		if id, ok := v.Lhs[i].(*ast.Ident); ok {
+			if obj := c.pass.Info.Defs[id]; obj != nil {
+				c.fresh[obj] = true
+			} else if obj := c.pass.Info.Uses[id]; obj != nil {
+				c.fresh[obj] = true
+			}
+		}
+	}
+}
+
+func (c *checker) trackFreshSpec(vs *ast.ValueSpec) {
+	if len(vs.Names) != len(vs.Values) {
+		return
+	}
+	for i, val := range vs.Values {
+		if !isCompositeLit(val) {
+			continue
+		}
+		if obj := c.pass.Info.Defs[vs.Names[i]]; obj != nil {
+			c.fresh[obj] = true
+		}
+	}
+}
+
+func isCompositeLit(e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := v.X.(*ast.CompositeLit)
+		return ok
+	}
+	return false
+}
+
+// checkExpr checks every guarded-field read reachable in e. Function
+// literals are skipped: a closure runs later, possibly on another
+// goroutine, so the current lock state does not apply — their bodies
+// would need their own contracts (none of the annotated code accesses
+// guarded fields from closures).
+func (c *checker) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		c.checkSelector(sel, false)
+		return true
+	})
+}
+
+// checkWrite checks an assignment target: immutable-field writes and
+// guarded-field writes alike. The target may be nested (x.stats.Field,
+// x.shards[i].Count): every selector on the chain is checked.
+func (c *checker) checkWrite(lhs ast.Expr) {
+	e := lhs
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			c.checkSelector(v, true)
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return
+		}
+	}
+}
+
+// checkSelector verifies one field access against its contract.
+func (c *checker) checkSelector(sel *ast.SelectorExpr, write bool) {
+	s, ok := c.pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	contract, ok := c.contracts[s.Obj()]
+	if !ok {
+		return
+	}
+	root := analysis.RootIdent(sel.X)
+	if root != nil {
+		if obj := c.pass.Info.Uses[root]; obj != nil && c.fresh[obj] {
+			return // construction site: not yet published
+		}
+	}
+	if c.reported[sel] {
+		return
+	}
+	if contract.immutable && write && !c.initOnly {
+		c.reported[sel] = true
+		c.pass.Reportf(sel.Pos(),
+			"write to immutable field %s of a published value: copy-on-write requires building a fresh value and swapping at the publication point (or //cfsf:init-only <why> on a pre-publication helper)",
+			fmt.Sprintf("%s.%s", typeName(s.Recv()), s.Obj().Name()))
+	}
+	if contract.mutex != "" {
+		base := analysis.ExprString(sel.X)
+		if base == "" || !c.held[base+"."+contract.mutex] {
+			c.reported[sel] = true
+			c.pass.Reportf(sel.Pos(),
+				"guarded field %s accessed without %s.%s held on the local path (lock it, or declare the contract with //cfsf:locked %s on the enclosing function)",
+				s.Obj().Name(), baseOr(base, "receiver"), contract.mutex, contract.mutex)
+		}
+	}
+}
+
+func baseOr(s, fallback string) string {
+	if s == "" {
+		return fallback
+	}
+	return s
+}
+
+func typeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,258 @@
+// Package mapiterfloat flags `for range` loops over maps whose bodies do
+// order-sensitive work: accumulate floating-point values (float addition
+// is not associative, so iteration order changes the bits), append to
+// slices that flow onward un-sorted, or write WAL records. Go randomizes
+// map iteration order per run, so any of these breaks the repo's
+// bit-for-bit crash-replay guarantee the moment the map has two entries.
+//
+// Escapes:
+//
+//   - the sorted-keys idiom: a loop that only collects keys/values by
+//     append is accepted when the destination slice is passed to a
+//     sort/slices sorting function later in the same function — that is
+//     the canonical fix and needs no annotation;
+//   - //cfsf:ordered-ok <why> on the range statement, for loops whose
+//     body is genuinely commutative (pure dense-array writes, per-key
+//     counters). The justification string is required: the annotation
+//     records why order cannot matter, and review enforces it.
+package mapiterfloat
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cfsf/internal/analysis"
+)
+
+// Analyzer is the mapiterfloat pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiterfloat",
+	Doc:  "flags order-sensitive work (float accumulation, unsorted appends, WAL writes) inside map iteration",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Walk every function body, including function literals (their
+		// bodies are analyzed as independent statement lists: the
+		// sorted-keys idiom is only recognized within one closure).
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncDecl:
+				if v.Body != nil {
+					walkStmts(pass, v.Body.List)
+				}
+				return true
+			case *ast.FuncLit:
+				walkStmts(pass, v.Body.List)
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// walkStmts recurses through a statement list, analyzing every map-range
+// statement with its surrounding list in hand (the sorted-keys idiom
+// check needs the statements that follow the loop).
+func walkStmts(pass *analysis.Pass, list []ast.Stmt) {
+	for i, stmt := range list {
+		if rs, ok := stmt.(*ast.RangeStmt); ok && isMapRange(pass, rs) {
+			checkMapRange(pass, rs, list[i+1:])
+		}
+		// Recurse into nested bodies (including the range body itself:
+		// a map range inside a map range is analyzed on its own).
+		for _, body := range nestedBodies(stmt) {
+			walkStmts(pass, body)
+		}
+	}
+}
+
+func nestedBodies(stmt ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch v := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, v.List)
+	case *ast.IfStmt:
+		out = append(out, v.Body.List)
+		if v.Else != nil {
+			out = append(out, []ast.Stmt{v.Else})
+		}
+	case *ast.ForStmt:
+		out = append(out, v.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, v.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, []ast.Stmt{v.Stmt})
+	case *ast.DeclStmt, *ast.ExprStmt, *ast.AssignStmt, *ast.ReturnStmt,
+		*ast.GoStmt, *ast.DeferStmt, *ast.SendStmt, *ast.IncDecStmt,
+		*ast.BranchStmt, *ast.EmptyStmt:
+		// No nested statement lists. Function literals are not descended
+		// into here: run() walks every FuncLit body as its own list.
+	}
+	return out
+}
+
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	t := pass.Info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, after []ast.Stmt) {
+	if a, ok := pass.Annotations().Covering(pass.Fset, rs.Pos(), "ordered-ok"); ok {
+		pass.JustificationOrReport(a)
+		return
+	}
+
+	var floatAccum token.Pos
+	var walWrite token.Pos
+	var walName string
+	appendTargets := map[types.Object]token.Pos{}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			switch v.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range v.Lhs {
+					// An accumulator declared inside the loop body resets
+					// every iteration: per-key sums are order-independent.
+					if declaredWithin(pass, lhs, rs.Body) {
+						continue
+					}
+					if isFloat(pass.Info.TypeOf(lhs)) && floatAccum == token.NoPos {
+						floatAccum = v.Pos()
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && id.Name == "append" && len(v.Args) > 0 {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					if dst := analysis.RootIdent(v.Args[0]); dst != nil {
+						if obj := pass.Info.Uses[dst]; obj != nil {
+							if _, seen := appendTargets[obj]; !seen {
+								appendTargets[obj] = v.Pos()
+							}
+						}
+					}
+				}
+			}
+			if fn := analysis.Callee(pass.Info, v); fn != nil && fn.Pkg() != nil &&
+				(fn.Pkg().Path() == "wal" || strings.HasSuffix(fn.Pkg().Path(), "/wal")) {
+				if walWrite == token.NoPos {
+					walWrite, walName = v.Pos(), fn.Name()
+				}
+			}
+		}
+		return true
+	})
+
+	if floatAccum != token.NoPos {
+		pass.Reportf(floatAccum,
+			"floating-point accumulation in map-iteration order is nondeterministic (float addition is not associative); iterate sorted keys or annotate //cfsf:ordered-ok <why>")
+	}
+	if walWrite != token.NoPos {
+		pass.Reportf(walWrite,
+			"WAL write (%s) in map-iteration order journals records in a random order, breaking bit-for-bit replay; iterate sorted keys", walName)
+	}
+	for obj, pos := range appendTargets {
+		if sortedAfter(pass, obj, after) {
+			continue
+		}
+		pass.Reportf(pos,
+			"append to %s in map-iteration order produces a randomly ordered slice; sort it before use (sorted-keys idiom) or annotate //cfsf:ordered-ok <why>", obj.Name())
+	}
+}
+
+// declaredWithin reports whether the root variable of lhs is declared
+// inside the given block (a per-iteration local).
+func declaredWithin(pass *analysis.Pass, lhs ast.Expr, body *ast.BlockStmt) bool {
+	id := analysis.RootIdent(lhs)
+	if id == nil {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	return obj != nil && obj.Pos() >= body.Pos() && obj.Pos() < body.End()
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isSortFunc recognizes the stdlib functions that impose a total order
+// on their slice argument.
+func isSortFunc(pkgPath, name string) bool {
+	switch pkgPath {
+	case "sort":
+		switch name {
+		case "Sort", "Stable", "Slice", "SliceStable", "Ints", "Strings", "Float64s":
+			return true
+		}
+	case "slices":
+		return strings.HasPrefix(name, "Sort")
+	}
+	return false
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices sorting
+// function in the statements following the loop — the sorted-keys idiom.
+func sortedAfter(pass *analysis.Pass, obj types.Object, after []ast.Stmt) bool {
+	for _, stmt := range after {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn := analysis.Callee(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if !isSortFunc(fn.Pkg().Path(), fn.Name()) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id := analysis.RootIdent(arg); id != nil && pass.Info.Uses[id] == obj {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package mapiterfloat_test
+
+import (
+	"testing"
+
+	"cfsf/internal/analysis/analysistest"
+	"cfsf/internal/analysis/mapiterfloat"
+)
+
+func TestMapIterFloat(t *testing.T) {
+	analysistest.Run(t, "testdata", mapiterfloat.Analyzer, "mapiter")
+}

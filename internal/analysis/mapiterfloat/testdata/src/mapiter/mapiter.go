@@ -1,0 +1,105 @@
+// Package mapiter exercises the mapiterfloat analyzer.
+package mapiter
+
+import (
+	"sort"
+
+	"wal"
+)
+
+// sumUnsorted accumulates floats in map-iteration order: flagged.
+func sumUnsorted(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "floating-point accumulation in map-iteration order"
+	}
+	return total
+}
+
+// sumSorted uses the sorted-keys idiom: the append is exempt because its
+// destination is sorted before use.
+func sumSorted(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// collectUnsorted appends map values and returns them unsorted: flagged.
+func collectUnsorted(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want "append to out in map-iteration order"
+	}
+	return out
+}
+
+// denseCommutative is annotated: each key writes its own dense slot, so
+// iteration order cannot matter.
+func denseCommutative(m map[int]float64) []float64 {
+	dense := make([]float64, 128)
+	//cfsf:ordered-ok per-key writes to distinct dense slots commute
+	for k, v := range m {
+		dense[k%128] += v
+	}
+	return dense
+}
+
+// emptyJustification suppresses without saying why: the bare annotation
+// is its own finding.
+func emptyJustification(m map[int]float64) float64 {
+	var total float64
+	//cfsf:ordered-ok // want "cfsf:ordered-ok requires a justification string"
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// journalInMapOrder writes WAL records while ranging a map: flagged.
+func journalInMapOrder(w *wal.WAL, m map[int]float64) {
+	for u, r := range m {
+		_ = wal.Append(w, u, r) // want "WAL write \\(Append\\) in map-iteration order"
+	}
+}
+
+// nestedClosure hides the accumulation inside a function literal body:
+// still flagged (closure bodies are walked as their own lists).
+func nestedClosure(m map[int]float64) func() float64 {
+	return func() float64 {
+		var total float64
+		for _, v := range m {
+			total += v // want "floating-point accumulation in map-iteration order"
+		}
+		return total
+	}
+}
+
+// perKeyLocal accumulates into a variable declared inside the loop body:
+// the sum resets every iteration, so order cannot matter.
+func perKeyLocal(m map[int][]float64) []float64 {
+	dense := make([]float64, 128)
+	for k, vs := range m {
+		var sum float64
+		for _, v := range vs {
+			sum += v
+		}
+		dense[k%128] = sum
+	}
+	return dense
+}
+
+// intCounter only counts: integer accumulation is exact, not flagged.
+func intCounter(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,132 @@
+// Package nondeterm forbids sources of run-to-run nondeterminism in
+// packages on the crash-recovery replay path. Recovery replays WAL
+// micro-batches through the same code that served live traffic and must
+// reproduce the serving model bit for bit; anything that reads a wall
+// clock into model state, draws from the process-global random source,
+// or races on a multi-ready select can diverge replay from history.
+//
+// Checks:
+//
+//   - time.Now / time.Since calls — allowed only with a
+//     //cfsf:wallclock-ok annotation (on the statement, or in the
+//     enclosing function's doc comment for metrics-heavy functions);
+//     the justification string is required.
+//   - package-level math/rand functions (Intn, Float64, Shuffle, ...),
+//     which draw from the shared global source. Seeded generators
+//     (rand.New(rand.NewSource(seed))) stay legal: they are how the
+//     paper's K-means++ stays reproducible.
+//   - select statements with more than one communication case (Go picks
+//     a ready case pseudorandomly) — allowed with //cfsf:select-ok. A
+//     single case plus default is fine: that shape is deterministic.
+package nondeterm
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cfsf/internal/analysis"
+)
+
+// Analyzer is the nondeterm pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nondeterm",
+	Doc:  "forbids wall clocks, global math/rand, and multi-ready selects on the replay path",
+	Run:  run,
+}
+
+// globalRandConstructors are the math/rand functions that do NOT touch
+// the shared source: building a seeded generator is deterministic.
+var globalRandConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	ann := pass.Annotations()
+	for _, f := range pass.Files {
+		// Walk with the enclosing function's doc comment in scope so a
+		// func-level //cfsf:wallclock-ok covers every call inside it.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			funcWallclockOK := false
+			if a, ok := analysis.FuncAnnotation(fd.Doc, "wallclock-ok"); ok {
+				funcWallclockOK = pass.JustificationOrReport(a)
+			}
+			funcSelectOK := false
+			if a, ok := analysis.FuncAnnotation(fd.Doc, "select-ok"); ok {
+				funcSelectOK = pass.JustificationOrReport(a)
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.CallExpr:
+					checkCall(pass, ann, v, funcWallclockOK)
+				case *ast.SelectStmt:
+					checkSelect(pass, ann, v, funcSelectOK)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, ann *analysis.Annotations, call *ast.CallExpr, funcWallclockOK bool) {
+	fn := analysis.Callee(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() != "Now" && fn.Name() != "Since" {
+			return
+		}
+		if funcWallclockOK {
+			return
+		}
+		if a, ok := ann.Covering(pass.Fset, call.Pos(), "wallclock-ok"); ok {
+			pass.JustificationOrReport(a)
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"time.%s on the replay path: wall-clock values must not reach model state (annotate //cfsf:wallclock-ok <why> if this is metrics-only)",
+			fn.Name())
+	case "math/rand", "math/rand/v2":
+		// Only package-level functions draw from the shared source;
+		// methods on a seeded *rand.Rand are deterministic.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return
+		}
+		if globalRandConstructors[fn.Name()] {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"%s.%s uses the process-global random source on the replay path; use a seeded rand.New(rand.NewSource(seed)) instead",
+			fn.Pkg().Name(), fn.Name())
+	}
+}
+
+func checkSelect(pass *analysis.Pass, ann *analysis.Annotations, sel *ast.SelectStmt, funcSelectOK bool) {
+	comm := 0
+	for _, clause := range sel.Body.List {
+		if c, ok := clause.(*ast.CommClause); ok && c.Comm != nil {
+			comm++
+		}
+	}
+	if comm <= 1 {
+		return // single case (+ optional default) is deterministic
+	}
+	if funcSelectOK {
+		return
+	}
+	if a, ok := ann.Covering(pass.Fset, sel.Pos(), "select-ok"); ok {
+		pass.JustificationOrReport(a)
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"select with %d communication cases on the replay path is scheduled pseudorandomly; order must be captured in the WAL (annotate //cfsf:select-ok <why> if it is)",
+		comm)
+}

@@ -1,0 +1,81 @@
+// Package nondet exercises the nondeterm analyzer.
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stampState reads the wall clock into a value: flagged.
+func stampState() int64 {
+	return time.Now().UnixNano() // want "time.Now on the replay path"
+}
+
+// observeLatency is metrics-only, annotated at the statement.
+func observeLatency(start time.Time) time.Duration {
+	//cfsf:wallclock-ok latency metric only, never reaches model state
+	return time.Since(start)
+}
+
+// timedRun is annotated at function level: every clock read inside is
+// covered, including ones in nested closures.
+//
+//cfsf:wallclock-ok duration metrics for the stats snapshot only
+func timedRun() time.Duration {
+	start := time.Now()
+	f := func() time.Duration { return time.Since(start) }
+	return f()
+}
+
+// bareAnnotation suppresses without a justification: flagged.
+func bareAnnotation() time.Time {
+	//cfsf:wallclock-ok // want "cfsf:wallclock-ok requires a justification string"
+	return time.Now()
+}
+
+// pick draws from the process-global source: flagged.
+func pick(n int) int {
+	return rand.Intn(n) // want "rand.Intn uses the process-global random source"
+}
+
+// seeded builds a deterministic generator: legal, including its methods.
+func seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// shuffleGlobal permutes via the shared source: flagged.
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle uses the process-global random source"
+}
+
+// fanIn races two ready channels: flagged.
+func fanIn(a, b chan int) int {
+	select { // want "select with 2 communication cases on the replay path"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// poll is one case plus default: deterministic, legal.
+func poll(c chan int) (int, bool) {
+	select {
+	case v := <-c:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// runLoop's arrival order is journaled before apply: annotated.
+func runLoop(a, b chan int) int {
+	//cfsf:select-ok arrival order is sequenced by the WAL before apply
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

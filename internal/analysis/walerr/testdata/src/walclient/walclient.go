@@ -1,0 +1,85 @@
+// Package walclient exercises the walerr analyzer.
+package walclient
+
+import (
+	"os"
+
+	"wal"
+)
+
+// ack drops the append error on the floor: flagged.
+func ack(w *wal.WAL, rec []byte) {
+	w.Append(rec) // want "error from wal.Append is silently discarded"
+}
+
+// shutdown defers a close whose error vanishes: flagged.
+func shutdown(w *wal.WAL) {
+	defer w.Close() // want "error from wal.Close is silently discarded"
+}
+
+// rotateAsync discards in a goroutine: flagged.
+func rotateAsync(w *wal.WAL) {
+	go w.Rotate() // want "error from wal.Rotate is silently discarded"
+}
+
+// checked propagates the error: legal.
+func checked(w *wal.WAL, rec []byte) error {
+	return w.Append(rec)
+}
+
+// deliberate documents its discard with a blank assignment: legal.
+func deliberate(w *wal.WAL) {
+	_ = w.Close()
+}
+
+// size calls a non-error method: nothing to discard.
+func size(w *wal.WAL) int64 {
+	return w.Size()
+}
+
+// snapshot drops Sync and Close on a write handle: both flagged.
+func snapshot(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() // want "Close on a write handle is silently discarded"
+		return err
+	}
+	f.Sync() // want "Sync is silently discarded"
+	return f.Close()
+}
+
+// reader closes a read handle silently: legal (os.Open, not a write
+// handle).
+func reader(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}
+
+// segment holds a long-lived file handle.
+type segment struct {
+	f *os.File
+}
+
+// close discards the field handle's Close error: flagged (struct fields
+// of type *os.File are treated as write handles).
+func (s *segment) close() {
+	s.f.Close() // want "Close on a write handle is silently discarded"
+}
+
+// closure discards inside a function literal on a write-opened handle:
+// flagged (handles are tracked package-wide by object).
+func closure(path string) func() {
+	f, _ := os.OpenFile(path, os.O_WRONLY, 0o644)
+	return func() {
+		f.Close() // want "Close on a write handle is silently discarded"
+	}
+}

@@ -1,0 +1,160 @@
+// Package walerr flags silently discarded errors on durability-critical
+// calls: the internal/wal API (append, fsync, rotate, replay, close) and
+// os.File Sync/Close on write handles. A WAL append whose error vanishes
+// acknowledges a rating that was never journaled; an fsync error that is
+// dropped converts "durable per policy" into "durable if the disk felt
+// like it".
+//
+// Discarding is "silent" when the call is an expression statement or a
+// defer/go statement. An explicit blank assignment (`_ = f.Close()`) is
+// accepted: it is visible in review and greppable, which is the policy —
+// the analyzer exists to catch errors that disappear without a trace,
+// not to forbid deliberate, documented discards on error-cleanup paths.
+//
+// os.File.Close is only policed on write handles: files obtained from
+// os.Create, os.OpenFile, or os.CreateTemp (a dropped Close error on a
+// written file can hide lost data), and struct fields of type *os.File
+// (long-lived handles like the WAL's active segment). Read handles from
+// os.Open may close silently.
+package walerr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cfsf/internal/analysis"
+)
+
+// Analyzer is the walerr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "walerr",
+	Doc:  "flags discarded errors from internal/wal calls and os.File Sync/Close on write paths",
+	Run:  run,
+}
+
+// isWALPackage matches the real module path and the analysistest fixture
+// path alike.
+func isWALPackage(path string) bool {
+	return path == "wal" || strings.HasSuffix(path, "/wal")
+}
+
+func run(pass *analysis.Pass) error {
+	writeHandles := collectWriteHandles(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = stmt.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = stmt.Call
+			case *ast.GoStmt:
+				call = stmt.Call
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			check(pass, call, writeHandles)
+			return true
+		})
+	}
+	return nil
+}
+
+// collectWriteHandles returns every variable assigned from os.Create,
+// os.OpenFile, or os.CreateTemp anywhere in the package. Tracking by
+// types.Object keeps the set valid across closure boundaries.
+func collectWriteHandles(pass *analysis.Pass) map[types.Object]bool {
+	handles := map[types.Object]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := analysis.Callee(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+			return
+		}
+		switch fn.Name() {
+		case "Create", "OpenFile", "CreateTemp":
+		default:
+			return
+		}
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				handles[obj] = true
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				handles[obj] = true
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				// Multi-value: `f, err := os.Create(...)` — the call is the
+				// sole RHS; the handle is LHS[0].
+				if len(st.Rhs) == 1 && len(st.Lhs) >= 1 {
+					record(st.Lhs[0], st.Rhs[0])
+				}
+			case *ast.ValueSpec:
+				if len(st.Values) == 1 && len(st.Names) >= 1 {
+					record(st.Names[0], st.Values[0])
+				}
+			}
+			return true
+		})
+	}
+	return handles
+}
+
+func check(pass *analysis.Pass, call *ast.CallExpr, writeHandles map[types.Object]bool) {
+	fn := analysis.Callee(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	// Case 1: any error-returning call into a wal package.
+	if fn.Pkg() != nil && isWALPackage(fn.Pkg().Path()) && analysis.ReturnsError(fn) {
+		pass.Reportf(call.Pos(),
+			"error from %s.%s is silently discarded; WAL errors must be checked and propagated (use `_ =` only for deliberate discards)",
+			fn.Pkg().Name(), fn.Name())
+		return
+	}
+	// Cases 2+3: os.File Sync anywhere, Close on write handles.
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !analysis.IsNamedType(sig.Recv().Type(), "os", "File") {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch fn.Name() {
+	case "Sync":
+		pass.Reportf(call.Pos(),
+			"error from (*os.File).Sync is silently discarded; a dropped fsync error silently voids durability")
+	case "Close":
+		if isWriteHandle(pass, sel.X, writeHandles) {
+			pass.Reportf(call.Pos(),
+				"error from (*os.File).Close on a write handle is silently discarded; a failed close can lose buffered writes")
+		}
+	}
+}
+
+// isWriteHandle reports whether the Close receiver is a tracked
+// write-opened variable or a struct field of type *os.File.
+func isWriteHandle(pass *analysis.Pass, recv ast.Expr, writeHandles map[types.Object]bool) bool {
+	switch v := ast.Unparen(recv).(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[v]
+		return obj != nil && writeHandles[obj]
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[v]; ok && sel.Kind() == types.FieldVal {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package walerr_test
+
+import (
+	"testing"
+
+	"cfsf/internal/analysis/analysistest"
+	"cfsf/internal/analysis/walerr"
+)
+
+func TestWALErr(t *testing.T) {
+	analysistest.Run(t, "testdata", walerr.Analyzer, "walclient")
+}

@@ -82,6 +82,7 @@ func (r *Result) RefreshUsers(m *ratings.Matrix, users []int) (*Result, map[int]
 			out.Count[c][e.Index]++
 		}
 	}
+	//cfsf:ordered-ok each affected cluster normalizes only its own Mean row, so visit order cannot change any value
 	for c := range affected {
 		for i := 0; i < q; i++ {
 			if out.Count[c][i] > 0 {

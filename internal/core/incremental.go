@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -32,6 +33,8 @@ import (
 // (the recency multipliers depend on the global newest timestamp, so any
 // timed update dirties every shard) and on a times-transition (first
 // timed update into an untimed matrix).
+//
+//cfsf:wallclock-ok refresh durations recorded in TrainStats only; no clock value reaches predictions or replayed state
 func (mod *Model) withUpdatesIncremental(updates []RatingUpdate) (next *Model, ok bool, err error) {
 	if len(updates) == 0 {
 		return mod, true, nil
@@ -61,14 +64,18 @@ func (mod *Model) withUpdatesIncremental(updates []RatingUpdate) (next *Model, o
 		return nil, false, nil // times transition: full rebuild required
 	}
 
+	// Sorted for the same reason as WithUpdates: the refresh passes must
+	// see the changed sets in a fixed order or replay diverges.
 	itemList := make([]int, 0, len(changedItems))
 	for i := range changedItems {
 		itemList = append(itemList, i)
 	}
+	sort.Ints(itemList)
 	userList := make([]int, 0, len(changedUsers))
 	for u := range changedUsers {
 		userList = append(userList, u)
 	}
+	sort.Ints(userList)
 
 	out := &Model{cfg: mod.cfg, m: m}
 

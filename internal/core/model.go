@@ -141,23 +141,28 @@ type TrainStats struct {
 	UpdatesApplied int
 }
 
-// Model is a trained CFSF model.
+// Model is a trained CFSF model. A published Model is never mutated:
+// Train, Load, WithUpdates, and the shard paths each build a fresh value
+// and hand it over complete, which is what lets readers use it without
+// locks (the //cfsf:immutable contracts below are enforced by lockcheck).
 type Model struct {
-	cfg      Config
-	m        *ratings.Matrix
-	gis      *similarity.GIS
-	clusters *cluster.Result
-	sm       *smoothing.Smoother
-	ic       *smoothing.ICluster
-	stats    TrainStats
+	cfg      Config              //cfsf:immutable
+	m        *ratings.Matrix     //cfsf:immutable
+	gis      *similarity.GIS     //cfsf:immutable
+	clusters *cluster.Result     //cfsf:immutable
+	sm       *smoothing.Smoother //cfsf:immutable
+	ic       *smoothing.ICluster //cfsf:immutable
+	stats    TrainStats          //cfsf:immutable
 
-	// neighborCache[u] holds the Eq. 10 top-K selection for user u.
-	neighborCache []atomic.Pointer[[]likeMinded]
+	// neighborCache[u] holds the Eq. 10 top-K selection for user u. The
+	// slice header is fixed at construction; elements are atomic
+	// pointers, so the lazy fill on the read path stays race-free.
+	neighborCache []atomic.Pointer[[]likeMinded] //cfsf:immutable
 
 	// decay[u] aligns a recency multiplier with every entry of the
 	// user's row; nil when time decay is off or the matrix carries no
 	// timestamps.
-	decay [][]float64
+	decay [][]float64 //cfsf:immutable
 }
 
 // likeMinded is one selected neighbour of an active user.
@@ -167,6 +172,8 @@ type likeMinded struct {
 }
 
 // Train runs the offline phase of CFSF on m.
+//
+//cfsf:wallclock-ok phase durations recorded in TrainStats only; no clock value reaches predictions or replayed state
 func Train(m *ratings.Matrix, cfg Config) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -224,6 +231,8 @@ func Train(m *ratings.Matrix, cfg Config) (*Model, error) {
 }
 
 // buildDecay precomputes the per-rating recency multipliers.
+//
+//cfsf:init-only called by Train and Load on a model that has not been returned yet
 func (mod *Model) buildDecay() {
 	if mod.cfg.TimeDecayTau <= 0 || !mod.m.HasTimes() {
 		mod.decay = nil

@@ -52,7 +52,7 @@ func (mod *Model) SaveFile(path string) error {
 		return err
 	}
 	if err := mod.Save(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()
@@ -61,6 +61,8 @@ func (mod *Model) SaveFile(path string) error {
 // Load reconstructs a model saved with Save. Smoothing tables, iCluster
 // rankings and the neighbour cache are rebuilt, so the loaded model
 // predicts identically to the one that was saved.
+//
+//cfsf:wallclock-ok rebuild duration recorded in TrainStats only; no clock value reaches predictions or replayed state
 func Load(r io.Reader) (*Model, error) {
 	var wire modelWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {

@@ -24,8 +24,8 @@ import (
 // RetrainShard return new values. An unsharded deployment is the C=1
 // special case.
 type ShardedModel struct {
-	mod    *Model
-	shards []ShardStats
+	mod    *Model       //cfsf:immutable
+	shards []ShardStats //cfsf:immutable
 }
 
 // ShardStats describes one shard of a ShardedModel.
@@ -76,6 +76,8 @@ func (s *ShardedModel) ShardOf(user int) int {
 // the touched shards); batches that dirty every shard (time decay, a
 // times-transition) fall back to the monolithic WithUpdates pass. Either
 // way the resulting model is bit-for-bit the one WithUpdates returns.
+//
+//cfsf:wallclock-ok apply duration recorded in ShardStats only; no clock value reaches predictions or replayed state
 func (s *ShardedModel) Apply(updates []RatingUpdate) (*ShardedModel, error) {
 	if len(updates) == 0 {
 		return s, nil
@@ -119,6 +121,8 @@ func (s *ShardedModel) Apply(updates []RatingUpdate) (*ShardedModel, error) {
 // and swept across all shards, this is the sharded replacement for a
 // stop-the-world full retrain: each step locks in only one shard's worth
 // of recompute.
+//
+//cfsf:wallclock-ok retrain duration recorded in ShardStats only; no clock value reaches predictions or replayed state
 func (s *ShardedModel) RetrainShard(shard int) (*ShardedModel, error) {
 	if shard < 0 || shard >= s.NumShards() {
 		return nil, fmt.Errorf("cfsf: shard %d out of range [0,%d)", shard, s.NumShards())

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -47,6 +48,8 @@ type RatingUpdate struct {
 // updates slowly degrades the clustering; retrain fully at a cadence that
 // suits the application (the Stats of the returned model record how much
 // cheaper the refresh was).
+//
+//cfsf:wallclock-ok refresh durations recorded in TrainStats only; no clock value reaches predictions or replayed state
 func (mod *Model) WithUpdates(updates []RatingUpdate) (*Model, error) {
 	if len(updates) == 0 {
 		return mod, nil
@@ -99,14 +102,19 @@ func (mod *Model) WithUpdates(updates []RatingUpdate) (*Model, error) {
 	}
 	m := b.Build()
 
+	// Sorted so the refresh passes below see the changed sets in a fixed
+	// order: map iteration order varies per run, and an order-dependent
+	// refresh would break bit-for-bit replay.
 	itemList := make([]int, 0, len(changedItems))
 	for i := range changedItems {
 		itemList = append(itemList, i)
 	}
+	sort.Ints(itemList)
 	userList := make([]int, 0, len(changedUsers))
 	for u := range changedUsers {
 		userList = append(userList, u)
 	}
+	sort.Ints(userList)
 
 	next := &Model{cfg: mod.cfg, m: m}
 

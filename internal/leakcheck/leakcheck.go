@@ -1,0 +1,69 @@
+// Package leakcheck fails a test binary when goroutines started during the
+// run outlive it. Packages that spawn background work (the lifecycle run
+// loop, HTTP test servers) wire it into TestMain so a forgotten Close or an
+// abandoned worker shows up as a test failure instead of a flake in a later
+// package.
+//
+// Usage:
+//
+//	func TestMain(m *testing.M) {
+//		os.Exit(leakcheck.Main(m))
+//	}
+package leakcheck
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+)
+
+// slack is the number of extra goroutines tolerated over the pre-run
+// baseline. The runtime parks helper goroutines (GC workers, timer
+// scavenger) lazily, so an exact match is too strict.
+const slack = 2
+
+// wait bounds how long Check polls for stragglers to exit. Goroutines
+// unwinding from closed channels or contexts need a moment to finish.
+const wait = 5 * time.Second
+
+// Main runs m and then checks for leaked goroutines. It returns the exit
+// code for os.Exit: m's own code if nonzero, otherwise 0 or 1 depending on
+// whether the goroutine count settled back to the baseline.
+func Main(m interface{ Run() int }) int {
+	base := runtime.NumGoroutine()
+	code := m.Run()
+	if code != 0 {
+		return code
+	}
+	if err := Check(base); err != nil {
+		fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// Check polls until the goroutine count drops to base+slack or the wait
+// budget runs out, then reports a dump of whatever is still running.
+func Check(base int) error {
+	// httptest servers leave keep-alive connections idling in the
+	// default client's pool; release them so their readLoop/writeLoop
+	// goroutines can exit.
+	http.DefaultClient.CloseIdleConnections()
+
+	deadline := time.Now().Add(wait)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+slack {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			return fmt.Errorf("%d goroutines still running, baseline was %d (slack %d); dump:\n%s",
+				n, base, slack, buf)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

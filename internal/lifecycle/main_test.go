@@ -1,0 +1,14 @@
+package lifecycle
+
+import (
+	"os"
+	"testing"
+
+	"cfsf/internal/leakcheck"
+)
+
+// TestMain fails the package if a manager run loop or retrain worker
+// outlives the tests that started it.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

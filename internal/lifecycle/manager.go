@@ -185,15 +185,15 @@ type SnapshotInfo struct {
 // Manager owns the serving model, its WAL, and its snapshot/retrain
 // schedule. All exported methods are safe for concurrent use.
 type Manager struct {
-	cfg   Config
-	reg   *obs.Registry
-	w     *wal.WAL
+	cfg   Config        //cfsf:immutable
+	reg   *obs.Registry //cfsf:immutable
+	w     *wal.WAL      //cfsf:immutable
 	state atomic.Pointer[modelState]
-	boot  BootStats
+	boot  BootStats //cfsf:immutable
 
-	mu      sync.Mutex // guards pending/maxSeq and orders WAL appends with enqueueing
-	pending []pendingUpdate
-	maxSeq  uint64 // highest rating sequence ever enqueued
+	mu      sync.Mutex      // guards pending/maxSeq and orders WAL appends with enqueueing
+	pending []pendingUpdate //cfsf:guarded-by mu
+	maxSeq  uint64          //cfsf:guarded-by mu // highest rating sequence ever enqueued
 
 	kick    chan struct{}
 	stopc   chan struct{} // Close: drain then exit
@@ -272,7 +272,7 @@ func Open(bootstrap func() (*core.Model, error), cfg Config) (*Manager, error) {
 	m.bindMetrics()
 
 	if err := m.bootModel(bootstrap); err != nil {
-		w.Close()
+		_ = w.Close()
 		return nil, err
 	}
 
@@ -353,6 +353,10 @@ func latestSnapshot(dataDir string) (path string, seq uint64, err error) {
 
 // bootModel establishes the serving model: snapshot or bootstrap, then
 // WAL-tail replay grouped by the previous run's batch-commit records.
+//
+//cfsf:wallclock-ok boot duration recorded in BootStats only; replay regroups batches by journaled commit records, never by time
+//cfsf:init-only runs from Open before the manager is returned or the run loop starts
+//cfsf:locked mu same: nothing else can touch the manager during boot
 func (m *Manager) bootModel(bootstrap func() (*core.Model, error)) error {
 	snaps, err := listSnapshots(m.cfg.DataDir)
 	if err != nil {
@@ -520,6 +524,8 @@ func (m *Manager) WALStats() wal.OpenStats { return m.w.Stats() }
 // returns), routed to the shard its user belongs to, and queues it for
 // that shard's next micro-batch. It returns the rating's WAL sequence
 // and how many ratings are now pending.
+//
+//cfsf:wallclock-ok append latency feeds the wal_append_ms histogram only
 func (m *Manager) Submit(u core.RatingUpdate) (seq uint64, pending int, err error) {
 	if m.closing.Load() {
 		return 0, 0, ErrClosed
@@ -557,6 +563,8 @@ func (m *Manager) Submit(u core.RatingUpdate) (seq uint64, pending int, err erro
 // per-rating WAL sequences (in batch order) and the pending count. The
 // batch is all-or-nothing at the queue: if it would overflow
 // QueueCapacity, nothing is journaled and ErrQueueFull is returned.
+//
+//cfsf:wallclock-ok append latency feeds the wal_append_ms histogram only
 func (m *Manager) SubmitBatch(ups []core.RatingUpdate) (seqs []uint64, pending int, err error) {
 	if m.closing.Load() {
 		return nil, 0, ErrClosed
@@ -616,6 +624,7 @@ func (m *Manager) run() {
 	}
 
 	for {
+		//cfsf:select-ok only the run loop mutates state, and every apply is journaled with a batch-commit record before the next pick, so replay regroups identically whatever order cases fire
 		select {
 		case <-m.abortc:
 			return
@@ -664,6 +673,8 @@ func (m *Manager) run() {
 // batch and a batch-commit record carrying the shard id is journaled
 // after each swap, which is what lets crash-replay regroup the exact
 // same per-shard batches.
+//
+//cfsf:wallclock-ok apply latency feeds the apply_ms histogram only; batch boundaries come from the queue, not the clock
 func (m *Manager) applyPending() {
 	for {
 		m.mu.Lock()
@@ -765,6 +776,8 @@ func (m *Manager) publishModelGauges() {
 // catch-up buffer stay consistent. Mode "shards" rebuilds the shared GIS
 // and then re-fits one shard at a time; "full" is a stop-the-world
 // core.Train.
+//
+//cfsf:wallclock-ok retrain duration feeds the retrain_ms histogram only
 func (m *Manager) startRetrain(mode string) {
 	st := m.state.Load()
 	m.retraining = true
@@ -877,6 +890,8 @@ func (m *Manager) Retraining() bool {
 // applied since the last snapshot, or the model is mid-drain (per-shard
 // batching has applied a rating beyond the contiguous watermark), it
 // returns Skipped without touching disk.
+//
+//cfsf:wallclock-ok snapshot duration feeds the snapshot_ms histogram only
 func (m *Manager) Snapshot() (SnapshotInfo, error) {
 	m.snapMu.Lock()
 	defer m.snapMu.Unlock()
@@ -913,8 +928,8 @@ func (m *Manager) Snapshot() (SnapshotInfo, error) {
 	}
 	tmpName := tmp.Name()
 	fail := func(err error) (SnapshotInfo, error) {
-		tmp.Close()
-		os.Remove(tmpName)
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
 		return SnapshotInfo{}, err
 	}
 	if err := st.sharded.Model().Save(tmp); err != nil {
@@ -1062,5 +1077,5 @@ func (m *Manager) Abort() {
 	}
 	close(m.abortc)
 	<-m.done
-	m.w.CloseAbrupt()
+	_ = m.w.CloseAbrupt()
 }

@@ -190,9 +190,9 @@ func (h *Histogram) quantile(buckets []int64, total int64, q float64) float64 {
 // the returned metric rather than re-resolving it per request.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	counters map[string]*Counter   //cfsf:guarded-by mu
+	gauges   map[string]*Gauge     //cfsf:guarded-by mu
+	hists    map[string]*Histogram //cfsf:guarded-by mu
 }
 
 // NewRegistry returns an empty registry.

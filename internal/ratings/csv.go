@@ -116,7 +116,7 @@ func WriteRatingsCSVFile(path string, m *Matrix) error {
 		return err
 	}
 	if err := WriteRatingsCSV(f, m); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

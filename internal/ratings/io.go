@@ -128,7 +128,7 @@ func WriteUDataFile(path string, m *Matrix) error {
 		return err
 	}
 	if err := WriteUData(f, m); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

@@ -1,0 +1,14 @@
+package server
+
+import (
+	"os"
+	"testing"
+
+	"cfsf/internal/leakcheck"
+)
+
+// TestMain fails the package if an HTTP test server, in-flight handler, or
+// manager goroutine outlives the tests that started it.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -106,7 +106,7 @@ type Server struct {
 	start  time.Time
 
 	epMu      sync.Mutex
-	endpoints map[string]*endpointMetrics
+	endpoints map[string]*endpointMetrics //cfsf:guarded-by epMu
 }
 
 // New returns a Server for the model with default Options; titles may be

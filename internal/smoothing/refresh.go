@@ -1,6 +1,8 @@
 package smoothing
 
 import (
+	"sort"
+
 	"cfsf/internal/cluster"
 	"cfsf/internal/parallel"
 	"cfsf/internal/ratings"
@@ -96,10 +98,14 @@ func RefreshICluster(old *ICluster, s *Smoother, affectedClusters map[int]bool, 
 		Order: make([][]int32, p),
 		Sim:   make([][]float64, p),
 	}
+	// Sorted for a fixed per-user recompute order (map iteration order
+	// varies per run; the per-cluster writes land in distinct slots, but
+	// a fixed order keeps the loop trivially replay-safe).
 	affList := make([]int, 0, len(affectedClusters))
 	for c := range affectedClusters {
 		affList = append(affList, c)
 	}
+	sort.Ints(affList)
 	parallel.For(p, workers, func(u int) {
 		sims := make([]float64, s.k)
 		if changedUsers[u] || u >= len(old.Order) || len(old.Order[u]) != s.k {

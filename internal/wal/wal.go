@@ -115,16 +115,16 @@ type OpenStats struct {
 // WAL is an open write-ahead log. All methods are safe for concurrent
 // use; appends are serialised internally.
 type WAL struct {
-	dir  string
-	opts Options
+	dir  string  //cfsf:immutable
+	opts Options //cfsf:immutable
 
 	mu       sync.Mutex
-	f        *os.File // current segment, positioned at its end
-	size     int64    // current segment size
-	lastSeq  uint64
-	segments []segment // ascending by firstSeq; last is the open one
-	stats    OpenStats
-	closed   bool
+	f        *os.File  //cfsf:guarded-by mu // current segment, positioned at its end
+	size     int64     //cfsf:guarded-by mu // current segment size
+	lastSeq  uint64    //cfsf:guarded-by mu
+	segments []segment //cfsf:guarded-by mu // ascending by firstSeq; last is the open one
+	stats    OpenStats //cfsf:guarded-by mu
+	closed   bool      //cfsf:guarded-by mu
 }
 
 // Open opens (creating if needed) the log in dir, scans every segment,
@@ -179,7 +179,7 @@ func Open(dir string, opts Options) (*WAL, error) {
 		return nil, fmt.Errorf("wal: reopen segment: %w", err)
 	}
 	if _, err := f.Seek(w.size, 0); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("wal: seek segment end: %w", err)
 	}
 	w.f = f
@@ -189,6 +189,8 @@ func Open(dir string, opts Options) (*WAL, error) {
 
 // scanSegment validates one segment; for the final segment it records
 // the append position and truncates a torn tail.
+//
+//cfsf:locked mu called only from Open, before the WAL is returned to any caller
 func (w *WAL) scanSegment(seg segment, final bool) error {
 	path := filepath.Join(w.dir, seg.name)
 	data, err := os.ReadFile(path)
@@ -260,11 +262,11 @@ func writeSegmentHeader(path string, firstSeq uint64) error {
 	copy(hdr[:8], segMagic[:])
 	binary.BigEndian.PutUint64(hdr[8:], firstSeq)
 	if _, err := f.Write(hdr[:]); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("wal: write segment header: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("wal: sync segment header: %w", err)
 	}
 	if err := f.Close(); err != nil {
@@ -275,6 +277,8 @@ func writeSegmentHeader(path string, firstSeq uint64) error {
 
 // createSegment starts a fresh segment whose first record will carry
 // firstSeq and opens it for appending.
+//
+//cfsf:locked mu called from Open pre-publication and from rotateLocked with the lock held
 func (w *WAL) createSegment(firstSeq uint64) error {
 	name := segName(firstSeq)
 	path := filepath.Join(w.dir, name)
@@ -413,6 +417,8 @@ func (w *WAL) append(rec Record) (uint64, error) {
 
 // rotateLocked closes the current segment (fsynced regardless of policy,
 // so a sealed segment is always durable) and starts the next one.
+//
+//cfsf:locked mu append holds the lock across the rotation
 func (w *WAL) rotateLocked(firstSeq uint64) error {
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync sealed segment: %w", err)
@@ -463,7 +469,7 @@ func (w *WAL) Close() error {
 	}
 	w.closed = true
 	if err := w.f.Sync(); err != nil {
-		w.f.Close()
+		_ = w.f.Close()
 		return fmt.Errorf("wal: sync on close: %w", err)
 	}
 	return w.f.Close()
