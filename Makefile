@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint vet fmt
+.PHONY: build test race lint vet fmt bench
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,13 @@ lint:
 
 vet:
 	$(GO) vet ./...
+
+# bench runs the online-path and apply-path benchmarks with allocation
+# stats — the same set CI archives into BENCH_predict.json and gates on
+# (BenchmarkPredict must report 0 allocs/op).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkPredict$$|BenchmarkPredictColdCache|BenchmarkRecommend' -benchmem ./internal/core
+	$(GO) test -run '^$$' -bench 'BenchmarkConcurrentApply' -benchmem ./internal/lifecycle
 
 fmt:
 	gofmt -l -w .

@@ -20,6 +20,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -42,6 +43,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "", "output file (default stdout)")
+	zeroAllocs := flag.String("require-zero-allocs", "", "regexp of benchmark names that must report allocs/op == 0 (run with -benchmem); nonzero or missing allocs fail the run")
 	flag.Parse()
 
 	doc, err := parse(os.Stdin)
@@ -50,6 +52,11 @@ func main() {
 	}
 	if len(doc.Results) == 0 {
 		log.Fatal("no benchmark lines found on stdin")
+	}
+	if *zeroAllocs != "" {
+		if err := requireZeroAllocs(doc.Results, *zeroAllocs); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var w io.Writer = os.Stdout
@@ -70,6 +77,36 @@ func main() {
 	if err := enc.Encode(doc); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// requireZeroAllocs enforces the steady-state allocation gate: every
+// result whose name matches pattern must carry an allocs/op metric
+// (i.e. the bench ran with -benchmem) and it must be exactly 0. A
+// pattern that matches nothing is an error too — a renamed benchmark
+// must not silently disarm the gate.
+func requireZeroAllocs(results []result, pattern string) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("bad -require-zero-allocs pattern: %w", err)
+	}
+	matched := 0
+	for _, r := range results {
+		if !re.MatchString(r.Name) {
+			continue
+		}
+		matched++
+		allocs, ok := r.Metrics["allocs/op"]
+		if !ok {
+			return fmt.Errorf("%s: no allocs/op metric (run the benchmark with -benchmem)", r.Name)
+		}
+		if allocs != 0 {
+			return fmt.Errorf("%s: %v allocs/op, want 0", r.Name, allocs)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmark matched -require-zero-allocs %q", pattern)
+	}
+	return nil
 }
 
 func parse(r io.Reader) (*document, error) {

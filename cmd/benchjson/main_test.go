@@ -41,6 +41,29 @@ ok      cfsf/internal/core      12.3s
 	}
 }
 
+func TestRequireZeroAllocs(t *testing.T) {
+	results := []result{
+		{Name: "BenchmarkPredict-8", Metrics: map[string]float64{"ns/op": 100, "B/op": 0, "allocs/op": 0}},
+		{Name: "BenchmarkRecommend-8", Metrics: map[string]float64{"ns/op": 200, "B/op": 512, "allocs/op": 3}},
+		{Name: "BenchmarkNoMem-8", Metrics: map[string]float64{"ns/op": 50}},
+	}
+	if err := requireZeroAllocs(results, `^BenchmarkPredict`); err != nil {
+		t.Errorf("zero-alloc benchmark rejected: %v", err)
+	}
+	if err := requireZeroAllocs(results, `^BenchmarkRecommend`); err == nil {
+		t.Error("3 allocs/op passed the zero-alloc gate")
+	}
+	if err := requireZeroAllocs(results, `^BenchmarkNoMem`); err == nil {
+		t.Error("missing allocs/op metric passed the gate (bench ran without -benchmem)")
+	}
+	if err := requireZeroAllocs(results, `^BenchmarkRenamedAway`); err == nil {
+		t.Error("pattern matching nothing passed the gate")
+	}
+	if err := requireZeroAllocs(results, `(`); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+}
+
 func TestParseRejectsEmptyAndOddLines(t *testing.T) {
 	for _, line := range []string{
 		"BenchmarkX-1",

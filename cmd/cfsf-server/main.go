@@ -62,6 +62,7 @@ func main() {
 		batchMax      = flag.Int("batch-max", 256, "max ratings folded into one micro-batched model refresh")
 		batchWait     = flag.Duration("batch-wait", 0, "extra coalescing delay before each micro-batch (0 = greedy)")
 		queueCap      = flag.Int("queue-cap", 4096, "max journaled-but-unapplied ratings before /rate sheds load (503)")
+		applyMode     = flag.String("apply-mode", "serial", "queue drain style: serial (one per-shard micro-batch at a time) or concurrent (grouped multi-shard prefix, one parallel apply)")
 		snapshotEvery = flag.Duration("snapshot-every", 10*time.Minute, "background snapshot cadence (0 disables)")
 		snapshotKeep  = flag.Int("snapshot-keep", 2, "how many snapshot files to retain")
 		retrainAfter  = flag.Int("retrain-after", 0, "background retrain after this many applied ratings (0 disables)")
@@ -140,6 +141,7 @@ func main() {
 			BatchMaxSize:       *batchMax,
 			BatchMaxWait:       *batchWait,
 			QueueCapacity:      *queueCap,
+			ApplyMode:          *applyMode,
 			SnapshotEvery:      *snapshotEvery,
 			SnapshotKeep:       *snapshotKeep,
 			RetrainAfter:       *retrainAfter,

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-
-	"cfsf/internal/mathx"
 )
 
 // Explanation decomposes one CFSF prediction into the concrete evidence
@@ -52,10 +50,7 @@ func (mod *Model) Explain(user, item, topEvidence int) Explanation {
 		return ex
 	}
 
-	items := mod.topItems(item)
-	sorted := make([]mathx.Scored, len(items))
-	copy(sorted, items)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Index < sorted[b].Index })
+	sorted := mod.topM[item] // id-sorted mirror of the top-M neighbourhood
 
 	var itemDen float64
 	mod.forEachLocalRating(user, sorted, func(k int, r float64, orig bool, w11 float64) {

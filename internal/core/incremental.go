@@ -101,7 +101,7 @@ func (mod *Model) withUpdatesIncremental(updates []RatingUpdate) (next *Model, o
 	}
 
 	t = time.Now()
-	out.sm = mod.sm.Refresh(m, cl, affected, affItems)
+	out.sm = mod.sm.Refresh(m, cl, affected, affItems, mod.cfg.Workers)
 	out.stats.SmoothDuration = time.Since(t)
 
 	t = time.Now()
@@ -109,6 +109,7 @@ func (mod *Model) withUpdatesIncremental(updates []RatingUpdate) (next *Model, o
 	out.stats.IClusterDuration = time.Since(t)
 
 	out.neighborCache = make([]atomic.Pointer[[]likeMinded], m.NumUsers())
+	out.buildTopM(mod)
 	out.stats.Incremental = true
 	out.stats.UpdatesApplied = len(updates)
 	out.stats.TotalDuration = time.Since(start)

@@ -17,6 +17,7 @@ import (
 
 	"cfsf/internal/cluster"
 	"cfsf/internal/mathx"
+	"cfsf/internal/parallel"
 	"cfsf/internal/ratings"
 	"cfsf/internal/similarity"
 	"cfsf/internal/smoothing"
@@ -159,6 +160,22 @@ type Model struct {
 	// pointers, so the lazy fill on the read path stays race-free.
 	neighborCache []atomic.Pointer[[]likeMinded] //cfsf:immutable
 
+	// topM[i] is the id-sorted mirror of item i's top-M GIS prefix: the
+	// same entries topItems(i) returns, re-sorted by ascending item id so
+	// the online phase merges them against rating rows without a
+	// per-request copy+sort. Invariant: regenerated whenever the
+	// score-sorted list (and hence its truncation) changes — buildTopM
+	// re-derives every mirror row and only shares a previous model's row
+	// when the underlying GIS prefix is provably identical.
+	topM [][]mathx.Scored //cfsf:immutable
+
+	// topM2[i][k] is topM[i][k].Score², precomputed so the Eq. 13 pair
+	// weight in suirLocal feeds its sqrt without re-squaring the item
+	// similarity K times per request. Built and shared in lockstep with
+	// topM (same float64 multiply, so values are bit-identical to
+	// squaring at request time).
+	topM2 [][]float64 //cfsf:immutable
+
 	// decay[u] aligns a recency multiplier with every entry of the
 	// user's row; nil when time decay is off or the matrix carries no
 	// timestamps.
@@ -226,8 +243,53 @@ func Train(m *ratings.Matrix, cfg Config) (*Model, error) {
 	mod.stats.IClusterDuration = time.Since(t)
 
 	mod.neighborCache = make([]atomic.Pointer[[]likeMinded], m.NumUsers())
+	mod.buildTopM(nil)
 	mod.stats.TotalDuration = time.Since(start)
 	return mod, nil
+}
+
+// buildTopM materialises the id-sorted top-M mirror of every item's GIS
+// neighbourhood. When prev is non-nil and an item's top-M prefix shares
+// its backing array with prev's (the GIS refresh leaves untouched lists
+// aliased), the previous mirror row is reused instead of re-sorted —
+// the mirror-model of the copy-on-write sharing in the GIS itself.
+//
+//cfsf:init-only called by Train, Load, WithUpdates and the shard paths on a model that has not been published yet
+func (mod *Model) buildTopM(prev *Model) {
+	q := mod.gis.NumItems()
+	mod.topM = make([][]mathx.Scored, q)
+	mod.topM2 = make([][]float64, q)
+	parallel.For(q, mod.cfg.Workers, func(i int) {
+		if prev != nil && prev.cfg.M == mod.cfg.M && i < prev.gis.NumItems() &&
+			samePrefix(prev.gis.Neighbors(i), mod.gis.Neighbors(i), mod.cfg.M) {
+			mod.topM[i] = prev.topM[i]
+			mod.topM2[i] = prev.topM2[i]
+			return
+		}
+		row := mod.gis.TopNByID(i, mod.cfg.M)
+		sq := make([]float64, len(row))
+		for k, e := range row {
+			sq[k] = e.Score * e.Score
+		}
+		mod.topM[i] = row
+		mod.topM2[i] = sq
+	})
+}
+
+// samePrefix reports whether the length-min(len, m) prefixes of a and b
+// are the same array region. Neighbour lists are immutable, so aliased
+// prefixes of equal length are guaranteed bit-identical.
+func samePrefix(a, b []mathx.Scored, m int) bool {
+	if len(a) > m {
+		a = a[:m]
+	}
+	if len(b) > m {
+		b = b[:m]
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
 }
 
 // buildDecay precomputes the per-rating recency multipliers.

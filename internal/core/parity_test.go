@@ -1,0 +1,445 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cfsf/internal/mathx"
+	"cfsf/internal/synth"
+)
+
+// Reference implementations of the online phase, kept deliberately on
+// the pre-optimisation mechanics: fresh allocations everywhere, per-call
+// copy+sort of the top-M neighbourhood, per-cell Fill via the explicit
+// fallback chain, full sort in Recommend. The optimised production path
+// (id-sorted mirror, fill memo, pooled scratch, heap top-n) must be
+// bit-for-bit identical to these. The one intentional behaviour change
+// of the PR — capping the like-minded candidate set at
+// CandidateFactor×K even mid-cluster — is part of the specification
+// here too (refGather).
+
+// refFill is the original Eq. 7 fallback chain, bypassing the memo.
+func refFill(mod *Model, u, i int) float64 {
+	um := mod.m.UserMean(u)
+	c := mod.sm.Cluster(u)
+	if d, ok := mod.sm.Deviation(c, i); ok {
+		return um + d
+	}
+	if g, ok := mod.sm.GlobalDeviation(i); ok {
+		return um + g
+	}
+	return um
+}
+
+// refSortedTopM is the per-request copy+sort the mirror replaced.
+func refSortedTopM(mod *Model, item int) []mathx.Scored {
+	items := mod.topItems(item)
+	sorted := make([]mathx.Scored, len(items))
+	copy(sorted, items)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Index < sorted[b].Index })
+	return sorted
+}
+
+func refForEachLocalRating(mod *Model, u int, sorted []mathx.Scored, fn func(k int, r float64, original bool, w11 float64)) {
+	row := mod.m.UserRatings(u)
+	j := 0
+	for k := range sorted {
+		idx := sorted[k].Index
+		for j < len(row) && row[j].Index < idx {
+			j++
+		}
+		if j < len(row) && row[j].Index == idx {
+			fn(k, row[j].Value, true, mod.cfg.OriginalWeight*mod.decayAt(u, j))
+			continue
+		}
+		if mod.cfg.DisableSmoothing {
+			continue
+		}
+		fn(k, refFill(mod, u, int(idx)), false, 1-mod.cfg.OriginalWeight)
+	}
+}
+
+func refSIR(mod *Model, user int, sorted []mathx.Scored) (float64, bool) {
+	var num, den float64
+	refForEachLocalRating(mod, user, sorted, func(k int, r float64, orig bool, w11 float64) {
+		w := w11 * sorted[k].Score
+		num += w * r
+		den += w
+	})
+	if den <= 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+func refRatingWithW(mod *Model, u, i int) (val, w11 float64, ok bool) {
+	row := mod.m.UserRatings(u)
+	lo := sort.Search(len(row), func(x int) bool { return int(row[x].Index) >= i })
+	if lo < len(row) && int(row[lo].Index) == i {
+		return row[lo].Value, mod.cfg.OriginalWeight * mod.decayAt(u, lo), true
+	}
+	if mod.cfg.DisableSmoothing {
+		return 0, 0, false
+	}
+	return refFill(mod, u, i), 1 - mod.cfg.OriginalWeight, true
+}
+
+func refSUR(mod *Model, user, item int, users []likeMinded) (float64, bool) {
+	var num, den float64
+	for _, lm := range users {
+		t := int(lm.user)
+		r, w11, ok := refRatingWithW(mod, t, item)
+		if !ok {
+			continue
+		}
+		w := w11 * lm.sim
+		num += w * (r - mod.m.UserMean(t))
+		den += w
+	}
+	if den <= 0 {
+		return 0, false
+	}
+	return mod.m.UserMean(user) + num/den, true
+}
+
+func refSUIR(mod *Model, sorted []mathx.Scored, users []likeMinded) (float64, bool) {
+	var num, den float64
+	for _, lm := range users {
+		sim := lm.sim
+		refForEachLocalRating(mod, int(lm.user), sorted, func(k int, r float64, orig bool, w11 float64) {
+			ps := pairSim(sorted[k].Score, sim)
+			if ps <= 0 {
+				return
+			}
+			w := w11 * ps
+			num += w * r
+			den += w
+		})
+	}
+	if den <= 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+func refEq10Sim(mod *Model, active, cand int) float64 {
+	am := mod.m.UserMean(active)
+	cm := mod.m.UserMean(cand)
+	rowC := mod.m.UserRatings(cand)
+	j := 0
+	var num, denA, denC float64
+	for _, e := range mod.m.UserRatings(active) {
+		for j < len(rowC) && rowC[j].Index < e.Index {
+			j++
+		}
+		var rc, w float64
+		if j < len(rowC) && rowC[j].Index == e.Index {
+			rc = rowC[j].Value
+			w = mod.cfg.OriginalWeight * mod.decayAt(cand, j)
+		} else if mod.cfg.DisableSmoothing {
+			continue
+		} else {
+			rc = refFill(mod, cand, int(e.Index))
+			w = 1 - mod.cfg.OriginalWeight
+		}
+		dc := rc - cm
+		da := e.Value - am
+		num += w * dc * da
+		denC += w * w * dc * dc
+		denA += da * da
+	}
+	if denA == 0 || denC == 0 {
+		return 0
+	}
+	return num / (math.Sqrt(denC) * math.Sqrt(denA))
+}
+
+func refGather(mod *Model, user int) []int {
+	var candidates []int
+	if mod.cfg.FullUserSearch {
+		for u := 0; u < mod.m.NumUsers(); u++ {
+			if u != user {
+				candidates = append(candidates, u)
+			}
+		}
+		return candidates
+	}
+	factor := mod.cfg.CandidateFactor
+	if factor <= 0 {
+		factor = 4
+	}
+	want := factor * mod.cfg.K
+	for _, c := range mod.ic.Order[user] {
+		for _, u := range mod.clusters.Members[c] {
+			if u != user {
+				candidates = append(candidates, u)
+				if len(candidates) == want {
+					return candidates
+				}
+			}
+		}
+	}
+	return candidates
+}
+
+func refSelectLikeMinded(mod *Model, user int) []likeMinded {
+	top := mathx.NewTopK(mod.cfg.K)
+	for _, cand := range refGather(mod, user) {
+		if s := refEq10Sim(mod, user, cand); s > 0 {
+			top.Push(int32(cand), s)
+		}
+	}
+	scored := top.Sorted()
+	out := make([]likeMinded, len(scored))
+	for i, s := range scored {
+		out[i] = likeMinded{user: s.Index, sim: s.Score}
+	}
+	return out
+}
+
+func refPredictDetailed(mod *Model, user, item int) Prediction {
+	var p Prediction
+	if user < 0 || user >= mod.m.NumUsers() || item < 0 || item >= mod.m.NumItems() {
+		p.Value = mod.fallback(user, item)
+		return p
+	}
+	sorted := refSortedTopM(mod, item)
+	users := refSelectLikeMinded(mod, user)
+	p.ItemsUsed = len(sorted)
+	p.UsersUsed = len(users)
+	p.SIR, p.HasSIR = refSIR(mod, user, sorted)
+	p.SUR, p.HasSUR = refSUR(mod, user, item, users)
+	p.SUIR, p.HasSUIR = refSUIR(mod, sorted, users)
+	wSIR := (1 - mod.cfg.Delta) * (1 - mod.cfg.Lambda)
+	wSUR := (1 - mod.cfg.Delta) * mod.cfg.Lambda
+	wSUIR := mod.cfg.Delta
+	var num, den float64
+	if p.HasSIR {
+		num += wSIR * p.SIR
+		den += wSIR
+	}
+	if p.HasSUR {
+		num += wSUR * p.SUR
+		den += wSUR
+	}
+	if p.HasSUIR {
+		num += wSUIR * p.SUIR
+		den += wSUIR
+	}
+	if den == 0 {
+		p.Value = mod.fallback(user, item)
+		return p
+	}
+	p.Value = mathx.Clamp(num/den, mod.m.MinRating(), mod.m.MaxRating())
+	return p
+}
+
+// refRecommend is the pre-PR Recommend: rated-set map, -Inf sentinels,
+// full sort, truncate, stop at the first -Inf.
+func refRecommend(mod *Model, user, n int) []Recommendation {
+	if n <= 0 || user < 0 || user >= mod.m.NumUsers() {
+		return nil
+	}
+	rated := make(map[int]bool, len(mod.m.UserRatings(user)))
+	for _, e := range mod.m.UserRatings(user) {
+		rated[int(e.Index)] = true
+	}
+	type cand struct {
+		item  int
+		score float64
+	}
+	q := mod.m.NumItems()
+	cands := make([]cand, q)
+	for i := 0; i < q; i++ {
+		if rated[i] || len(mod.m.ItemRatings(i)) == 0 {
+			cands[i] = cand{i, math.Inf(-1)}
+			continue
+		}
+		cands[i] = cand{i, refPredictDetailed(mod, user, i).Value}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].score != cands[b].score {
+			return cands[a].score > cands[b].score
+		}
+		return cands[a].item < cands[b].item
+	})
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]Recommendation, 0, n)
+	for _, c := range cands[:n] {
+		if math.IsInf(c.score, -1) {
+			break
+		}
+		out = append(out, Recommendation{Item: c.item, Score: c.score})
+	}
+	return out
+}
+
+func parityModels(t *testing.T) map[string]*Model {
+	t.Helper()
+	d := synth.MustGenerate(smallSynth())
+	mods := map[string]*Model{}
+	for name, mutate := range map[string]func(*Config){
+		"default":          func(*Config) {},
+		"disableSmoothing": func(c *Config) { c.DisableSmoothing = true },
+		"disableCache":     func(c *Config) { c.DisableCache = true },
+		"fullUserSearch":   func(c *Config) { c.FullUserSearch = true },
+	} {
+		cfg := smallConfig()
+		mutate(&cfg)
+		mod, err := Train(d.Matrix, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		mods[name] = mod
+	}
+	return mods
+}
+
+// TestPredictParityWithReference is the bit-for-bit property test: on
+// every config variant, PredictDetailed (mirror + memo + pooled scratch)
+// must equal the reference path exactly — every component, every flag,
+// every fused value.
+func TestPredictParityWithReference(t *testing.T) {
+	for name, mod := range parityModels(t) {
+		mod := mod
+		t.Run(name, func(t *testing.T) {
+			p, q := mod.m.NumUsers(), mod.m.NumItems()
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				u := rng.Intn(p+4) - 2 // includes out-of-range users/items
+				i := rng.Intn(q+4) - 2
+				got := mod.PredictDetailed(u, i)
+				want := refPredictDetailed(mod, u, i)
+				if got != want {
+					t.Logf("user %d item %d: got %+v want %+v", u, i, got, want)
+					return false
+				}
+				return got.Value == mod.Predict(u, i)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestRecommendParityWithReference pins Recommend's heap selection +
+// sorted-row merge to the full-sort reference, bit for bit, across n
+// values including n > NumItems.
+func TestRecommendParityWithReference(t *testing.T) {
+	for name, mod := range parityModels(t) {
+		mod := mod
+		t.Run(name, func(t *testing.T) {
+			q := mod.m.NumItems()
+			for _, n := range []int{1, 3, 10, q / 2, q, q + 25} {
+				for _, user := range []int{0, 7, mod.m.NumUsers() - 1} {
+					got := mod.Recommend(user, n)
+					want := refRecommend(mod, user, n)
+					if len(got) != len(want) {
+						t.Fatalf("user %d n %d: len %d want %d", user, n, len(got), len(want))
+					}
+					for k := range want {
+						if got[k] != want[k] {
+							t.Fatalf("user %d n %d rank %d: got %+v want %+v", user, n, k, got[k], want[k])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRecommendSkipsUnsupportedAndRated verifies the skip-before-predict
+// fix semantics: items without any rater and items the user already
+// rated never appear, even when n asks for the whole catalogue.
+func TestRecommendSkipsUnsupportedAndRated(t *testing.T) {
+	mod, _ := trainSmall(t)
+	q := mod.m.NumItems()
+	empty := map[int]bool{}
+	for i := 0; i < q; i++ {
+		if len(mod.m.ItemRatings(i)) == 0 {
+			empty[i] = true
+		}
+	}
+	user := 3
+	rated := map[int]bool{}
+	for _, e := range mod.m.UserRatings(user) {
+		rated[int(e.Index)] = true
+	}
+	recs := mod.Recommend(user, q)
+	if len(recs) != q-len(rated)-len(empty) {
+		t.Errorf("got %d recommendations, want %d (q=%d rated=%d empty=%d)",
+			len(recs), q-len(rated)-len(empty), q, len(rated), len(empty))
+	}
+	for _, r := range recs {
+		if rated[r.Item] {
+			t.Errorf("rated item %d recommended", r.Item)
+		}
+		if empty[r.Item] {
+			t.Errorf("unsupported item %d recommended", r.Item)
+		}
+	}
+}
+
+// TestGatherCandidatesCapped pins the satellite fix: the candidate set
+// never exceeds CandidateFactor×K, even when a single cluster holds
+// more users than the cap.
+func TestGatherCandidatesCapped(t *testing.T) {
+	d := synth.MustGenerate(smallSynth())
+	cfg := smallConfig()
+	cfg.Clusters = 2 // two huge clusters: the first visited exceeds the cap
+	cfg.CandidateFactor = 2
+	cfg.K = 5
+	mod, err := Train(d.Matrix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.CandidateFactor * cfg.K
+	for u := 0; u < mod.m.NumUsers(); u += 7 {
+		got := mod.gatherCandidates(u, nil)
+		if len(got) > want {
+			t.Fatalf("user %d: %d candidates, cap is %d", u, len(got), want)
+		}
+		if len(got) != want {
+			t.Fatalf("user %d: %d candidates, expected exactly %d with oversized clusters", u, len(got), want)
+		}
+	}
+}
+
+// TestTopMMirrorMatchesGIS checks the precomputed-neighbourhood
+// invariant directly: topM[i] is exactly topItems(i) re-sorted by id,
+// and stays correct across an incremental update (mirror regenerated or
+// shared only when the GIS prefix is unchanged).
+func TestTopMMirrorMatchesGIS(t *testing.T) {
+	mod, _ := trainSmall(t)
+	check := func(m *Model) {
+		t.Helper()
+		for i := 0; i < m.m.NumItems(); i++ {
+			want := refSortedTopM(m, i)
+			got := m.topM[i]
+			if len(got) != len(want) {
+				t.Fatalf("item %d: mirror len %d want %d", i, len(got), len(want))
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("item %d pos %d: mirror %+v want %+v", i, k, got[k], want[k])
+				}
+			}
+		}
+	}
+	check(mod)
+	next, err := mod.WithUpdates([]RatingUpdate{
+		{User: 0, Item: 3, Value: 5},
+		{User: 11, Item: 40, Value: 1},
+		{User: mod.m.NumUsers(), Item: 2, Value: 4}, // new user
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(next)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"cfsf/internal/mathx"
 	"cfsf/internal/parallel"
@@ -38,20 +39,17 @@ func (mod *Model) PredictDetailed(user, item int) Prediction {
 		return p
 	}
 
-	items := mod.topItems(item)
+	// topM is the id-sorted mirror of the top-M neighbourhood, built at
+	// train/refresh time, so the merge loops below start immediately: no
+	// per-request copy or sort.
+	sorted := mod.topM[item]
 	users := mod.likeMindedUsers(user)
-	p.ItemsUsed = len(items)
+	p.ItemsUsed = len(sorted)
 	p.UsersUsed = len(users)
-
-	// The local-matrix sums iterate sorted user rows merged against the
-	// item neighbourhood, so sort the top-M once by item id here.
-	sorted := make([]mathx.Scored, len(items))
-	copy(sorted, items)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Index < sorted[b].Index })
 
 	p.SIR, p.HasSIR = mod.sirLocal(user, sorted)
 	p.SUR, p.HasSUR = mod.surLocal(user, item, users)
-	p.SUIR, p.HasSUIR = mod.suirLocal(sorted, users)
+	p.SUIR, p.HasSUIR = mod.suirLocal(sorted, mod.topM2[item], users)
 
 	// Eq. 14 with renormalisation over the available components, so a
 	// missing component never silently pulls the prediction toward 0.
@@ -124,14 +122,51 @@ func (mod *Model) forEachLocalRating(u int, sorted []mathx.Scored, fn func(k int
 
 // sirLocal computes SIR′ (Eq. 12, first line): the w-weighted
 // similarity-weighted average of the active user's (smoothed) ratings on
-// the top-M similar items.
+// the top-M similar items. The merge over the id-sorted neighbourhood is
+// written out directly (same cell order and arithmetic as
+// forEachLocalRating) because closure dispatch dominated the profile of
+// the steady-state Predict path.
 func (mod *Model) sirLocal(user int, sorted []mathx.Scored) (float64, bool) {
+	row := mod.m.UserRatings(user)
+	eps := mod.cfg.OriginalWeight
+	wSm := 1 - eps
+	var decayRow []float64
+	if mod.decay != nil {
+		decayRow = mod.decay[user]
+	}
+	var flRow []float64
+	var um float64
+	if !mod.cfg.DisableSmoothing {
+		flRow = mod.sm.FillRow(user)
+		um = mod.m.UserMean(user)
+	}
 	var num, den float64
-	mod.forEachLocalRating(user, sorted, func(k int, r float64, orig bool, w11 float64) {
-		w := w11 * sorted[k].Score
+	j := 0
+	for _, it := range sorted {
+		idx := it.Index
+		for j < len(row) && row[j].Index < idx {
+			j++
+		}
+		var r, w11 float64
+		if j < len(row) && row[j].Index == idx {
+			r = row[j].Value
+			w11 = eps
+			if decayRow != nil {
+				w11 = eps * decayRow[j]
+			}
+		} else if flRow == nil {
+			continue
+		} else {
+			r = um
+			if f := flRow[idx]; f == f {
+				r = um + f
+			}
+			w11 = wSm
+		}
+		w := w11 * it.Score
 		num += w * r
 		den += w
-	})
+	}
 	if den <= 0 {
 		return 0, false
 	}
@@ -160,20 +195,102 @@ func (mod *Model) surLocal(user, item int, users []likeMinded) (float64, bool) {
 }
 
 // suirLocal computes SUIR′ (Eq. 12, third line) with the Eq. 13 pair
-// weight: ratings that like-minded users gave to similar items.
-func (mod *Model) suirLocal(sorted []mathx.Scored, users []likeMinded) (float64, bool) {
+// weight: ratings that like-minded users gave to similar items. Like
+// sirLocal, the per-neighbour merge is written out directly with the
+// user's mean and fill row hoisted out of the K×M inner loop; cell
+// order and arithmetic match forEachLocalRating exactly. sq is the
+// item's topM2 row: Score² per neighbour, precomputed at build time
+// with the same multiply Eq. 13 would do here.
+func (mod *Model) suirLocal(sorted []mathx.Scored, sq []float64, users []likeMinded) (float64, bool) {
+	eps := mod.cfg.OriginalWeight
+	wSm := 1 - eps
+	smoothing := !mod.cfg.DisableSmoothing
+	sq = sq[:len(sorted)] // one bounds check here instead of one per cell
 	var num, den float64
 	for _, lm := range users {
+		u := int(lm.user)
 		sim := lm.sim
-		mod.forEachLocalRating(int(lm.user), sorted, func(k int, r float64, orig bool, w11 float64) {
-			ps := pairSim(sorted[k].Score, sim)
+		sim2 := sim * sim // Eq. 13's userSim² hoisted out of the M-cell loop
+		row := mod.m.UserRatings(u)
+		var decayRow []float64
+		if mod.decay != nil {
+			decayRow = mod.decay[u]
+		}
+		var flRow []float64
+		var um float64
+		if smoothing {
+			flRow = mod.sm.FillRow(u)
+			um = mod.m.UserMean(u)
+		}
+		j := 0
+		if decayRow == nil && flRow != nil {
+			// Common-case loop (no time decay, smoothing on): every cell
+			// contributes — the GIS keeps only positive item sims and
+			// Eq. 10 selection keeps only positive user sims, so the pair
+			// weight si·sim/√(si²+sim²) is strictly positive and the d == 0
+			// and ps <= 0 guards of the general loop can never fire.
+			// Arithmetic is the general loop's exactly (the mul and the
+			// sqrt are independent, so fusing them into one expression
+			// keeps each operation and its operands unchanged).
+			for k, it := range sorted {
+				idx := it.Index
+				for j < len(row) && row[j].Index < idx {
+					j++
+				}
+				var r, w11 float64
+				if j < len(row) && row[j].Index == idx {
+					r = row[j].Value
+					w11 = eps
+				} else {
+					r = um
+					if f := flRow[idx]; f == f {
+						r = um + f
+					}
+					w11 = wSm
+				}
+				w := w11 * (it.Score * sim / math.Sqrt(sq[k]+sim2))
+				num += w * r
+				den += w
+			}
+			continue
+		}
+		for k, it := range sorted {
+			idx := it.Index
+			for j < len(row) && row[j].Index < idx {
+				j++
+			}
+			var r, w11 float64
+			if j < len(row) && row[j].Index == idx {
+				r = row[j].Value
+				w11 = eps
+				if decayRow != nil {
+					w11 = eps * decayRow[j]
+				}
+			} else if flRow == nil {
+				continue
+			} else {
+				r = um
+				if f := flRow[idx]; f == f {
+					r = um + f
+				}
+				w11 = wSm
+			}
+			// Eq. 13 written out with both squares precomputed; operations
+			// and operand order match pairSim exactly, so the value is
+			// bit-identical.
+			si := it.Score
+			d := math.Sqrt(sq[k] + sim2)
+			if d == 0 {
+				continue
+			}
+			ps := si * sim / d
 			if ps <= 0 {
-				return
+				continue
 			}
 			w := w11 * ps
 			num += w * r
 			den += w
-		})
+		}
 	}
 	if den <= 0 {
 		return 0, false
@@ -205,48 +322,84 @@ func (mod *Model) likeMindedUsers(user int) []likeMinded {
 	return sel
 }
 
+// lmScratch is the per-request scratch of one like-minded selection:
+// the candidate list, the bounded Eq. 10 top-K heap, and the ranking
+// buffer. Instances cycle through lmScratchPool; a scratch is owned
+// exclusively by one selectLikeMinded call between Get and Put, holds
+// no model state of its own (every field is fully overwritten before
+// use), and must never be retained past the call that fetched it.
+type lmScratch struct {
+	candidates []int
+	top        *mathx.TopK
+	ranked     []mathx.Scored
+}
+
+// lmScratchPool recycles like-minded selection scratch across requests
+// and across model generations (the scratch is model-independent).
+//
+//cfsf:guarded-by sync.Pool — each scratch is handed out to exactly one goroutine at a time; contents carry no cross-request state
+var lmScratchPool = sync.Pool{
+	New: func() any { return &lmScratch{top: mathx.NewTopK(0)} },
+}
+
 // selectLikeMinded builds the candidate set in iCluster order (§IV-E2)
 // and scores each candidate with Eq. 10, keeping the top K positive
-// similarities.
+// similarities. The candidate set is capped at CandidateFactor×K even
+// mid-cluster: the last visited cluster contributes only up to the cap
+// (members come in ascending user id, so the truncation is
+// deterministic), which bounds tail latency on models with one huge
+// cluster.
 func (mod *Model) selectLikeMinded(user int) []likeMinded {
-	var candidates []int
-	if mod.cfg.FullUserSearch {
-		candidates = make([]int, 0, mod.m.NumUsers()-1)
-		for u := 0; u < mod.m.NumUsers(); u++ {
-			if u != user {
-				candidates = append(candidates, u)
-			}
-		}
-	} else {
-		factor := mod.cfg.CandidateFactor
-		if factor <= 0 {
-			factor = 4
-		}
-		want := factor * mod.cfg.K
-		for _, c := range mod.ic.Order[user] {
-			for _, u := range mod.clusters.Members[c] {
-				if u != user {
-					candidates = append(candidates, u)
-				}
-			}
-			if len(candidates) >= want {
-				break
-			}
-		}
-	}
+	sc := lmScratchPool.Get().(*lmScratch)
+	candidates := mod.gatherCandidates(user, sc.candidates[:0])
 
-	top := mathx.NewTopK(mod.cfg.K)
+	top := sc.top
+	top.Reset(mod.cfg.K)
 	for _, cand := range candidates {
 		if s := mod.eq10Sim(user, cand); s > 0 {
 			top.Push(int32(cand), s)
 		}
 	}
-	scored := top.Sorted()
+	scored := top.AppendSorted(sc.ranked[:0])
 	out := make([]likeMinded, len(scored))
 	for i, s := range scored {
 		out[i] = likeMinded{user: s.Index, sim: s.Score}
 	}
+	sc.candidates = candidates
+	sc.ranked = scored[:0]
+	lmScratchPool.Put(sc)
 	return out
+}
+
+// gatherCandidates appends user's like-minded candidate set to buf and
+// returns it: every other user under FullUserSearch, otherwise cluster
+// members in iCluster order, hard-capped at CandidateFactor×K (the last
+// cluster visited contributes only up to the cap).
+func (mod *Model) gatherCandidates(user int, buf []int) []int {
+	if mod.cfg.FullUserSearch {
+		for u := 0; u < mod.m.NumUsers(); u++ {
+			if u != user {
+				buf = append(buf, u)
+			}
+		}
+		return buf
+	}
+	factor := mod.cfg.CandidateFactor
+	if factor <= 0 {
+		factor = 4
+	}
+	want := factor * mod.cfg.K
+	for _, c := range mod.ic.Order[user] {
+		for _, u := range mod.clusters.Members[c] {
+			if u != user {
+				buf = append(buf, u)
+				if len(buf) == want {
+					return buf
+				}
+			}
+		}
+	}
+	return buf
 }
 
 // eq10Sim computes the w-weighted PCC of Eq. 10 between the active user a
@@ -258,6 +411,18 @@ func (mod *Model) eq10Sim(active, cand int) float64 {
 	am := mod.m.UserMean(active)
 	cm := mod.m.UserMean(cand)
 	rowC := mod.m.UserRatings(cand)
+	eps := mod.cfg.OriginalWeight
+	wSm := 1 - eps
+	var decayRow []float64
+	if mod.decay != nil {
+		decayRow = mod.decay[cand]
+	}
+	// The candidate's fill-memo row replaces per-cell sm.Fill calls; the
+	// addend layout makes rc = cm + fill bit-identical to Fill(cand, i).
+	var flRow []float64
+	if !mod.cfg.DisableSmoothing {
+		flRow = mod.sm.FillRow(cand)
+	}
 	j := 0
 	var num, denA, denC float64
 	for _, e := range mod.m.UserRatings(active) {
@@ -267,12 +432,18 @@ func (mod *Model) eq10Sim(active, cand int) float64 {
 		var rc, w float64
 		if j < len(rowC) && rowC[j].Index == e.Index {
 			rc = rowC[j].Value
-			w = mod.cfg.OriginalWeight * mod.decayAt(cand, j)
-		} else if mod.cfg.DisableSmoothing {
+			w = eps
+			if decayRow != nil {
+				w = eps * decayRow[j]
+			}
+		} else if flRow == nil {
 			continue
 		} else {
-			rc = mod.sm.Fill(cand, int(e.Index))
-			w = 1 - mod.cfg.OriginalWeight
+			rc = cm
+			if f := flRow[e.Index]; f == f {
+				rc = cm + f
+			}
+			w = wSm
 		}
 		dc := rc - cm
 		da := e.Value - am
@@ -307,46 +478,76 @@ type Recommendation struct {
 	Score float64
 }
 
+// recScratch is the per-request scratch of one Recommend call: the
+// per-item score buffer and the exact top-n selector. Same ownership
+// rules as lmScratch: exclusive between Get and Put, fully overwritten
+// before use, never retained past the call.
+type recScratch struct {
+	scores []float64
+	sel    mathx.TopSelect
+	ranked []mathx.Scored
+}
+
+//cfsf:guarded-by sync.Pool — each scratch is handed out to exactly one goroutine at a time; contents carry no cross-request state
+var recScratchPool = sync.Pool{
+	New: func() any { return new(recScratch) },
+}
+
 // Recommend returns the n items with the highest predicted rating for
 // the user, excluding items the user already rated. Ties break by item
 // id for determinism.
+//
+// Items the user rated and items with no support (no raters at all) are
+// skipped before prediction by merging each chunk against the user's
+// id-sorted rating row — no rated-set map, no prediction paid for an
+// item that can never be recommended. NaN marks skipped slots in the
+// score buffer (Predict never returns NaN: its outputs are clamped
+// finite values or finite fallbacks), and the exact top-n selection
+// over the rest reproduces the full sort's score-desc/id-asc order
+// bit for bit.
 func (mod *Model) Recommend(user, n int) []Recommendation {
 	if n <= 0 || user < 0 || user >= mod.m.NumUsers() {
 		return nil
 	}
-	rated := make(map[int]bool, len(mod.m.UserRatings(user)))
-	for _, e := range mod.m.UserRatings(user) {
-		rated[int(e.Index)] = true
-	}
-	type cand struct {
-		item  int
-		score float64
-	}
 	q := mod.m.NumItems()
-	cands := make([]cand, q)
-	parallel.For(q, mod.cfg.Workers, func(i int) {
-		if rated[i] || len(mod.m.ItemRatings(i)) == 0 {
-			cands[i] = cand{i, math.Inf(-1)}
-			return
-		}
-		cands[i] = cand{i, mod.Predict(user, i)}
-	})
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].score != cands[b].score {
-			return cands[a].score > cands[b].score
-		}
-		return cands[a].item < cands[b].item
-	})
-	if n > len(cands) {
-		n = len(cands)
+	sc := recScratchPool.Get().(*recScratch)
+	if cap(sc.scores) < q {
+		sc.scores = make([]float64, q)
 	}
-	out := make([]Recommendation, 0, n)
-	for _, c := range cands[:n] {
-		if math.IsInf(c.score, -1) {
-			break
+	scores := sc.scores[:q]
+	row := mod.m.UserRatings(user)
+	parallel.ForChunked(q, mod.cfg.Workers, func(lo, hi int) {
+		// Position the rated-row cursor at the first entry >= lo; it then
+		// advances monotonically through the chunk.
+		j := sort.Search(len(row), func(x int) bool { return int(row[x].Index) >= lo })
+		for i := lo; i < hi; i++ {
+			for j < len(row) && int(row[j].Index) < i {
+				j++
+			}
+			if (j < len(row) && int(row[j].Index) == i) || len(mod.m.ItemRatings(i)) == 0 {
+				scores[i] = math.NaN()
+				continue
+			}
+			scores[i] = mod.Predict(user, i)
 		}
-		out = append(out, Recommendation{Item: c.item, Score: c.score})
+	})
+	if n > q {
+		n = q
 	}
+	sel := &sc.sel
+	sel.Reset(n)
+	for i := 0; i < q; i++ {
+		if s := scores[i]; s == s {
+			sel.Offer(int32(i), s)
+		}
+	}
+	ranked := sel.AppendRanked(sc.ranked[:0])
+	out := make([]Recommendation, 0, len(ranked))
+	for _, e := range ranked {
+		out = append(out, Recommendation{Item: int(e.Index), Score: e.Score})
+	}
+	sc.ranked = ranked[:0]
+	recScratchPool.Put(sc)
 	return out
 }
 

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"cfsf/internal/synth"
+)
+
+// benchPredictModel trains a mid-size model once per benchmark binary;
+// the online-phase benches below share it.
+var benchPredictModel *Model
+
+func benchOnlineModel(b *testing.B) *Model {
+	b.Helper()
+	if benchPredictModel == nil {
+		cfg := synth.DefaultConfig()
+		cfg.Users = 400
+		cfg.Items = 500
+		cfg.MinPerUser = 15
+		cfg.MeanPerUser = 40
+		cfg.Archetypes = 10
+		d, err := synth.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mcfg := DefaultConfig()
+		mod, err := Train(d.Matrix, mcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchPredictModel = mod
+	}
+	return benchPredictModel
+}
+
+// BenchmarkPredict is the steady-state online path: the active user's
+// like-minded neighbourhood is already cached, so each iteration is one
+// local-matrix fusion (Eq. 12-14) over the precomputed top-M
+// neighbourhood. CI gates on allocs/op == 0 here (cmd/benchjson
+// -require-zero-allocs).
+func BenchmarkPredict(b *testing.B) {
+	mod := benchOnlineModel(b)
+	q := mod.Matrix().NumItems()
+	mod.Predict(0, 0) // warm user 0's neighbour cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mod.Predict(0, i%q)
+	}
+}
+
+// BenchmarkPredictColdCache pays the Eq. 10 like-minded selection on
+// every call (DisableCache ablation): the per-request scratch path.
+func BenchmarkPredictColdCache(b *testing.B) {
+	mod := benchOnlineModel(b)
+	cfg := mod.Config()
+	cfg.DisableCache = true
+	cold, err := Train(mod.Matrix(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, q := mod.Matrix().NumUsers(), mod.Matrix().NumItems()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cold.Predict(i%p, (i*7)%q)
+	}
+}
+
+// BenchmarkRecommend ranks the full catalogue for one warm user per
+// iteration: the top-n selection plus one Predict per unrated item.
+func BenchmarkRecommend(b *testing.B) {
+	mod := benchOnlineModel(b)
+	p := mod.Matrix().NumUsers()
+	mod.Recommend(0, 10) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mod.Recommend(i%p, 10)
+	}
+}

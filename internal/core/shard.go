@@ -150,8 +150,10 @@ func (s *ShardedModel) RetrainShard(shard int) (*ShardedModel, error) {
 				affItems[int(e.Index)] = true
 			}
 		}
-		next := &Model{cfg: mod.cfg, m: mod.m, gis: mod.gis, clusters: cl, stats: mod.stats, decay: mod.decay}
-		next.sm = mod.sm.Refresh(mod.m, cl, affected, affItems)
+		next := &Model{cfg: mod.cfg, m: mod.m, gis: mod.gis, clusters: cl, stats: mod.stats, decay: mod.decay,
+			// The GIS pointer is unchanged, so the id-sorted mirror carries over wholesale.
+			topM: mod.topM, topM2: mod.topM2}
+		next.sm = mod.sm.Refresh(mod.m, cl, affected, affItems, mod.cfg.Workers)
 		next.ic = smoothing.RefreshICluster(mod.ic, next.sm, affected, movedSet, mod.cfg.Workers)
 		next.neighborCache = make([]atomic.Pointer[[]likeMinded], mod.m.NumUsers())
 		out.mod = next
@@ -179,6 +181,9 @@ func (s *ShardedModel) RebuildGIS() *ShardedModel {
 		sm: mod.sm, ic: mod.ic, stats: mod.stats, decay: mod.decay}
 	next.stats.GISNeighbors = gis.TotalNeighbors()
 	next.neighborCache = make([]atomic.Pointer[[]likeMinded], mod.m.NumUsers())
+	// A from-scratch GIS shares no backing arrays with the old one, so the
+	// id-sorted mirror is rebuilt in full.
+	next.buildTopM(nil)
 	return &ShardedModel{mod: next, shards: append([]ShardStats(nil), s.shards...)}
 }
 

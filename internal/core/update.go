@@ -140,6 +140,7 @@ func (mod *Model) WithUpdates(updates []RatingUpdate) (*Model, error) {
 	next.stats.IClusterDuration = time.Since(t)
 
 	next.neighborCache = make([]atomic.Pointer[[]likeMinded], m.NumUsers())
+	next.buildTopM(mod)
 	next.stats.Incremental = true
 	next.stats.UpdatesApplied = len(updates)
 	next.stats.TotalDuration = time.Since(start)

@@ -1,0 +1,124 @@
+package lifecycle
+
+import (
+	"testing"
+	"time"
+
+	"cfsf/internal/core"
+	"cfsf/internal/wal"
+)
+
+// prefixGroups mirrors ApplyConcurrent's batching on a plain update
+// list: repeatedly cut the longest contiguous prefix in which no shard
+// contributes more than batchMax ratings. Each group is exactly one
+// grouped Apply (and one shard -1 commit record) of the manager.
+func prefixGroups(base *core.Model, ups []core.RatingUpdate, batchMax int) [][]core.RatingUpdate {
+	router := core.NewSharded(base)
+	shards := make([]int, len(ups))
+	for i, u := range ups {
+		shards[i] = router.ShardOf(u.User)
+	}
+	var groups [][]core.RatingUpdate
+	for len(ups) > 0 {
+		counts := map[int]int{}
+		cut := 0
+		for i := range ups {
+			if counts[shards[i]] >= batchMax {
+				break
+			}
+			counts[shards[i]]++
+			cut++
+		}
+		groups = append(groups, ups[:cut])
+		ups, shards = ups[cut:], shards[cut:]
+	}
+	return groups
+}
+
+// TestConcurrentApplyParityAndRecovery is the concurrent-apply
+// acceptance test: with ApplyMode "concurrent", a batch spanning several
+// shards is folded in grouped multi-shard prefixes, and the result —
+// live, and again after a kill-and-reboot replay — must be bit-for-bit
+// the model that serial WithUpdates calls over the same prefix groups
+// produce. The WAL keeps its append order and the shard -1 commit
+// records regroup replay into exactly the live batches.
+func TestConcurrentApplyParityAndRecovery(t *testing.T) {
+	base := newBaseModel(t)
+	dir := t.TempDir()
+
+	const batchMax = 3 // small cap so 12 updates split into several groups
+	a, err := Open(bootWith(base), Config{
+		DataDir:      dir,
+		Fsync:        wal.SyncAlways,
+		ApplyMode:    ApplyConcurrent,
+		BatchMaxSize: batchMax,
+		BatchMaxWait: 200 * time.Millisecond, // whole batch pending before the drain
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ups := make([]core.RatingUpdate, 12)
+	for i := range ups {
+		ups[i] = testUpdate(i)
+	}
+	seqs, _, err := a.SubmitBatch(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := seqs[len(seqs)-1]
+	waitUntil(t, "batch applied", func() bool { return a.AppliedSeq() >= last })
+
+	groups := prefixGroups(base, ups, batchMax)
+	if len(groups) < 2 {
+		t.Fatalf("updates formed %d prefix group(s); shrink batchMax to force several", len(groups))
+	}
+	comparator := base
+	for _, g := range groups {
+		if comparator, err = comparator.WithUpdates(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := predictions(comparator)
+	samePredictions(t, "concurrent live vs serial prefix groups", want, predictions(a.Model()))
+	if batches := a.reg.Counter("lifecycle_batches_total").Value(); batches != int64(len(groups)) {
+		t.Errorf("manager used %d batches, expected %d prefix groups", batches, len(groups))
+	}
+	// A grouped apply spans shards: more than one shard must have seen it.
+	touched := 0
+	for _, st := range a.ShardStats() {
+		if st.Applies > 0 {
+			touched++
+		}
+	}
+	if touched < 2 {
+		t.Errorf("only %d shard(s) saw applies; grouped batches should span shards", touched)
+	}
+
+	a.Abort() // SIGKILL stand-in
+
+	// Recovery does not need ApplyMode to match: replay regroups by the
+	// journaled commit records alone.
+	b, err := Open(noBoot(t), Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	bs := b.BootStats()
+	if bs.ReplayedRecords != len(ups) || bs.ReplayedBatches != len(groups) {
+		t.Fatalf("replayed %d records in %d batches, want %d in %d",
+			bs.ReplayedRecords, bs.ReplayedBatches, len(ups), len(groups))
+	}
+	samePredictions(t, "recovered vs serial prefix groups", want, predictions(b.Model()))
+}
+
+// TestApplyModeValidation: unknown modes are refused at Open, the empty
+// mode normalises to serial.
+func TestApplyModeValidation(t *testing.T) {
+	if _, err := Open(noBoot(t), Config{DataDir: t.TempDir(), ApplyMode: "parallel-ish"}); err == nil {
+		t.Fatal("unknown apply mode accepted")
+	}
+	if got := (Config{}).withDefaults().ApplyMode; got != ApplySerial {
+		t.Fatalf("zero-value ApplyMode normalises to %q, want %q", got, ApplySerial)
+	}
+}

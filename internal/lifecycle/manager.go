@@ -66,6 +66,15 @@ type Config struct {
 	// QueueCapacity bounds the unapplied-rating queue; Submit returns
 	// ErrQueueFull beyond it. <= 0 means 4096.
 	QueueCapacity int
+	// ApplyMode selects how applyPending cuts batches from the queue:
+	// ApplySerial (the default) cuts one shard's micro-batch at a time;
+	// ApplyConcurrent cuts a contiguous multi-shard prefix — up to
+	// BatchMaxSize ratings per shard — and folds it in a single Apply,
+	// so the rebuild work of every shard the prefix touches runs in the
+	// same parallel pass instead of one shard after another. Either way
+	// the commit record journaled after the swap makes crash replay
+	// regroup the exact same batches, bit for bit.
+	ApplyMode string
 
 	// SnapshotEvery, when > 0, snapshots the model in the background at
 	// this cadence (skipped when nothing changed since the last one).
@@ -114,6 +123,9 @@ func (c Config) withDefaults() Config {
 	if c.RetrainMode == "" {
 		c.RetrainMode = RetrainShards
 	}
+	if c.ApplyMode == "" {
+		c.ApplyMode = ApplySerial
+	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
@@ -127,6 +139,12 @@ func (c Config) withDefaults() Config {
 const (
 	RetrainShards = "shards"
 	RetrainFull   = "full"
+)
+
+// ApplyMode values for Config.ApplyMode.
+const (
+	ApplySerial     = "serial"
+	ApplyConcurrent = "concurrent"
 )
 
 // ErrQueueFull is returned by Submit when the unapplied-rating queue is
@@ -243,6 +261,10 @@ func Open(bootstrap func() (*core.Model, error), cfg Config) (*Manager, error) {
 	if cfg.RetrainMode != RetrainShards && cfg.RetrainMode != RetrainFull {
 		return nil, fmt.Errorf("lifecycle: unknown retrain mode %q (want %q or %q)",
 			cfg.RetrainMode, RetrainShards, RetrainFull)
+	}
+	if cfg.ApplyMode != ApplySerial && cfg.ApplyMode != ApplyConcurrent {
+		return nil, fmt.Errorf("lifecycle: unknown apply mode %q (want %q or %q)",
+			cfg.ApplyMode, ApplySerial, ApplyConcurrent)
 	}
 	if err := os.MkdirAll(snapshotDir(cfg.DataDir), 0o755); err != nil {
 		return nil, fmt.Errorf("lifecycle: create snapshot dir: %w", err)
@@ -666,13 +688,20 @@ func (m *Manager) run() {
 	}
 }
 
-// applyPending drains the queue in per-shard batches: each round cuts up
-// to BatchMaxSize pending ratings routed to the shard at the head of the
-// queue (oldest first), so a burst confined to one user cluster rebuilds
-// only that shard's structures. The served model is swapped once per
-// batch and a batch-commit record carrying the shard id is journaled
-// after each swap, which is what lets crash-replay regroup the exact
-// same per-shard batches.
+// applyPending drains the queue one batch per round. In ApplySerial
+// mode each round cuts up to BatchMaxSize pending ratings routed to the
+// shard at the head of the queue (oldest first), so a burst confined to
+// one user cluster rebuilds only that shard's structures. In
+// ApplyConcurrent mode each round cuts a contiguous multi-shard prefix
+// — admitting entries from the head until one shard would exceed
+// BatchMaxSize — and folds it in a single Apply, so every touched
+// shard's rebuild runs inside the same parallel pass. The served model
+// is swapped once per batch and a batch-commit record is journaled
+// after each swap: a per-shard commit carries its shard id, a grouped
+// commit carries shard -1 (which replay already reads as "every queued
+// rating at or below Covered" — the exact prefix, since the prefix is
+// contiguous in sequence order). Either way crash-replay regroups the
+// exact same batches.
 //
 //cfsf:wallclock-ok apply latency feeds the apply_ms histogram only; batch boundaries come from the queue, not the clock
 func (m *Manager) applyPending() {
@@ -692,21 +721,41 @@ func (m *Manager) applyPending() {
 			}
 			return
 		}
-		// Cut the head shard's batch: pending is in sequence order, so the
-		// cut is the first BatchMaxSize entries routed to that shard, and
-		// every entry of that shard left behind has a later sequence than
-		// the batch's commit will cover.
+		var batch []pendingUpdate
 		shard := m.pending[0].shard
-		batch := make([]pendingUpdate, 0, min(len(m.pending), m.cfg.BatchMaxSize))
-		kept := m.pending[:0]
-		for _, p := range m.pending {
-			if p.shard == shard && len(batch) < m.cfg.BatchMaxSize {
-				batch = append(batch, p)
-			} else {
-				kept = append(kept, p)
+		if m.cfg.ApplyMode == ApplyConcurrent {
+			// Grouped contiguous prefix: stop before the first entry whose
+			// shard already contributed a full batch. Contiguity is what
+			// makes the shard -1 commit below cover exactly this batch on
+			// replay — no entry inside the prefix is left behind.
+			shard = -1
+			counts := make(map[int]int)
+			cut := 0
+			for _, p := range m.pending {
+				if counts[p.shard] >= m.cfg.BatchMaxSize {
+					break
+				}
+				counts[p.shard]++
+				cut++
 			}
+			batch = append(make([]pendingUpdate, 0, cut), m.pending[:cut]...)
+			m.pending = append(m.pending[:0], m.pending[cut:]...)
+		} else {
+			// Cut the head shard's batch: pending is in sequence order, so
+			// the cut is the first BatchMaxSize entries routed to that
+			// shard, and every entry of that shard left behind has a later
+			// sequence than the batch's commit will cover.
+			batch = make([]pendingUpdate, 0, min(len(m.pending), m.cfg.BatchMaxSize))
+			kept := m.pending[:0]
+			for _, p := range m.pending {
+				if p.shard == shard && len(batch) < m.cfg.BatchMaxSize {
+					batch = append(batch, p)
+				} else {
+					kept = append(kept, p)
+				}
+			}
+			m.pending = kept
 		}
-		m.pending = kept
 		m.mu.Unlock()
 
 		n := len(batch)

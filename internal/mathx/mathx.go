@@ -5,6 +5,7 @@ package mathx
 
 import (
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -105,18 +106,32 @@ func (t *TopK) Push(index int32, score float64) {
 // Len returns the number of retained items.
 func (t *TopK) Len() int { return len(t.heap) }
 
+// Reset empties the heap and sets a new retention bound. It keeps the
+// backing array, which lets callers pool a TopK across requests instead
+// of allocating one per call.
+func (t *TopK) Reset(k int) {
+	if k < 0 {
+		k = 0
+	}
+	t.k = k
+	t.heap = t.heap[:0]
+}
+
 // Sorted returns the retained items ordered by descending score, breaking
 // ties by ascending index so results are deterministic.
 func (t *TopK) Sorted() []Scored {
-	out := make([]Scored, len(t.heap))
-	copy(out, t.heap)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Index < out[j].Index
-	})
-	return out
+	return t.AppendSorted(nil)
+}
+
+// AppendSorted appends the retained items to dst in the same order
+// Sorted uses (score descending, ties by ascending index) and returns
+// the extended slice. With a pooled dst it is the allocation-free form
+// of Sorted.
+func (t *TopK) AppendSorted(dst []Scored) []Scored {
+	n := len(dst)
+	dst = append(dst, t.heap...)
+	SortScoredDesc(dst[n:])
+	return dst
 }
 
 func (t *TopK) up(i int) {
@@ -147,6 +162,145 @@ func (t *TopK) down(i int) {
 		t.heap[i], t.heap[s] = t.heap[s], t.heap[i]
 		i = s
 	}
+}
+
+// Precedes reports whether a ranks strictly before b in the canonical
+// ranking order: higher score first, ties broken by ascending index.
+// Every ranked list in the repo (GIS neighbour lists, like-minded
+// selections, recommendations) uses this total order so that equal
+// inputs always produce bit-identical rankings.
+func Precedes(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Index < b.Index
+}
+
+// SortScoredDesc sorts list in place into the canonical ranking order
+// (score descending, ties by ascending index).
+func SortScoredDesc(list []Scored) {
+	slices.SortFunc(list, func(a, b Scored) int {
+		if a.Score != b.Score {
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
+		}
+		return int(a.Index - b.Index)
+	})
+}
+
+// SortScoredByIndex sorts list in place by ascending index. Rankings
+// re-sorted this way support binary search and linear merges against
+// other id-sorted rows.
+func SortScoredByIndex(list []Scored) {
+	slices.SortFunc(list, func(a, b Scored) int { return int(a.Index - b.Index) })
+}
+
+// SelectTopScored returns the top-n entries of list in the canonical
+// ranking order, exactly as if the whole list had been sorted with
+// SortScoredDesc and truncated; n <= 0 means unbounded (full sort).
+// For n << len(list) the bounded-heap selection is O(len·log n) instead
+// of O(len·log len). list is not modified; the result is freshly
+// allocated.
+func SelectTopScored(list []Scored, n int) []Scored {
+	if n <= 0 || len(list) <= n {
+		out := make([]Scored, len(list))
+		copy(out, list)
+		SortScoredDesc(out)
+		return out
+	}
+	// Bounded selection keeping the n best under Precedes; the heap keeps
+	// the *worst* retained entry at the root so it can be evicted in O(log n).
+	heap := make([]Scored, n)
+	copy(heap, list[:n])
+	for i := n/2 - 1; i >= 0; i-- {
+		siftWorstDown(heap, i)
+	}
+	for _, e := range list[n:] {
+		if Precedes(e, heap[0]) {
+			heap[0] = e
+			siftWorstDown(heap, 0)
+		}
+	}
+	SortScoredDesc(heap)
+	return heap
+}
+
+// siftWorstDown restores the "worst retained entry at the root" heap
+// property under the Precedes order, starting from position i.
+func siftWorstDown(heap []Scored, i int) {
+	n := len(heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		w := i
+		if l < n && Precedes(heap[w], heap[l]) {
+			w = l
+		}
+		if r < n && Precedes(heap[w], heap[r]) {
+			w = r
+		}
+		if w == i {
+			return
+		}
+		heap[i], heap[w] = heap[w], heap[i]
+		i = w
+	}
+}
+
+// TopSelect streams candidates one Offer at a time and retains the k
+// best under the canonical ranking order — the incremental form of
+// SelectTopScored for callers that produce scores on the fly (e.g.
+// Recommend). Unlike TopK it never drops score-ties, so its output is
+// bit-for-bit the sorted-and-truncated ranking. The zero value is
+// usable after Reset; Reset keeps the backing array so a TopSelect can
+// live in a sync.Pool.
+type TopSelect struct {
+	k int
+	h []Scored // once full: "worst retained at root" heap under Precedes
+}
+
+// Reset empties the selector and sets the retention bound to k.
+func (t *TopSelect) Reset(k int) {
+	if k < 0 {
+		k = 0
+	}
+	t.k = k
+	t.h = t.h[:0]
+}
+
+// Offer submits one candidate.
+func (t *TopSelect) Offer(index int32, score float64) {
+	if t.k == 0 {
+		return
+	}
+	e := Scored{index, score}
+	if len(t.h) < t.k {
+		t.h = append(t.h, e)
+		if len(t.h) == t.k {
+			for i := t.k/2 - 1; i >= 0; i-- {
+				siftWorstDown(t.h, i)
+			}
+		}
+		return
+	}
+	if Precedes(e, t.h[0]) {
+		t.h[0] = e
+		siftWorstDown(t.h, 0)
+	}
+}
+
+// Len returns the number of retained candidates.
+func (t *TopSelect) Len() int { return len(t.h) }
+
+// AppendRanked appends the retained candidates to dst in the canonical
+// ranking order and returns the extended slice. The selector still owns
+// its internal state and may be Reset and reused afterwards.
+func (t *TopSelect) AppendRanked(dst []Scored) []Scored {
+	n := len(dst)
+	dst = append(dst, t.h...)
+	SortScoredDesc(dst[n:])
+	return dst
 }
 
 // ArgsortDesc returns the indices of scores ordered by descending value,

@@ -1,0 +1,136 @@
+package mathx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refRanked is the specification both selectors must match bit-for-bit:
+// sort everything with SortScoredDesc and truncate. n < 0 means no
+// truncation (SelectTopScored's unbounded case).
+func refRanked(list []Scored, n int) []Scored {
+	out := make([]Scored, len(list))
+	copy(out, list)
+	SortScoredDesc(out)
+	if n >= 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func randScored(rng *rand.Rand, n int) []Scored {
+	out := make([]Scored, n)
+	for i := range out {
+		// Coarse scores force plenty of ties so the Index tiebreak is
+		// actually exercised.
+		out[i] = Scored{Index: int32(rng.Intn(1000)), Score: float64(rng.Intn(8)) / 4}
+	}
+	return out
+}
+
+func sameScored(a, b []Scored) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSelectTopScoredMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		list := randScored(r, rng.Intn(200))
+		n := 1 + r.Intn(40)
+		return sameScored(SelectTopScored(list, n), refRanked(list, n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectTopScoredLargeNAndZero(t *testing.T) {
+	list := []Scored{{3, 1}, {1, 1}, {2, 5}}
+	if got := SelectTopScored(list, 10); !sameScored(got, refRanked(list, 10)) {
+		t.Errorf("n>len: got %v", got)
+	}
+	if got := SelectTopScored(list, 0); !sameScored(got, refRanked(list, -1)) {
+		t.Errorf("n<=0 (unbounded): got %v", got)
+	}
+}
+
+func TestTopSelectMatchesFullSort(t *testing.T) {
+	var sel TopSelect
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		list := randScored(r, r.Intn(200))
+		n := r.Intn(40)
+		sel.Reset(n) // reuse across iterations: Reset must fully clear state
+		for _, e := range list {
+			sel.Offer(e.Index, e.Score)
+		}
+		return sameScored(sel.AppendRanked(nil), refRanked(list, n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopSelectAppendRankedAppends(t *testing.T) {
+	var sel TopSelect
+	sel.Reset(2)
+	sel.Offer(5, 1)
+	sel.Offer(6, 3)
+	sel.Offer(7, 2)
+	dst := []Scored{{0, 99}}
+	got := sel.AppendRanked(dst)
+	want := []Scored{{0, 99}, {6, 3}, {7, 2}}
+	if !sameScored(got, want) {
+		t.Errorf("AppendRanked = %v, want %v", got, want)
+	}
+}
+
+func TestTopKResetAndAppendSorted(t *testing.T) {
+	top := NewTopK(2)
+	top.Push(1, 0.5)
+	top.Push(2, 0.9)
+	top.Push(3, 0.7)
+	first := top.AppendSorted(nil)
+	top.Reset(3)
+	if top.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", top.Len())
+	}
+	top.Push(4, 0.1)
+	top.Push(5, 0.2)
+	second := top.Sorted()
+	if !sameScored(first, []Scored{{2, 0.9}, {3, 0.7}}) {
+		t.Errorf("first = %v", first)
+	}
+	if !sameScored(second, []Scored{{5, 0.2}, {4, 0.1}}) {
+		t.Errorf("second = %v", second)
+	}
+}
+
+func TestSortScoredByIndex(t *testing.T) {
+	list := []Scored{{9, 1}, {2, 3}, {5, 2}}
+	SortScoredByIndex(list)
+	want := []Scored{{2, 3}, {5, 2}, {9, 1}}
+	if !sameScored(list, want) {
+		t.Errorf("SortScoredByIndex = %v, want %v", list, want)
+	}
+}
+
+func TestPrecedesTotalOrder(t *testing.T) {
+	a, b := Scored{1, 0.5}, Scored{2, 0.5}
+	if !Precedes(a, b) || Precedes(b, a) {
+		t.Error("tie must break by ascending index")
+	}
+	if !Precedes(Scored{9, 1}, Scored{1, 0.5}) {
+		t.Error("higher score must precede")
+	}
+}

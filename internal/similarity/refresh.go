@@ -2,7 +2,6 @@ package similarity
 
 import (
 	"math"
-	"slices"
 
 	"cfsf/internal/mathx"
 	"cfsf/internal/parallel"
@@ -41,7 +40,7 @@ func (g *GIS) Refresh(m *ratings.Matrix, changedItems []int, opts GISOptions) *G
 	// Step 1: full candidate lists (untruncated) for changed items, so
 	// symmetric insertion in step 3 is not limited by TopN. Only the
 	// stored per-item list needs ranking; the symmetric pass consumes the
-	// full list in any order, so topScored selects instead of sorting the
+	// full list in any order, so mathx.SelectTopScored picks instead of sorting the
 	// whole candidate set.
 	changedIdx := make([]int32, 0, len(changedItems))
 	for i := int32(0); int(i) < q; i++ {
@@ -56,7 +55,7 @@ func (g *GIS) Refresh(m *ratings.Matrix, changedItems []int, opts GISOptions) *G
 		for k := lo; k < hi; k++ {
 			i := int(changedIdx[k])
 			lists[k] = candidateList(m, i, opts, scratch)
-			out.neighbors[i] = topScored(lists[k], opts.TopN)
+			out.neighbors[i] = mathx.SelectTopScored(lists[k], opts.TopN)
 		}
 	})
 
@@ -116,7 +115,7 @@ func (g *GIS) Refresh(m *ratings.Matrix, changedItems []int, opts GISOptions) *G
 				}
 				kept := ins[:0]
 				for _, e := range ins {
-					if precedes(e, last) {
+					if mathx.Precedes(e, last) {
 						kept = append(kept, e)
 					}
 				}
@@ -136,7 +135,7 @@ func (g *GIS) Refresh(m *ratings.Matrix, changedItems []int, opts GISOptions) *G
 				out.neighbors[i] = truncate(cp, opts.TopN)
 				continue
 			}
-			sortScored(ins)
+			mathx.SortScoredDesc(ins)
 			want := flen + len(ins)
 			if opts.TopN > 0 && want > opts.TopN {
 				want = opts.TopN // everything past the cutoff is truncated anyway
@@ -154,7 +153,7 @@ func (g *GIS) Refresh(m *ratings.Matrix, changedItems []int, opts GISOptions) *G
 				case a >= len(old):
 					merged = append(merged, ins[b])
 					b++
-				case precedes(old[a], ins[b]):
+				case mathx.Precedes(old[a], ins[b]):
 					merged = append(merged, old[a])
 					a++
 				default:
@@ -271,77 +270,6 @@ func candidateList(m *ratings.Matrix, a int, opts GISOptions, sc *candidateScrat
 	}
 	sc.touched = touched[:0]
 	return out
-}
-
-// precedes reports whether a sorts strictly before b under the ranking
-// order used throughout the GIS: score descending, index ascending.
-// Indices are unique within a list, so this is a strict total order.
-func precedes(a, b mathx.Scored) bool {
-	return a.Score > b.Score || (a.Score == b.Score && a.Index < b.Index)
-}
-
-// sortScored orders by score descending, index ascending — a strict total
-// order (indices are unique), so the non-reflection slices.SortFunc gives
-// the same result as a stable sort at a fraction of the cost.
-func sortScored(list []mathx.Scored) {
-	slices.SortFunc(list, func(a, b mathx.Scored) int {
-		if a.Score != b.Score {
-			if a.Score > b.Score {
-				return -1
-			}
-			return 1
-		}
-		return int(a.Index - b.Index)
-	})
-}
-
-// topScored returns the topN entries of list in ranked order — exactly
-// sortScored followed by truncate, computed without ordering the tail.
-// With no truncation (topN <= 0) or a list that already fits, it sorts
-// list in place and returns it; otherwise list is left untouched and a
-// fresh slice of length topN comes back. Selection runs over a bounded
-// min-heap whose root is the worst retained entry under the same strict
-// total order (score desc, index asc), so cutoff ties resolve
-// identically to the full sort no matter the input order.
-func topScored(list []mathx.Scored, topN int) []mathx.Scored {
-	if topN <= 0 || len(list) <= topN {
-		sortScored(list)
-		return list
-	}
-	h := make([]mathx.Scored, topN)
-	copy(h, list[:topN])
-	for i := topN/2 - 1; i >= 0; i-- {
-		siftWorstDown(h, i)
-	}
-	for _, e := range list[topN:] {
-		if precedes(e, h[0]) {
-			h[0] = e
-			siftWorstDown(h, 0)
-		}
-	}
-	sortScored(h)
-	return h
-}
-
-// siftWorstDown restores the heap property at node i for a heap ordered
-// so that every parent sorts after its children — the root is the entry
-// ranked last among those retained.
-func siftWorstDown(h []mathx.Scored, i int) {
-	for {
-		l, r := 2*i+1, 2*i+2
-		w := i
-		if l < len(h) && precedes(h[w], h[l]) {
-			w = l
-		}
-		if r < len(h) && precedes(h[w], h[r]) {
-			w = r
-		}
-		if w == i {
-			return
-		}
-		h[i], h[w] = h[w], h[i]
-		i = w
-	}
 }
 
 func truncate(list []mathx.Scored, topN int) []mathx.Scored {

@@ -1,6 +1,7 @@
 package smoothing
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -34,6 +35,14 @@ func requireSameSmoother(t *testing.T, want, got *Smoother, k, q int) {
 		if want.globalDev[i] != got.globalDev[i] || want.hasGlobal[i] != got.hasGlobal[i] {
 			t.Fatalf("globalDev[%d]: want (%v,%v) got (%v,%v)",
 				i, want.globalDev[i], want.hasGlobal[i], got.globalDev[i], got.hasGlobal[i])
+		}
+	}
+	for c := 0; c < k; c++ {
+		for i := 0; i < q; i++ {
+			// Bitwise compare: the NaN sentinel never equals itself under ==.
+			if math.Float64bits(want.fill[c][i]) != math.Float64bits(got.fill[c][i]) {
+				t.Fatalf("fill[%d][%d]: want %v got %v", c, i, want.fill[c][i], got.fill[c][i])
+			}
 		}
 	}
 }
@@ -106,7 +115,7 @@ func TestRefreshMatchesFullBuild(t *testing.T) {
 		}
 
 		wantSm := NewWeighted(m2, cl2, nil)
-		gotSm := sm.Refresh(m2, cl2, affected, affItems)
+		gotSm := sm.Refresh(m2, cl2, affected, affItems, 0)
 		requireSameSmoother(t, wantSm, gotSm, cl2.K, m2.NumItems())
 
 		wantIC := BuildICluster(wantSm, 1)
@@ -125,13 +134,55 @@ func TestRefreshSharesUntouchedClusters(t *testing.T) {
 		t.Fatal(err)
 	}
 	sm := NewWeighted(m, cl, nil)
-	got := sm.Refresh(m, cl, map[int]bool{0: true}, map[int]bool{})
+	got := sm.Refresh(m, cl, map[int]bool{0: true}, map[int]bool{}, 0)
 	for c := 1; c < cl.K; c++ {
 		if &got.dev[c][0] != &sm.dev[c][0] {
 			t.Fatalf("cluster %d dev row was copied, expected shared", c)
 		}
+		if &got.fill[c][0] != &sm.fill[c][0] {
+			t.Fatalf("cluster %d fill row was copied, expected shared (no affected items)", c)
+		}
 	}
 	if &got.dev[0][0] == &sm.dev[0][0] {
 		t.Fatal("affected cluster's dev row was shared, expected rebuilt")
+	}
+	if &got.fill[0][0] == &sm.fill[0][0] {
+		t.Fatal("affected cluster's fill row was shared, expected rebuilt")
+	}
+}
+
+// TestFillMemoMatchesFallbackChain pins the memo's contract: Fill must
+// return exactly what the original fallback chain (cluster deviation,
+// then global deviation, then plain user mean) computes, for every cell.
+func TestFillMemoMatchesFallbackChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randMatrix(rng, 30, 20, 150)
+	cl, err := cluster.Run(m, cluster.Options{K: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := NewWeighted(m, cl, nil)
+	for u := 0; u < m.NumUsers(); u++ {
+		c := sm.Cluster(u)
+		um := m.UserMean(u)
+		for i := 0; i < m.NumItems(); i++ {
+			want := um
+			if d, ok := sm.Deviation(c, i); ok {
+				want = um + d
+			} else if g, ok := sm.GlobalDeviation(i); ok {
+				want = um + g
+			}
+			if got := sm.Fill(u, i); got != want {
+				t.Fatalf("Fill(%d,%d) = %v, chain gives %v", u, i, got, want)
+			}
+			f := sm.FillRow(u)[i]
+			gotRow := um
+			if f == f {
+				gotRow = um + f
+			}
+			if gotRow != want {
+				t.Fatalf("FillRow(%d)[%d] path = %v, chain gives %v", u, i, gotRow, want)
+			}
+		}
 	}
 }

@@ -32,7 +32,14 @@ type Smoother struct {
 	// when the user's own cluster never rated i.
 	globalDev []float64
 	hasGlobal []bool
-	k         int
+	// fill[c][i] memoises the additive part of Eq. 7's fallback chain for
+	// an unobserved cell: dev[c][i] when the cluster covers the item, else
+	// globalDev[i], else NaN (meaning "plain user mean"). The online phase
+	// reads whole rows of it (FillRow) instead of walking the chain per
+	// cell. NaN is safe as the sentinel because both deviations are
+	// finite by construction (ratios of finite sums with positive counts).
+	fill [][]float64
+	k    int
 }
 
 // New builds a Smoother from a matrix and a finished clustering.
@@ -99,7 +106,30 @@ func NewWeighted(m *ratings.Matrix, cl *cluster.Result, weights [][]float64) *Sm
 			s.hasGlobal[i] = true
 		}
 	}
+	s.fill = make([][]float64, k)
+	for c := 0; c < k; c++ {
+		s.fill[c] = s.fillRowFor(c)
+	}
 	return s
+}
+
+// fillRowFor materialises cluster c's fill memo row from the already
+// computed deviations. The values are the exact addends Fill's fallback
+// chain would pick, so memoised fills are bit-identical to chained ones.
+func (s *Smoother) fillRowFor(c int) []float64 {
+	q := len(s.globalDev)
+	row := make([]float64, q)
+	for i := 0; i < q; i++ {
+		switch {
+		case s.has[c][i]:
+			row[i] = s.dev[c][i]
+		case s.hasGlobal[i]:
+			row[i] = s.globalDev[i]
+		default:
+			row[i] = math.NaN()
+		}
+	}
+	return row
 }
 
 // NumClusters returns the cluster count the smoother was built from.
@@ -119,15 +149,7 @@ func (s *Smoother) Rating(u, i int) (value float64, original bool) {
 	if r, ok := s.m.Rating(u, i); ok {
 		return r, true
 	}
-	um := s.m.UserMean(u)
-	c := s.assign[u]
-	if s.has[c][i] {
-		return um + s.dev[c][i], false
-	}
-	if s.hasGlobal[i] {
-		return um + s.globalDev[i], false
-	}
-	return um, false
+	return s.Fill(u, i), false
 }
 
 // Fill returns the Eq. 7 smoothed value for a cell the caller already
@@ -136,20 +158,29 @@ func (s *Smoother) Rating(u, i int) (value float64, original bool) {
 // has already established that (u, i) is missing.
 func (s *Smoother) Fill(u, i int) float64 {
 	um := s.m.UserMean(u)
-	c := s.assign[u]
-	if s.has[c][i] {
-		return um + s.dev[c][i]
-	}
-	if s.hasGlobal[i] {
-		return um + s.globalDev[i]
+	if f := s.fill[s.assign[u]][i]; f == f {
+		return um + f
 	}
 	return um
 }
+
+// FillRow returns the fill memo row of user u's cluster: FillRow(u)[i]
+// is the addend Fill(u, i) adds to the user mean, with NaN marking
+// cells where the fallback chain bottoms out at the plain user mean.
+// The row is shared with the Smoother and must not be modified.
+func (s *Smoother) FillRow(u int) []float64 { return s.fill[s.assign[u]] }
 
 // Deviation returns Δr_{C,i} (Eq. 8) for cluster c and item i, and
 // whether the cluster has any rater of i.
 func (s *Smoother) Deviation(c, i int) (float64, bool) {
 	return s.dev[c][i], s.has[c][i]
+}
+
+// GlobalDeviation returns the all-raters deviation for item i and
+// whether i has any rater — the fallback Fill uses when the user's own
+// cluster never rated i.
+func (s *Smoother) GlobalDeviation(i int) (float64, bool) {
+	return s.globalDev[i], s.hasGlobal[i]
 }
 
 // ICluster stores, for every user, the clusters ranked by descending
