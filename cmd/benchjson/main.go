@@ -44,6 +44,8 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "", "output file (default stdout)")
 	zeroAllocs := flag.String("require-zero-allocs", "", "regexp of benchmark names that must report allocs/op == 0 (run with -benchmem); nonzero or missing allocs fail the run")
+	var maxes maxFlags
+	flag.Var(&maxes, "max", "threshold gate 'NameRegexp:metric=value' (repeatable): every matching benchmark's metric must be <= value; a pattern matching nothing fails too")
 	flag.Parse()
 
 	doc, err := parse(os.Stdin)
@@ -55,6 +57,11 @@ func main() {
 	}
 	if *zeroAllocs != "" {
 		if err := requireZeroAllocs(doc.Results, *zeroAllocs); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, m := range maxes {
+		if err := requireMax(doc.Results, m); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -105,6 +112,72 @@ func requireZeroAllocs(results []result, pattern string) error {
 	}
 	if matched == 0 {
 		return fmt.Errorf("no benchmark matched -require-zero-allocs %q", pattern)
+	}
+	return nil
+}
+
+// maxSpec is one parsed -max gate: benchmarks whose name matches Name
+// must report Metric at or below Value.
+type maxSpec struct {
+	Name   *regexp.Regexp
+	Metric string
+	Value  float64
+}
+
+// maxFlags accumulates repeated -max flags, parsing each at set time so
+// a malformed spec fails before any benchmark output is consumed.
+type maxFlags []maxSpec
+
+func (m *maxFlags) String() string {
+	parts := make([]string, len(*m))
+	for i, s := range *m {
+		parts[i] = fmt.Sprintf("%s:%s=%g", s.Name, s.Metric, s.Value)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m *maxFlags) Set(v string) error {
+	name, rest, ok := strings.Cut(v, ":")
+	if !ok {
+		return fmt.Errorf("bad -max %q: want 'NameRegexp:metric=value'", v)
+	}
+	metric, valStr, ok := strings.Cut(rest, "=")
+	if !ok {
+		return fmt.Errorf("bad -max %q: want 'NameRegexp:metric=value'", v)
+	}
+	re, err := regexp.Compile(name)
+	if err != nil {
+		return fmt.Errorf("bad -max pattern %q: %w", name, err)
+	}
+	val, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return fmt.Errorf("bad -max value %q: %w", valStr, err)
+	}
+	*m = append(*m, maxSpec{Name: re, Metric: metric, Value: val})
+	return nil
+}
+
+// requireMax enforces one threshold gate: every matching result must
+// carry the metric and stay at or below the ceiling. Like the
+// zero-allocs gate, a spec matching no benchmark is itself an error so
+// a renamed benchmark cannot silently disarm the gate.
+func requireMax(results []result, spec maxSpec) error {
+	matched := 0
+	for _, r := range results {
+		if !spec.Name.MatchString(r.Name) {
+			continue
+		}
+		matched++
+		v, ok := r.Metrics[spec.Metric]
+		if !ok {
+			return fmt.Errorf("%s: no %s metric", r.Name, spec.Metric)
+		}
+		if v > spec.Value {
+			return fmt.Errorf("%s: %v %s exceeds ceiling %v", r.Name, v, spec.Metric, spec.Value)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmark matched -max %q", spec.Name)
 	}
 	return nil
 }

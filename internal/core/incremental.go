@@ -109,7 +109,13 @@ func (mod *Model) withUpdatesIncremental(updates []RatingUpdate) (next *Model, o
 	out.stats.IClusterDuration = time.Since(t)
 
 	out.neighborCache = make([]atomic.Pointer[[]likeMinded], m.NumUsers())
+	out.initRecCache()
 	out.buildTopM(mod)
+	// Carry warm recommendation-cache entries onto the new generation
+	// where the copy-on-write sharing above proves them still exact
+	// (reccache.go). Must run after buildTopM: the dirty-item derivation
+	// compares the mirrors.
+	out.carryRecCache(mod, userList, itemList)
 	out.stats.Incremental = true
 	out.stats.UpdatesApplied = len(updates)
 	out.stats.TotalDuration = time.Since(start)

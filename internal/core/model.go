@@ -85,6 +85,13 @@ type Config struct {
 	// user as a like-minded candidate (ablation: §IV-E2 without the
 	// cluster shortcut).
 	FullUserSearch bool
+	// RecommendCacheSize caps each user's cached recommendation ranking
+	// (see internal/core/reccache.go and DESIGN.md §10). 0 selects the
+	// default (128, comfortably above the HTTP layer's n ≤ 100 ceiling);
+	// negative disables the cache (ablation / memory-constrained
+	// deployments). The cache never changes Recommend's output — only
+	// whether the exact scan runs.
+	RecommendCacheSize int
 }
 
 // DefaultConfig returns the paper's parameter setting for MovieLens.
@@ -159,6 +166,13 @@ type Model struct {
 	// slice header is fixed at construction; elements are atomic
 	// pointers, so the lazy fill on the read path stays race-free.
 	neighborCache []atomic.Pointer[[]likeMinded] //cfsf:immutable
+
+	// recCache[u] holds user u's cached top-C recommendation ranking
+	// (reccache.go). Same publication discipline as neighborCache: the
+	// slice header is fixed at construction, elements are atomic
+	// pointers filled on the read path and carried copy-on-write across
+	// Apply generations. nil when the cache is disabled.
+	recCache []atomic.Pointer[recEntry] //cfsf:immutable
 
 	// topM[i] is the id-sorted mirror of item i's top-M GIS prefix: the
 	// same entries topItems(i) returns, re-sorted by ascending item id so
@@ -243,6 +257,7 @@ func Train(m *ratings.Matrix, cfg Config) (*Model, error) {
 	mod.stats.IClusterDuration = time.Since(t)
 
 	mod.neighborCache = make([]atomic.Pointer[[]likeMinded], m.NumUsers())
+	mod.initRecCache()
 	mod.buildTopM(nil)
 	mod.stats.TotalDuration = time.Since(start)
 	return mod, nil

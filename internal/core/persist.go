@@ -89,6 +89,7 @@ func Load(r io.Reader) (*Model, error) {
 	mod.sm = smoothing.NewWeighted(mod.m, mod.clusters, mod.decay)
 	mod.ic = smoothing.BuildICluster(mod.sm, mod.cfg.Workers)
 	mod.neighborCache = make([]atomic.Pointer[[]likeMinded], mod.m.NumUsers())
+	mod.initRecCache()
 	mod.buildTopM(nil)
 	mod.stats.GISNeighbors = mod.gis.TotalNeighbors()
 	mod.stats.ClusterIters = wire.Clusters.Iterations

@@ -365,7 +365,13 @@ func (mod *Model) selectLikeMinded(user int) []likeMinded {
 	for i, s := range scored {
 		out[i] = likeMinded{user: s.Index, sim: s.Score}
 	}
-	sc.candidates = candidates
+	// Same oversized-buffer policy as putRecScratch: the candidate list
+	// sizes to the user population (all of it under FullUserSearch), so
+	// a pooled scratch must not pin a larger model's high-water mark.
+	if cap(candidates) > 2*len(candidates) && cap(candidates) > 4*mod.cfg.K {
+		candidates = nil
+	}
+	sc.candidates = candidates[:0:cap(candidates)]
 	sc.ranked = scored[:0]
 	lmScratchPool.Put(sc)
 	return out
@@ -493,9 +499,120 @@ var recScratchPool = sync.Pool{
 	New: func() any { return new(recScratch) },
 }
 
+// putRecScratch returns a scratch to the pool, first dropping buffers
+// that outgrew the current need by more than 2×: score buffers size to
+// the catalogue, so after serving a large model every pooled scratch
+// would otherwise pin that high-water mark forever even when later
+// (smaller) models need a fraction of it. A buffer within 2× of used is
+// kept — steady-state growth never reallocates, only a catalogue shrink
+// (a different model in the same process) sheds memory.
+func putRecScratch(sc *recScratch, used int) {
+	if cap(sc.scores) > 2*used {
+		sc.scores = nil
+	}
+	if cap(sc.ranked) > 2*used {
+		sc.ranked = nil
+	}
+	recScratchPool.Put(sc)
+}
+
 // Recommend returns the n items with the highest predicted rating for
 // the user, excluding items the user already rated. Ties break by item
 // id for determinism.
+//
+// Contract: invalid input (n <= 0 or a user outside the matrix) returns
+// nil; valid input always returns a non-nil slice, possibly empty (every
+// unrated item has zero support). Callers can therefore distinguish "bad
+// request" from "nothing to recommend" without a separate error value,
+// and the HTTP layer renders the empty case as [] rather than null.
+//
+// The first call for a user runs the exact scan (recommendExact) and
+// caches the top-C ranking; subsequent calls on the same or a carried
+// model generation serve from the cache — after lazily re-scoring any
+// items an Apply dirtied (reccache.go) — and are allocation-free apart
+// from the returned slice. Cached and exact paths are bit-identical by
+// construction; parity_test.go holds them to that.
+func (mod *Model) Recommend(user, n int) []Recommendation {
+	if n <= 0 || user < 0 || user >= mod.m.NumUsers() {
+		return nil
+	}
+	capHint := n
+	if q := mod.m.NumItems(); capHint > q {
+		capHint = q
+	}
+	return mod.RecommendAppend(make([]Recommendation, 0, capHint), user, n)
+}
+
+// RecommendAppend is Recommend writing into caller-owned storage: the
+// top-n items are appended to dst and the extended slice returned. On
+// invalid input dst is returned unchanged. A caller that reuses dst
+// across requests (dst[:0]) makes the warm cached path allocation-free —
+// the property the CI benchmark gate holds Recommend to.
+func (mod *Model) RecommendAppend(dst []Recommendation, user, n int) []Recommendation {
+	if n <= 0 || user < 0 || user >= mod.m.NumUsers() {
+		return dst
+	}
+	cacheCap := 0
+	if mod.recCache != nil && user < len(mod.recCache) {
+		cacheCap = mod.recCacheCap()
+	}
+	if cacheCap > 0 {
+		if e := mod.recCache[user].Load(); e != nil {
+			if len(e.pending) > 0 {
+				if r := mod.repairRecEntry(user, e); r != nil {
+					mod.recCache[user].Store(r)
+					e = r
+				} else {
+					e = nil // boundary crossed: fall through to the exact scan
+				}
+			}
+			if e != nil && (e.complete || n <= len(e.ranked)) {
+				recCacheHits.Add(1)
+				return appendRecommendations(dst, e.ranked, n)
+			}
+		}
+		recCacheMisses.Add(1)
+	}
+	// Exact scan. With the cache enabled, widen the selection to the
+	// cache capacity so the stored entry can serve any n up to it.
+	want := n
+	if cacheCap > want {
+		want = cacheCap
+	}
+	sc := recScratchPool.Get().(*recScratch)
+	ranked, offered := mod.recommendExact(user, want, sc)
+	if cacheCap > 0 {
+		keep := ranked
+		if len(keep) > cacheCap {
+			keep = keep[:cacheCap]
+		}
+		mod.recCache[user].Store(&recEntry{
+			ranked:   append([]mathx.Scored(nil), keep...),
+			complete: offered <= cacheCap,
+		})
+	}
+	dst = appendRecommendations(dst, ranked, n)
+	sc.ranked = ranked[:0]
+	putRecScratch(sc, mod.m.NumItems())
+	return dst
+}
+
+// appendRecommendations appends the first n entries of a canonical
+// ranking to dst as public Recommendation values.
+func appendRecommendations(dst []Recommendation, ranked []mathx.Scored, n int) []Recommendation {
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	for _, e := range ranked[:n] {
+		dst = append(dst, Recommendation{Item: int(e.Index), Score: e.Score})
+	}
+	return dst
+}
+
+// recommendExact scores every candidate item for the user and returns
+// the top-want ranking in canonical order plus the number of eligible
+// candidates offered to the selector. The ranking's backing array
+// belongs to sc; callers copy what they keep and return sc to the pool.
 //
 // Items the user rated and items with no support (no raters at all) are
 // skipped before prediction by merging each chunk against the user's
@@ -505,12 +622,8 @@ var recScratchPool = sync.Pool{
 // finite values or finite fallbacks), and the exact top-n selection
 // over the rest reproduces the full sort's score-desc/id-asc order
 // bit for bit.
-func (mod *Model) Recommend(user, n int) []Recommendation {
-	if n <= 0 || user < 0 || user >= mod.m.NumUsers() {
-		return nil
-	}
+func (mod *Model) recommendExact(user, want int, sc *recScratch) (ranked []mathx.Scored, offered int) {
 	q := mod.m.NumItems()
-	sc := recScratchPool.Get().(*recScratch)
 	if cap(sc.scores) < q {
 		sc.scores = make([]float64, q)
 	}
@@ -531,24 +644,18 @@ func (mod *Model) Recommend(user, n int) []Recommendation {
 			scores[i] = mod.Predict(user, i)
 		}
 	})
-	if n > q {
-		n = q
+	if want > q {
+		want = q
 	}
 	sel := &sc.sel
-	sel.Reset(n)
+	sel.Reset(want)
 	for i := 0; i < q; i++ {
 		if s := scores[i]; s == s {
 			sel.Offer(int32(i), s)
+			offered++
 		}
 	}
-	ranked := sel.AppendRanked(sc.ranked[:0])
-	out := make([]Recommendation, 0, len(ranked))
-	for _, e := range ranked {
-		out = append(out, Recommendation{Item: int(e.Index), Score: e.Score})
-	}
-	sc.ranked = ranked[:0]
-	recScratchPool.Put(sc)
-	return out
+	return sel.AppendRanked(sc.ranked[:0]), offered
 }
 
 // EvalOn predicts every target of a split and returns predictions in

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cfsf/internal/ratings"
+	"cfsf/internal/synth"
+)
+
+// Tests for the per-user recommendation cache (reccache.go). The load-
+// bearing property is bit-for-bit parity: a cache-enabled model must
+// return exactly what a cache-disabled twin (same training, same apply
+// stream) returns, on every read — cold, warm, repaired, or rebuilt
+// after a carry — under every config variant.
+
+func equalRecs(a, b []Recommendation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// randomApplyBatch draws a small batch of valid updates against the
+// current matrix bounds, occasionally introducing a fresh user or item
+// id (the +1 below) so streams exercise catalogue growth.
+func randomApplyBatch(rng *rand.Rand, mod *Model) []RatingUpdate {
+	m := mod.Matrix()
+	ups := make([]RatingUpdate, 1+rng.Intn(6))
+	for i := range ups {
+		ups[i] = RatingUpdate{
+			User:  rng.Intn(m.NumUsers() + 1),
+			Item:  rng.Intn(m.NumItems() + 1),
+			Value: float64(1 + rng.Intn(5)),
+		}
+	}
+	return ups
+}
+
+// TestRecommendCacheParityAcrossApplyStreams is the cache's acceptance
+// property (the Recommend analogue of PR 5's Predict parity): on every
+// config variant, a cached lineage driven by a random sharded apply
+// stream serves — from cold misses, carried entries, lazy repairs and
+// repair fallbacks alike — exactly what the cache-disabled lineage
+// computes, and a repeat read (a pure cache hit) returns it again. The
+// tinyCache variant keeps entries truncated so the repair boundary
+// check and its full-recompute fallback are exercised, not just the
+// complete-entry path.
+func TestRecommendCacheParityAcrossApplyStreams(t *testing.T) {
+	d := synth.MustGenerate(smallSynth())
+	variants := map[string]func(*Config){
+		"default":          func(*Config) {},
+		"disableSmoothing": func(c *Config) { c.DisableSmoothing = true },
+		"fullUserSearch":   func(c *Config) { c.FullUserSearch = true },
+		"tinyCache":        func(c *Config) { c.RecommendCacheSize = 5 },
+	}
+	before := ReadRecCacheStats()
+	for name, mutate := range variants {
+		mutate := mutate
+		t.Run(name, func(t *testing.T) {
+			cfg := smallConfig()
+			mutate(&cfg)
+			cached, err := Train(d.Matrix, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgOff := cfg
+			cfgOff.RecommendCacheSize = -1
+			exact, err := Train(d.Matrix, cfgOff)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				shC, shE := NewSharded(cached), NewSharded(exact)
+				p := cached.Matrix().NumUsers()
+				users := []int{0, rng.Intn(p), rng.Intn(p), p - 1}
+				// Warm the cache before the stream so carry + repair run.
+				for _, u := range users {
+					shC.Model().Recommend(u, 1+rng.Intn(12))
+				}
+				for round := 0; round < 3; round++ {
+					ups := randomApplyBatch(rng, shC.Model())
+					var err error
+					if shC, err = shC.Apply(ups); err != nil {
+						t.Fatal(err)
+					}
+					if shE, err = shE.Apply(ups); err != nil {
+						t.Fatal(err)
+					}
+					mc, me := shC.Model(), shE.Model()
+					for _, u := range users {
+						n := 1 + rng.Intn(12)
+						first := mc.Recommend(u, n) // repair or miss
+						again := mc.Recommend(u, n) // pure hit
+						want := me.Recommend(u, n)
+						if !equalRecs(first, want) || !equalRecs(again, want) {
+							t.Logf("seed %d round %d user %d n %d:\nfirst %v\nagain %v\nwant  %v",
+								seed, round, u, n, first, again, want)
+							return false
+						}
+					}
+				}
+				// Ground truth: the final generation against the
+				// pre-optimisation reference implementation.
+				u := users[rng.Intn(len(users))]
+				if got, want := shC.Model().Recommend(u, 7), refRecommend(shE.Model(), u, 7); !equalRecs(got, want) {
+					t.Logf("seed %d reference user %d: got %v want %v", seed, u, got, want)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	// The streams above must actually have exercised the machinery.
+	after := ReadRecCacheStats()
+	if after.Hits == before.Hits {
+		t.Error("apply streams produced no cache hits")
+	}
+	if after.Carried == before.Carried {
+		t.Error("apply streams never carried an entry across a generation")
+	}
+	if after.Invalidated == before.Invalidated {
+		t.Error("apply streams never invalidated an entry")
+	}
+}
+
+// TestRecommendCacheRepairExercised pins the delta-repair path
+// deterministically: warm every user, apply one single-user batch, and
+// require that at least one unchanged user's entry was carried with the
+// batch's items queued as pending — then that reading through the repair
+// (and a forced repair-boundary situation under a tiny capacity) matches
+// the cache-disabled twin exactly.
+func TestRecommendCacheRepairExercised(t *testing.T) {
+	d := synth.MustGenerate(smallSynth())
+	cfg := smallConfig()
+	cfg.RecommendCacheSize = 5 // truncated entries: boundary check in play
+	cached, err := Train(d.Matrix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgOff := cfg
+	cfgOff.RecommendCacheSize = -1
+	exact, err := Train(d.Matrix, cfgOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cached.Matrix().NumUsers()
+	for u := 0; u < p; u++ {
+		cached.Recommend(u, 5)
+	}
+	ups := []RatingUpdate{{User: 3, Item: 7, Value: 5}, {User: 3, Item: 90, Value: 1}}
+	shC, err := NewSharded(cached).Apply(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shE, err := NewSharded(exact).Apply(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, me := shC.Model(), shE.Model()
+	if got := mc.recCache[3].Load(); got != nil {
+		t.Error("changed user 3 kept a cache entry across the apply")
+	}
+	carried := 0
+	for u := 0; u < p; u++ {
+		if e := mc.recCache[u].Load(); e != nil {
+			carried++
+			if len(e.pending) == 0 {
+				t.Fatalf("carried entry of user %d has no pending items", u)
+			}
+		}
+	}
+	if carried == 0 {
+		t.Fatal("no entry survived a two-item single-user batch; carry proof is vacuous")
+	}
+	before := ReadRecCacheStats()
+	for u := 0; u < p; u++ {
+		for _, n := range []int{3, 5, 9} {
+			if got, want := mc.Recommend(u, n), me.Recommend(u, n); !equalRecs(got, want) {
+				t.Fatalf("user %d n %d: repaired %v want %v", u, n, got, want)
+			}
+		}
+	}
+	after := ReadRecCacheStats()
+	if after.Repairs == before.Repairs {
+		t.Error("no entry was repaired in place")
+	}
+}
+
+// TestRecommendCacheColdOnRebuildPaths verifies the never-stale rule on
+// every non-incremental path: the monolithic WithUpdates, a GIS rebuild,
+// and a snapshot round-trip each hand out a cold cache (replay after a
+// crash therefore serves identical rankings from a cold start — the
+// lifecycle test proves that end to end).
+func TestRecommendCacheColdOnRebuildPaths(t *testing.T) {
+	mod, _ := trainSmall(t)
+	p := mod.Matrix().NumUsers()
+	for u := 0; u < p; u += 3 {
+		mod.Recommend(u, 10)
+	}
+	assertCold := func(label string, m *Model) {
+		t.Helper()
+		if m.recCache == nil {
+			t.Fatalf("%s: cache slots not allocated", label)
+		}
+		for u := range m.recCache {
+			if m.recCache[u].Load() != nil {
+				t.Fatalf("%s: user %d has a warm entry on a rebuilt model", label, u)
+			}
+		}
+	}
+	next, err := mod.WithUpdates([]RatingUpdate{{User: 1, Item: 2, Value: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCold("WithUpdates", next)
+	assertCold("RebuildGIS", NewSharded(mod).RebuildGIS().Model())
+
+	var blob bytes.Buffer
+	if err := mod.Save(&blob); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCold("Load", loaded)
+	// And the reloaded model still serves the same rankings.
+	for u := 0; u < p; u += 7 {
+		if got, want := loaded.Recommend(u, 10), mod.Recommend(u, 10); !equalRecs(got, want) {
+			t.Fatalf("user %d: loaded model recommends %v, original %v", u, got, want)
+		}
+	}
+}
+
+// TestRecommendCacheCarriedAcrossShardRetrain: RetrainShard keeps the
+// matrix and GIS, so entries of users whose smoothing cluster was
+// untouched survive, and every post-retrain read matches a cache-free
+// recompute of the same model.
+func TestRecommendCacheCarriedAcrossShardRetrain(t *testing.T) {
+	mod, _ := trainSmall(t)
+	sh := NewSharded(mod)
+	p := mod.Matrix().NumUsers()
+	for u := 0; u < p; u++ {
+		mod.Recommend(u, 10)
+	}
+	for shard := 0; shard < sh.NumShards(); shard++ {
+		next, err := sh.RetrainShard(shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh = next
+	}
+	final := sh.Model()
+	for u := 0; u < p; u += 5 {
+		got := final.Recommend(u, 10)
+		want := refRecommend(final, u, 10)
+		if !equalRecs(got, want) {
+			t.Fatalf("user %d after retrain sweep: got %v want %v", u, got, want)
+		}
+	}
+}
+
+// TestRecommendContract pins the nil/non-nil contract: invalid input
+// returns nil; valid input returns a non-nil slice even when every
+// unrated item has zero support and the result is empty.
+func TestRecommendContract(t *testing.T) {
+	mod, _ := trainSmall(t)
+	p := mod.Matrix().NumUsers()
+	for _, bad := range [][2]int{{-1, 5}, {p, 5}, {0, 0}, {2, -3}} {
+		if got := mod.Recommend(bad[0], bad[1]); got != nil {
+			t.Errorf("Recommend(%d,%d) = %v, want nil for invalid input", bad[0], bad[1], got)
+		}
+		if got := mod.RecommendAppend(nil, bad[0], bad[1]); got != nil {
+			t.Errorf("RecommendAppend(nil,%d,%d) = %v, want dst unchanged", bad[0], bad[1], got)
+		}
+	}
+	if got := mod.Recommend(0, 5); got == nil {
+		t.Error("valid input returned nil")
+	}
+
+	// A user who rated the whole catalogue: nothing to recommend, and
+	// the result must be non-nil empty rather than nil.
+	b := ratings.NewBuilder(2, 2).SetScale(1, 5)
+	b.MustAdd(0, 0, 4)
+	b.MustAdd(0, 1, 3)
+	b.MustAdd(1, 0, 5)
+	cfg := DefaultConfig()
+	cfg.M, cfg.K, cfg.Clusters = 2, 1, 1
+	tiny, err := Train(b.Build(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tiny.Recommend(0, 5)
+	if got == nil {
+		t.Fatal("saturated user: Recommend returned nil, want non-nil empty slice")
+	}
+	if len(got) != 0 {
+		t.Fatalf("saturated user: Recommend returned %v, want empty", got)
+	}
+	// Twice: the second read serves the (complete, empty) cached entry.
+	if got := tiny.Recommend(0, 5); got == nil || len(got) != 0 {
+		t.Fatalf("saturated user, cached read: got %v, want non-nil empty", got)
+	}
+}
+
+// TestRecommendAppendWarmIsAllocationFree is the in-repo version of the
+// CI benchmark gate: a warm cached read through caller-owned storage
+// must not allocate at all.
+func TestRecommendAppendWarmIsAllocationFree(t *testing.T) {
+	mod, _ := trainSmall(t)
+	mod.Recommend(4, 10) // warm
+	dst := make([]Recommendation, 0, 16)
+	allocs := testing.AllocsPerRun(200, func() {
+		dst = mod.RecommendAppend(dst[:0], 4, 10)
+	})
+	if allocs != 0 {
+		t.Errorf("warm RecommendAppend allocates %.1f times per call, want 0", allocs)
+	}
+	if len(dst) == 0 {
+		t.Error("warm RecommendAppend returned nothing")
+	}
+}
+
+// TestScratchPoolShedsOversizedBuffers pins the pooled-scratch policy
+// fix: a scratch whose buffers outgrew the current catalogue by more
+// than 2× drops them before returning to the pool instead of pinning
+// the high-water mark forever.
+func TestScratchPoolShedsOversizedBuffers(t *testing.T) {
+	big := &recScratch{scores: make([]float64, 10_000)}
+	putRecScratch(big, 300)
+	if big.scores != nil {
+		t.Errorf("scores buffer of cap %d kept for a %d-item catalogue", cap(big.scores), 300)
+	}
+	fit := &recScratch{scores: make([]float64, 500)}
+	putRecScratch(fit, 300)
+	if fit.scores == nil {
+		t.Error("scores buffer within 2× of the catalogue was dropped")
+	}
+}
+
+// TestRecommendCacheDisabled: with a negative RecommendCacheSize no
+// slots are allocated, reads always take the exact path, and outputs
+// still match the reference.
+func TestRecommendCacheDisabled(t *testing.T) {
+	d := synth.MustGenerate(smallSynth())
+	cfg := smallConfig()
+	cfg.RecommendCacheSize = -1
+	mod, err := Train(d.Matrix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.recCache != nil {
+		t.Fatal("cache slots allocated although the cache is disabled")
+	}
+	if got, want := mod.Recommend(5, 8), refRecommend(mod, 5, 8); !equalRecs(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}

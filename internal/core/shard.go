@@ -156,6 +156,13 @@ func (s *ShardedModel) RetrainShard(shard int) (*ShardedModel, error) {
 		next.sm = mod.sm.Refresh(mod.m, cl, affected, affItems, mod.cfg.Workers)
 		next.ic = smoothing.RefreshICluster(mod.ic, next.sm, affected, movedSet, mod.cfg.Workers)
 		next.neighborCache = make([]atomic.Pointer[[]likeMinded], mod.m.NumUsers())
+		next.initRecCache()
+		// No item changed (the matrix and GIS carry over), so the moved
+		// users are the whole changed set: their entries drop, everyone
+		// else's survive unless their cluster's smoothing fills or
+		// candidate walks were rebuilt (the carry proof checks both).
+		// moved is ascending (members lists are) as carryRecCache needs.
+		next.carryRecCache(mod, moved, nil)
 		out.mod = next
 	}
 	out.shards[shard].Retrains++
@@ -182,7 +189,10 @@ func (s *ShardedModel) RebuildGIS() *ShardedModel {
 	next.stats.GISNeighbors = gis.TotalNeighbors()
 	next.neighborCache = make([]atomic.Pointer[[]likeMinded], mod.m.NumUsers())
 	// A from-scratch GIS shares no backing arrays with the old one, so the
-	// id-sorted mirror is rebuilt in full.
+	// id-sorted mirror is rebuilt in full — and the recommendation cache
+	// restarts cold: the rebuild may heal stale truncated lists,
+	// legitimately moving scores for items outside any changed set.
+	next.initRecCache()
 	next.buildTopM(nil)
 	return &ShardedModel{mod: next, shards: append([]ShardStats(nil), s.shards...)}
 }

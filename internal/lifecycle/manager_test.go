@@ -152,6 +152,71 @@ func TestKillAndRebootBitForBit(t *testing.T) {
 	c.Close()
 }
 
+// TestKillAndRebootServesSameRankings is the Recommend-cache variant of
+// the kill-and-reboot acceptance test: a manager whose serving model has
+// a warm per-user recommendation cache (carried and repaired across the
+// micro-batches) is killed without any shutdown path, and the recovered
+// process — whose replayed model starts cache-cold by construction —
+// must serve exactly the same rankings, both on its first (exact) read
+// and on the repeat (cached) read.
+func TestKillAndRebootServesSameRankings(t *testing.T) {
+	base := newBaseModel(t)
+	dir := t.TempDir()
+
+	a, err := Open(bootWith(base), Config{DataDir: dir, Fsync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := base.Matrix().NumUsers()
+	users := []int{0, 7, 19, 33, p - 1}
+	// Warm the cache, then keep reading between applies so entries are
+	// carried and repaired rather than rebuilt from cold.
+	for _, u := range users {
+		a.Model().Recommend(u, 10)
+	}
+	for i := 0; i < 6; i++ {
+		seq, _, err := a.Submit(testUpdate(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitUntil(t, "update applied", func() bool { return a.AppliedSeq() >= seq })
+		for _, u := range users {
+			a.Model().Recommend(u, 10)
+		}
+	}
+	rankings := func(mod *core.Model) [][]core.Recommendation {
+		out := make([][]core.Recommendation, len(users))
+		for i, u := range users {
+			out[i] = mod.Recommend(u, 10)
+		}
+		return out
+	}
+	want := rankings(a.Model()) // served through the warm cache
+
+	a.Abort() // SIGKILL stand-in
+
+	b, err := Open(noBoot(t), Config{DataDir: dir, Fsync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	sameRankings := func(label string, got [][]core.Recommendation) {
+		t.Helper()
+		for i := range users {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("%s: user %d got %d recs, want %d", label, users[i], len(got[i]), len(want[i]))
+			}
+			for j := range got[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("%s: user %d rank %d: got %+v want %+v", label, users[i], j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+	sameRankings("first read after replay (exact path)", rankings(b.Model()))
+	sameRankings("second read after replay (cached path)", rankings(b.Model()))
+}
+
 // TestRecoveryGroupsBatchesBySeq reconstructs the exact micro-batches of
 // a previous run from its batch-commit records, including a journaled
 // but never-committed tail, which replays as one final batch.

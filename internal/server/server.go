@@ -191,6 +191,27 @@ func (s *Server) recordModelGauges(mod *core.Model) {
 	}
 	s.reg.Gauge("model_incremental").Set(incremental)
 	s.reg.Gauge("model_shards").Set(float64(mod.Config().Clusters))
+	rc := core.ReadRecCacheStats()
+	s.reg.Gauge("recommend_cache_hits").Set(float64(rc.Hits))
+	s.reg.Gauge("recommend_cache_misses").Set(float64(rc.Misses))
+	s.reg.Gauge("recommend_cache_repairs").Set(float64(rc.Repairs))
+	s.reg.Gauge("recommend_cache_repair_fallbacks").Set(float64(rc.RepairFallbacks))
+	s.reg.Gauge("recommend_cache_carried").Set(float64(rc.Carried))
+	s.reg.Gauge("recommend_cache_invalidated").Set(float64(rc.Invalidated))
+}
+
+// recCacheView is the /stats JSON form of the process-wide
+// recommendation-cache counters (reccache.go).
+func recCacheView() map[string]any {
+	rc := core.ReadRecCacheStats()
+	return map[string]any{
+		"hits":             rc.Hits,
+		"misses":           rc.Misses,
+		"repairs":          rc.Repairs,
+		"repair_fallbacks": rc.RepairFallbacks,
+		"carried":          rc.Carried,
+		"invalidated":      rc.Invalidated,
+	}
 }
 
 func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -484,6 +505,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"train_total_ms":  st.TotalDuration.Milliseconds(),
 		"incremental":     st.Incremental,
 		"updates_applied": st.UpdatesApplied,
+		"recommend_cache": recCacheView(),
 		"config": map[string]any{
 			"M": cfg.M, "K": cfg.K, "C": cfg.Clusters,
 			"lambda": cfg.Lambda, "delta": cfg.Delta, "epsilon": cfg.OriginalWeight,
@@ -505,12 +527,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	user, err := intParam(r, "user")
+	user, err := boundedIntParam(r, "user", 0, maxIDParam)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	item, err := intParam(r, "item")
+	item, err := boundedIntParam(r, "item", 0, maxIDParam)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -587,17 +609,15 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	user, err := intParam(r, "user")
+	user, err := boundedIntParam(r, "user", 0, maxIDParam)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	n := 10
-	if v := r.URL.Query().Get("n"); v != "" {
-		if n, err = strconv.Atoi(v); err != nil || n <= 0 || n > 100 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("n must be in 1..100"))
-			return
-		}
+	n, err := optionalBoundedIntParam(r, "n", 1, 100, 10)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
 	mod := s.current()
 	m := mod.Matrix()
@@ -617,16 +637,39 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"user": user, "recommendations": items})
 }
 
-func intParam(r *http.Request, name string) (int, error) {
+// maxIDParam bounds user/item ids accepted from the query string. Ids
+// are int32 inside the model, so anything above this is garbage input,
+// not a resource that might exist; matrix-bounds checks (404) still
+// apply below it.
+const maxIDParam = 1<<31 - 1
+
+// boundedIntParam parses the named query parameter as an integer in
+// [lo, hi]. Every handler reading numeric query input goes through this
+// one parser, so the rejection surface is uniform: missing, non-integer
+// (including fractional and overflow) and out-of-range values all yield
+// one 400 with the accepted range spelled out.
+func boundedIntParam(r *http.Request, name string, lo, hi int) (int, error) {
 	v := r.URL.Query().Get(name)
 	if v == "" {
 		return 0, fmt.Errorf("missing required parameter %q", name)
 	}
 	n, err := strconv.Atoi(v)
 	if err != nil {
-		return 0, fmt.Errorf("parameter %q: %v", name, err)
+		return 0, fmt.Errorf("parameter %q: %q is not an integer", name, v)
+	}
+	if n < lo || n > hi {
+		return 0, fmt.Errorf("parameter %q: %d outside %d..%d", name, n, lo, hi)
 	}
 	return n, nil
+}
+
+// optionalBoundedIntParam is boundedIntParam with a default for an
+// absent parameter; a present value is validated identically.
+func optionalBoundedIntParam(r *http.Request, name string, lo, hi, def int) (int, error) {
+	if r.URL.Query().Get(name) == "" {
+		return def, nil
+	}
+	return boundedIntParam(r, name, lo, hi)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

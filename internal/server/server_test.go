@@ -3,12 +3,14 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"cfsf/internal/core"
+	"cfsf/internal/ratings"
 	"cfsf/internal/synth"
 )
 
@@ -132,21 +134,139 @@ func TestRecommend(t *testing.T) {
 	}
 }
 
-func TestRecommendValidation(t *testing.T) {
-	for _, path := range []string{
-		"/recommend",
-		"/recommend?user=5&n=0",
-		"/recommend?user=5&n=1000",
-		"/recommend?user=5&n=x",
-	} {
-		code, _ := get(t, path)
-		if code != http.StatusBadRequest {
-			t.Errorf("%s = %d, want 400", path, code)
+// TestQueryParamValidation is the table over the unified bounded-int
+// parser's whole rejection surface, on both query handlers: missing,
+// non-integer, fractional, overflowing and out-of-range values are all
+// 400s with an error body, while in-bounds values that name a
+// nonexistent resource stay 404s and boundary values are accepted.
+func TestQueryParamValidation(t *testing.T) {
+	cases := []struct {
+		path string
+		code int
+	}{
+		// /recommend: user required in [0, maxIDParam], n optional in [1, 100].
+		{"/recommend", http.StatusBadRequest},                               // user missing
+		{"/recommend?n=5", http.StatusBadRequest},                           // user missing, n present
+		{"/recommend?user=x", http.StatusBadRequest},                        // user non-integer
+		{"/recommend?user=1.5", http.StatusBadRequest},                      // user fractional
+		{"/recommend?user=-1", http.StatusBadRequest},                       // user negative
+		{"/recommend?user=99999999999999999999", http.StatusBadRequest},     // user overflows int
+		{"/recommend?user=2147483648", http.StatusBadRequest},               // user past the id ceiling
+		{"/recommend?user=5&n=0", http.StatusBadRequest},                    // n below range
+		{"/recommend?user=5&n=-3", http.StatusBadRequest},                   // n negative
+		{"/recommend?user=5&n=101", http.StatusBadRequest},                  // n above range
+		{"/recommend?user=5&n=1000", http.StatusBadRequest},                 // n far above range
+		{"/recommend?user=5&n=x", http.StatusBadRequest},                    // n non-integer
+		{"/recommend?user=5&n=2.5", http.StatusBadRequest},                  // n fractional
+		{"/recommend?user=5&n=99999999999999999999", http.StatusBadRequest}, // n overflows int
+		{"/recommend?user=9999", http.StatusNotFound},                       // valid id, no such user
+		{"/recommend?user=5&n=1", http.StatusOK},                            // n lower boundary
+		{"/recommend?user=5&n=100", http.StatusOK},                          // n upper boundary
+		// /predict: user and item both required in [0, maxIDParam].
+		{"/predict?item=7", http.StatusBadRequest},                           // user missing
+		{"/predict?user=3", http.StatusBadRequest},                           // item missing
+		{"/predict?user=abc&item=7", http.StatusBadRequest},                  // user non-integer
+		{"/predict?user=3&item=abc", http.StatusBadRequest},                  // item non-integer
+		{"/predict?user=-1&item=7", http.StatusBadRequest},                   // user negative
+		{"/predict?user=3&item=-7", http.StatusBadRequest},                   // item negative
+		{"/predict?user=3.5&item=7", http.StatusBadRequest},                  // user fractional
+		{"/predict?user=99999999999999999999&item=7", http.StatusBadRequest}, // user overflows int
+		{"/predict?user=3&item=2147483648", http.StatusBadRequest},           // item past the id ceiling
+		{"/predict?user=9999&item=7", http.StatusNotFound},                   // valid id, no such user
+		{"/predict?user=3&item=9999", http.StatusNotFound},                   // valid id, no such item
+	}
+	for _, c := range cases {
+		code, body := get(t, c.path)
+		if code != c.code {
+			t.Errorf("%s = %d, want %d (%v)", c.path, code, c.code, body)
+		}
+		if c.code != http.StatusOK {
+			if _, ok := body["error"]; !ok {
+				t.Errorf("%s: missing error field", c.path)
+			}
 		}
 	}
-	code, _ := get(t, "/recommend?user=9999")
-	if code != http.StatusNotFound {
-		t.Errorf("unknown user = %d, want 404", code)
+}
+
+// TestRecommendRendersEmptyList pins the empty-result contract at the
+// HTTP boundary: a user with nothing to recommend gets
+// "recommendations": [] — never null — matching core.Recommend's
+// non-nil-on-valid-input contract.
+func TestRecommendRendersEmptyList(t *testing.T) {
+	b := ratings.NewBuilder(2, 2).SetScale(1, 5)
+	b.MustAdd(0, 0, 4)
+	b.MustAdd(0, 1, 3)
+	b.MustAdd(1, 0, 5)
+	cfg := core.DefaultConfig()
+	cfg.M, cfg.K, cfg.Clusters = 2, 1, 1
+	mod, err := core.Train(b.Build(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(mod, nil).Handler())
+	defer srv.Close()
+
+	// User 0 rated the whole catalogue: nothing left to recommend.
+	resp, err := http.Get(srv.URL + "/recommend?user=0&n=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("saturated user = %d: %s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), `"recommendations":[]`) {
+		t.Errorf("empty result not rendered as []: %s", raw)
+	}
+	if strings.Contains(string(raw), "null") {
+		t.Errorf("response contains null: %s", raw)
+	}
+}
+
+// TestStatsExposeRecommendCache: both observability endpoints surface
+// the recommendation-cache counters, and serving the same user twice
+// moves the hit counter between scrapes.
+func TestStatsExposeRecommendCache(t *testing.T) {
+	readHits := func() (statsHits, metricsHits float64) {
+		code, body := get(t, "/stats")
+		if code != http.StatusOK {
+			t.Fatalf("stats = %d", code)
+		}
+		rc, ok := body["recommend_cache"].(map[string]any)
+		if !ok {
+			t.Fatalf("stats missing recommend_cache: %v", body)
+		}
+		for _, key := range []string{"hits", "misses", "repairs", "repair_fallbacks", "carried", "invalidated"} {
+			if _, ok := rc[key]; !ok {
+				t.Fatalf("recommend_cache missing %q: %v", key, rc)
+			}
+		}
+		code, body = get(t, "/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("metrics = %d", code)
+		}
+		reg := body["registry"].(map[string]any)
+		gauges := reg["gauges"].(map[string]any)
+		g, ok := gauges["recommend_cache_hits"].(float64)
+		if !ok {
+			t.Fatalf("metrics missing recommend_cache_hits gauge: %v", gauges)
+		}
+		return rc["hits"].(float64), g
+	}
+	readHits()
+	// Two reads of one user: at most one miss, at least one hit.
+	get(t, "/recommend?user=11&n=5")
+	get(t, "/recommend?user=11&n=5")
+	statsHits, metricsHits := readHits()
+	if statsHits < 1 {
+		t.Errorf("stats hits = %v after a repeated read, want >= 1", statsHits)
+	}
+	if metricsHits < 1 {
+		t.Errorf("metrics hits gauge = %v after a repeated read, want >= 1", metricsHits)
 	}
 }
 
