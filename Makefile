@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint vet fmt bench
+.PHONY: build test race lint vet fmt bench load
 
 build:
 	$(GO) build ./...
@@ -30,3 +30,20 @@ bench:
 
 fmt:
 	gofmt -l -w .
+
+# load replays the smoke load scenarios (steady mix + kill-and-recover)
+# against a freshly built cfsf-server and gates the results through
+# cmd/benchjson — the same pipeline CI's loadgen-smoke job runs. The
+# full-length committed scenarios run with plain
+# `cfsf-loadgen -server-bin bin/cfsf-server <scenario>`.
+load:
+	mkdir -p bin
+	$(GO) build -o bin/cfsf-server ./cmd/cfsf-server
+	$(GO) build -o bin/cfsf-loadgen ./cmd/cfsf-loadgen
+	bin/cfsf-loadgen -server-bin bin/cfsf-server -duration-ms 3000 -qps 60 -bench steady killrecover | tee loadgen-bench.txt
+	$(GO) run ./cmd/benchjson \
+		-max 'BenchmarkLoadgen/steady/(predict|recommend|rate|batch)$$:err-rate=0.001' \
+		-max 'BenchmarkLoadgen/killrecover/(predict|recommend|rate)$$:err-rate=0.01' \
+		-max 'BenchmarkLoadgen/killrecover/recovery$$:recovery-ms=30000' \
+		-max 'BenchmarkLoadgen/(steady|killrecover)/drain$$:drain-ms=10000' \
+		-o BENCH_loadgen.json < loadgen-bench.txt

@@ -29,6 +29,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -49,11 +50,13 @@ func main() {
 	log.SetPrefix("cfsf-server: ")
 
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		data      = flag.String("data", "", "u.data path, or empty/synth for the built-in dataset")
-		modelPath = flag.String("model", "", "load a model saved with `cfsf save` instead of training")
-		seed      = flag.Int64("seed", 1, "synthetic dataset seed")
-		shards    = flag.Int("shards", 0, "user-cluster count C = shard count for fresh training (0 = config default; ignored when loading a model or snapshot)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		data       = flag.String("data", "", "u.data path, or empty/synth for the built-in dataset")
+		modelPath  = flag.String("model", "", "load a model saved with `cfsf save` instead of training")
+		seed       = flag.Int64("seed", 1, "synthetic dataset seed")
+		synthUsers = flag.Int("synth-users", 0, "synthetic dataset user count (0 = default 500; loadgen scenarios size this down for fast boots)")
+		synthItems = flag.Int("synth-items", 0, "synthetic dataset item count (0 = default 1000)")
+		shards     = flag.Int("shards", 0, "user-cluster count C = shard count for fresh training (0 = config default; ignored when loading a model or snapshot)")
 
 		dataDir       = flag.String("data-dir", "", "durability root (WAL + snapshots); empty disables the lifecycle manager")
 		fsync         = flag.String("fsync", "always", "WAL fsync policy: always, interval, or never")
@@ -101,6 +104,23 @@ func main() {
 		if *data == "" || *data == "synth" {
 			cfg := cfsf.DefaultSynthConfig()
 			cfg.Seed = *seed
+			if *synthUsers > 0 {
+				cfg.Users = *synthUsers
+			}
+			if *synthItems > 0 {
+				cfg.Items = *synthItems
+				// Keep the per-user rating demands satisfiable (and the
+				// density MovieLens-like) when the catalogue shrinks.
+				if cfg.MinPerUser > cfg.Items/5 {
+					cfg.MinPerUser = max(1, cfg.Items/5)
+				}
+				if cfg.MeanPerUser > float64(cfg.Items)/4 {
+					cfg.MeanPerUser = float64(cfg.Items) / 4
+				}
+				if cfg.MeanPerUser < float64(cfg.MinPerUser) {
+					cfg.MeanPerUser = float64(cfg.MinPerUser)
+				}
+			}
 			d := cfsf.GenerateSynthetic(cfg)
 			m, titles = d.Matrix, d.ItemTitles
 		} else {
@@ -124,16 +144,56 @@ func main() {
 		return model, nil
 	}
 
+	// The listener opens before the model exists: the server starts in
+	// "warming" state (alive, not ready) and Activate flips readiness
+	// once the offline phase — or snapshot + WAL-tail recovery — is done.
+	// Readiness probes (/healthz?ready=1) therefore measure true
+	// recovery-to-servable time, which the loadgen kill-and-recover
+	// scenario gates on.
 	registry := obs.NewRegistry()
-	var mgr *lifecycle.Manager
-	var model *core.Model
-	if *dataDir != "" {
+	srv := server.NewWarming(server.Options{
+		GrowthMargin: *growthMargin,
+		MaxBodyBytes: *maxBody,
+		MaxBatch:     *maxBatch,
+		Debug:        *debug,
+		Registry:     registry,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (debug=%v durable=%v, warming)", *addr, *debug, *dataDir != "")
+
+	type bootResult struct {
+		model *core.Model
+		mgr   *lifecycle.Manager
+		err   error
+	}
+	bootc := make(chan bootResult, 1)
+	go func() {
+		if *dataDir == "" {
+			model, err := bootstrap()
+			bootc <- bootResult{model: model, err: err}
+			return
+		}
 		policy, err := wal.ParseSyncPolicy(*fsync)
 		if err != nil {
-			log.Fatal(err)
+			bootc <- bootResult{err: err}
+			return
 		}
 		t := time.Now()
-		mgr, err = lifecycle.Open(bootstrap, lifecycle.Config{
+		mgr, err := lifecycle.Open(bootstrap, lifecycle.Config{
 			DataDir:            *dataDir,
 			Fsync:              policy,
 			FsyncInterval:      *fsyncInterval,
@@ -151,65 +211,55 @@ func main() {
 			Logf:               log.Printf,
 		})
 		if err != nil {
-			log.Fatalf("open data dir: %v", err)
+			bootc <- bootResult{err: fmt.Errorf("open data dir: %w", err)}
+			return
 		}
 		bs := mgr.BootStats()
 		log.Printf("durable boot in %v: snapshot=%q replayed=%d record(s) in %d batch(es) torn=%dB (fsync=%s)",
 			time.Since(t).Round(time.Millisecond), bs.SnapshotLoaded, bs.ReplayedRecords,
 			bs.ReplayedBatches, bs.TornBytes, policy)
-	} else {
-		var err error
-		model, err = bootstrap()
-		if err != nil {
-			log.Fatalf("build model: %v", err)
-		}
-	}
+		bootc <- bootResult{mgr: mgr}
+	}()
 
-	srv := server.NewWithOptions(model, titles, server.Options{
-		GrowthMargin: *growthMargin,
-		MaxBodyBytes: *maxBody,
-		MaxBatch:     *maxBatch,
-		Debug:        *debug,
-		Registry:     registry,
-		Manager:      mgr,
-	})
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadTimeout:       *readTimeout,
-		ReadHeaderTimeout: 5 * time.Second,
-		WriteTimeout:      *writeTimeout,
-		IdleTimeout:       *idleTimeout,
-		MaxHeaderBytes:    *maxHeaderBytes,
-	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s (debug=%v durable=%v)", *addr, *debug, mgr != nil)
-
-	select {
-	case err := <-errc:
-		log.Fatalf("serve: %v", err)
-	case <-ctx.Done():
-		stop() // restore default signal handling: a second signal kills immediately
-		log.Printf("signal received, draining for up to %v", *shutdownTimeout)
-		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
-		defer cancel()
-		if err := httpSrv.Shutdown(sctx); err != nil {
-			log.Fatalf("shutdown: %v", err)
-		}
-		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+	var mgr *lifecycle.Manager
+	for {
+		select {
+		case err := <-errc:
 			log.Fatalf("serve: %v", err)
-		}
-		if mgr != nil {
-			if err := mgr.Close(); err != nil {
-				log.Fatalf("close lifecycle manager: %v", err)
+		case b := <-bootc:
+			if b.err != nil {
+				log.Fatalf("build model: %v", b.err)
 			}
-			log.Printf("lifecycle manager closed (queue drained, final snapshot written)")
+			mgr = b.mgr
+			srv.Activate(b.model, titles, b.mgr)
+			log.Printf("ready (durable=%v)", mgr != nil)
+			bootc = nil // this arm fires once
+		case <-ctx.Done():
+			stop() // restore default signal handling: a second signal kills immediately
+			log.Printf("signal received, draining for up to %v", *shutdownTimeout)
+			if bootc != nil {
+				// Boot is still running; let it finish so an opened
+				// lifecycle manager is closed cleanly below.
+				if b := <-bootc; b.err == nil {
+					mgr = b.mgr
+				}
+			}
+			sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+			defer cancel()
+			if err := httpSrv.Shutdown(sctx); err != nil {
+				log.Fatalf("shutdown: %v", err)
+			}
+			if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("serve: %v", err)
+			}
+			if mgr != nil {
+				if err := mgr.Close(); err != nil {
+					log.Fatalf("close lifecycle manager: %v", err)
+				}
+				log.Printf("lifecycle manager closed (queue drained, final snapshot written)")
+			}
+			log.Printf("shutdown complete")
+			return
 		}
-		log.Printf("shutdown complete")
 	}
 }

@@ -241,6 +241,7 @@ type Manager struct {
 	mRetrains    *obs.Counter
 	mRetrainErrs *obs.Counter
 	mPending     *obs.Gauge
+	mApplyLag    *obs.Gauge
 }
 
 type retrainResult struct {
@@ -324,6 +325,7 @@ func (m *Manager) bindMetrics() {
 	m.mRetrains = r.Counter("lifecycle_retrains_total")
 	m.mRetrainErrs = r.Counter("lifecycle_retrain_errors_total")
 	m.mPending = r.Gauge("lifecycle_pending")
+	m.mApplyLag = r.Gauge("lifecycle_apply_lag")
 }
 
 func snapshotDir(dataDir string) string { return filepath.Join(dataDir, "snapshots") }
@@ -535,6 +537,23 @@ func (m *Manager) Pending() int {
 	return len(m.pending)
 }
 
+// ApplyLag returns the gap between the newest journaled rating sequence
+// and the contiguous applied watermark — how far the serving model trails
+// the WAL. 0 means every acknowledged rating is folded in; a value that
+// grows without bound under steady traffic means the apply loop cannot
+// keep up with the submission rate (the loadgen steady scenario asserts
+// it drains).
+func (m *Manager) ApplyLag() uint64 {
+	st := m.state.Load()
+	m.mu.Lock()
+	maxSeq := m.maxSeq
+	m.mu.Unlock()
+	if maxSeq <= st.seq {
+		return 0
+	}
+	return maxSeq - st.seq
+}
+
 // BootStats reports how the serving model was reconstructed at Open.
 func (m *Manager) BootStats() BootStats { return m.boot }
 
@@ -572,6 +591,7 @@ func (m *Manager) Submit(u core.RatingUpdate) (seq uint64, pending int, err erro
 	m.mu.Unlock()
 
 	m.mPending.Set(float64(pending))
+	m.mApplyLag.Set(float64(m.ApplyLag()))
 	select {
 	case m.kick <- struct{}{}:
 	default:
@@ -620,6 +640,7 @@ func (m *Manager) SubmitBatch(ups []core.RatingUpdate) (seqs []uint64, pending i
 	m.mu.Unlock()
 
 	m.mPending.Set(float64(pending))
+	m.mApplyLag.Set(float64(m.ApplyLag()))
 	select {
 	case m.kick <- struct{}{}:
 	default:
@@ -807,6 +828,12 @@ func (m *Manager) applyPending() {
 	}
 }
 
+// PublishGauges refreshes the registry's model-shape and queue gauges
+// (pending depth, apply-lag, applied seq, WAL position) on demand, so a
+// /metrics scrape reads current values rather than whatever the last
+// submit or apply left behind.
+func (m *Manager) PublishGauges() { m.publishModelGauges() }
+
 // publishModelGauges mirrors the served model's shape into the registry.
 func (m *Manager) publishModelGauges() {
 	st := m.state.Load()
@@ -818,6 +845,8 @@ func (m *Manager) publishModelGauges() {
 	m.reg.Gauge("lifecycle_applied_seq").Set(float64(st.seq))
 	m.reg.Gauge("wal_last_seq").Set(float64(m.w.LastSeq()))
 	m.reg.Gauge("wal_segments").Set(float64(m.w.Stats().Segments))
+	m.mPending.Set(float64(m.Pending()))
+	m.mApplyLag.Set(float64(m.ApplyLag()))
 }
 
 // startRetrain kicks off a background retrain of the current matrix in a

@@ -1,0 +1,277 @@
+package loadgen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"cfsf/internal/synth"
+)
+
+// Pair is one (user, item) cell of a batch-predict request.
+type Pair struct {
+	User int `json:"user"`
+	Item int `json:"item"`
+}
+
+// Request is one scheduled API call. At is the offset from the run
+// start at which the open-loop dispatcher releases it — arrivals are
+// fixed up front and never depend on completions, so a slow server
+// builds queueing delay instead of silently lowering the offered rate.
+type Request struct {
+	At     time.Duration
+	Op     string
+	User   int
+	Item   int
+	N      int     // recommend fan-out
+	Rating float64 // rate value
+	Pairs  []Pair  // batch cells
+	// ExpectReject marks a deliberately invalid request (junkflood):
+	// the server answering 400 is success, anything else is an error.
+	ExpectReject bool
+}
+
+// Stream is the fully materialised request schedule for one scenario
+// run plus the bookkeeping the SLO layer needs.
+type Stream struct {
+	Scenario        *Scenario
+	Requests        []Request
+	ExpectedRejects int
+	// MaxUser/MaxItem are the highest ids the stream touches — a
+	// cross-check against the target's matrix bounds + growth margin.
+	MaxUser, MaxItem int
+}
+
+// Fingerprint hashes the canonical encoding of every request in order.
+// Equal scenario + equal seed ⇒ equal fingerprint; the determinism test
+// and the run report both rely on it.
+func (st *Stream) Fingerprint() string {
+	h := sha256.New()
+	for _, r := range st.Requests {
+		fmt.Fprintf(h, "%d %s %d %d %d %.3f %t", int64(r.At), r.Op, r.User, r.Item, r.N, r.Rating, r.ExpectReject)
+		for _, p := range r.Pairs {
+			fmt.Fprintf(h, " %d:%d", p.User, p.Item)
+		}
+		fmt.Fprintln(h)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// sampler draws weighted indices from a cumulative-weight table using
+// only the stream's seeded PRNG.
+type sampler struct {
+	cum   []float64
+	total float64
+}
+
+func newSampler(weights []float64) sampler {
+	cum := make([]float64, len(weights))
+	var total float64
+	for i, w := range weights {
+		total += w
+		cum[i] = total
+	}
+	return sampler{cum: cum, total: total}
+}
+
+func (s sampler) draw(rng *rand.Rand) int {
+	x := rng.Float64() * s.total
+	i := sort.SearchFloat64s(s.cum, x)
+	if i >= len(s.cum) {
+		i = len(s.cum) - 1
+	}
+	return i
+}
+
+// datasetConfig maps the scenario's population spec onto the synth
+// generator, applying the same satisfiability clamps cmd/cfsf-server
+// applies to -synth-users/-synth-items so both sides materialise the
+// identical matrix.
+func datasetConfig(d DatasetConfig) synth.Config {
+	cfg := synth.DefaultConfig()
+	cfg.Users = d.Users
+	cfg.Items = d.Items
+	cfg.Seed = d.Seed
+	if cfg.MinPerUser > cfg.Items/5 {
+		cfg.MinPerUser = max(1, cfg.Items/5)
+	}
+	if cfg.MeanPerUser > float64(cfg.Items)/4 {
+		cfg.MeanPerUser = float64(cfg.Items) / 4
+	}
+	if cfg.MeanPerUser < float64(cfg.MinPerUser) {
+		cfg.MeanPerUser = float64(cfg.MinPerUser)
+	}
+	return cfg
+}
+
+// BuildStream materialises the whole request schedule for a validated
+// scenario. It is a pure function of the scenario: the PRNG is seeded
+// from sc.Seed, users are sampled proportionally to their activity and
+// items to their popularity in the synthetic dataset (plus-one
+// smoothed, so every id stays reachable), and arrivals are paced
+// uniformly at sc.QPS.
+func BuildStream(sc *Scenario) (*Stream, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	ds, err := synth.Generate(datasetConfig(sc.Dataset))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: generate dataset: %w", sc.Name, err)
+	}
+	m := ds.Matrix
+	rng := rand.New(rand.NewSource(sc.Seed))
+
+	userW := make([]float64, m.NumUsers())
+	for u := range userW {
+		userW[u] = float64(len(m.UserRatings(u)) + 1)
+	}
+	itemW := make([]float64, m.NumItems())
+	hotItem, hotCount := 0, -1
+	for i := range itemW {
+		n := len(m.ItemRatings(i))
+		itemW[i] = float64(n + 1)
+		if n > hotCount {
+			hotItem, hotCount = i, n
+		}
+	}
+	users := newSampler(userW)
+	items := newSampler(itemW)
+
+	// Mix sampling must not depend on map iteration order.
+	ops := make([]string, 0, len(sc.Mix))
+	for op := range sc.Mix {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	opW := make([]float64, len(ops))
+	for i, op := range ops {
+		opW[i] = sc.Mix[op]
+	}
+	opSampler := newSampler(opW)
+
+	duration := time.Duration(sc.DurationMS) * time.Millisecond
+	n := int(sc.QPS * float64(sc.DurationMS) / 1000)
+	if n < 1 {
+		n = 1
+	}
+
+	// coldstart/churn pre-plan the fresh-id introductions as a queue of
+	// rate requests; rate slots in the base schedule pop it first, so
+	// fresh ids always appear in increasing order (the growth margin
+	// only has to cover the scenario's total, not an arbitrary gap).
+	type intro struct {
+		user, item int
+	}
+	var introQueue []intro
+	switch sc.Kind {
+	case KindColdStart:
+		for k := 0; k < sc.NewUsers; k++ {
+			for j := 0; j < sc.RatingsPerNewUser; j++ {
+				introQueue = append(introQueue, intro{user: m.NumUsers() + k, item: items.draw(rng)})
+			}
+		}
+	case KindChurn:
+		for k := 0; k < sc.NewItems; k++ {
+			introQueue = append(introQueue, intro{user: users.draw(rng), item: m.NumItems() + k})
+		}
+	}
+
+	st := &Stream{Scenario: sc, Requests: make([]Request, 0, n)}
+	bornUsers := 0 // coldstart: fully-registered new users
+	bornItems := 0 // churn: items already rated at least once
+	ramp := time.Duration(sc.RampMS) * time.Millisecond
+	for i := 0; i < n; i++ {
+		at := duration * time.Duration(i) / time.Duration(n)
+		req := Request{At: at, Op: ops[opSampler.draw(rng)]}
+		// Force the remaining introductions through when the sampled
+		// rate slots would no longer fit them: the wave completing is
+		// part of the scenario's contract, whatever the mix says.
+		if len(introQueue) >= n-i {
+			req.Op = OpRate
+		}
+		switch req.Op {
+		case OpPredict:
+			req.User, req.Item = users.draw(rng), items.draw(rng)
+		case OpRecommend:
+			req.User, req.N = users.draw(rng), sc.RecommendN
+		case OpRate:
+			req.User, req.Item = users.draw(rng), items.draw(rng)
+			req.Rating = float64(1 + rng.Intn(5))
+		case OpBatch:
+			req.Pairs = make([]Pair, sc.BatchSize)
+			for j := range req.Pairs {
+				req.Pairs[j] = Pair{User: users.draw(rng), Item: items.draw(rng)}
+			}
+		}
+
+		switch sc.Kind {
+		case KindFlashCrowd:
+			// Linear ramp to the peak share, then hold it.
+			share := sc.HotItemShare
+			if ramp > 0 && at < ramp {
+				share *= float64(at) / float64(ramp)
+			}
+			if rng.Float64() < share {
+				switch req.Op {
+				case OpPredict, OpRate:
+					req.Item = hotItem
+				case OpBatch:
+					for j := range req.Pairs {
+						if j%2 == 0 {
+							req.Pairs[j].Item = hotItem
+						}
+					}
+				}
+			}
+		case KindColdStart:
+			if req.Op == OpRate && len(introQueue) > 0 {
+				in := introQueue[0]
+				introQueue = introQueue[1:]
+				req.User, req.Item = in.user, in.item
+				if len(introQueue)%sc.RatingsPerNewUser == 0 {
+					bornUsers = sc.NewUsers - len(introQueue)/sc.RatingsPerNewUser
+				}
+			} else if (req.Op == OpPredict || req.Op == OpRecommend) && bornUsers > 0 && rng.Float64() < 0.5 {
+				// Half the reads chase the wave: does a fresh profile
+				// get sane predictions immediately after applying?
+				req.User = m.NumUsers() + rng.Intn(bornUsers)
+			}
+		case KindChurn:
+			if req.Op == OpRate && len(introQueue) > 0 {
+				in := introQueue[0]
+				introQueue = introQueue[1:]
+				req.User, req.Item = in.user, in.item
+				bornItems = sc.NewItems - len(introQueue)
+			} else if req.Op == OpPredict && bornItems > 0 && rng.Float64() < 0.3 {
+				req.Item = m.NumItems() + rng.Intn(bornItems)
+			}
+		case KindJunkFlood:
+			if req.Op == OpRate && rng.Float64() < sc.JunkShare {
+				// Outside the 1..5 scale — the server must 400 it.
+				req.Rating = 99
+				req.ExpectReject = true
+				st.ExpectedRejects++
+			}
+		}
+
+		if req.User > st.MaxUser {
+			st.MaxUser = req.User
+		}
+		if req.Item > st.MaxItem {
+			st.MaxItem = req.Item
+		}
+		for _, p := range req.Pairs {
+			if p.User > st.MaxUser {
+				st.MaxUser = p.User
+			}
+			if p.Item > st.MaxItem {
+				st.MaxItem = p.Item
+			}
+		}
+		st.Requests = append(st.Requests, req)
+	}
+	return st, nil
+}

@@ -1,0 +1,168 @@
+package loadgen
+
+import (
+	"testing"
+)
+
+// TestStreamDeterminism is the reproducibility contract: building the
+// stream twice from the same scenario yields hash-identical request
+// sequences, and changing only the seed yields a different one.
+func TestStreamDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		sc1, err := Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc2, err := Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st1, err := BuildStream(sc1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st2, err := BuildStream(sc2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f1, f2 := st1.Fingerprint(), st2.Fingerprint(); f1 != f2 {
+			t.Errorf("scenario %s: same seed produced different streams: %s vs %s", name, f1, f2)
+		}
+		if len(st1.Requests) == 0 {
+			t.Errorf("scenario %s: empty stream", name)
+		}
+		if sc1.ConfigHash() != sc2.ConfigHash() {
+			t.Errorf("scenario %s: config hash not stable", name)
+		}
+
+		sc3, err := Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc3.Seed++
+		st3, err := BuildStream(sc3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st1.Fingerprint() == st3.Fingerprint() {
+			t.Errorf("scenario %s: different seeds produced the same stream", name)
+		}
+	}
+}
+
+func testScenario(kind string) *Scenario {
+	sc := &Scenario{
+		Name: "t-" + kind, Version: 1, Kind: kind, Seed: 7,
+		Dataset:    DatasetConfig{Users: 40, Items: 50, Seed: 1},
+		DurationMS: 400, QPS: 100, Workers: 4,
+		Mix: map[string]float64{OpPredict: 0.4, OpRecommend: 0.2, OpRate: 0.3, OpBatch: 0.1},
+		SLO: SLOConfig{MaxErrorRate: 0.01},
+	}
+	switch kind {
+	case KindFlashCrowd:
+		sc.HotItemShare = 0.9
+		sc.RampMS = 100
+	case KindColdStart:
+		sc.NewUsers = 5
+		sc.RatingsPerNewUser = 3
+		sc.SLO.MaxErrorRate = 0.2 // reads may race the async apply
+	case KindChurn:
+		sc.NewItems = 6
+		sc.SLO.MaxErrorRate = 0.2
+	case KindJunkFlood:
+		sc.JunkShare = 0.5
+	case KindKillRecover:
+		sc.DurationMS = 1200
+		sc.KillAfterMS = 500
+		sc.SLO.MaxRecoveryMS = 60000
+		sc.SLO.MaxErrorRate = 0.05
+	}
+	sc.applyDefaults()
+	return sc
+}
+
+// TestStreamKindShapes spot-checks the per-kind distortions on small
+// synthetic scenarios.
+func TestStreamKindShapes(t *testing.T) {
+	t.Run("coldstart introduces every new user in order", func(t *testing.T) {
+		sc := testScenario(KindColdStart)
+		st, err := BuildStream(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := sc.Dataset.Users + sc.NewUsers - 1; st.MaxUser != want {
+			t.Errorf("MaxUser = %d, want %d", st.MaxUser, want)
+		}
+		seen := -1
+		for _, r := range st.Requests {
+			if r.Op == OpRate && r.User >= sc.Dataset.Users {
+				k := r.User - sc.Dataset.Users
+				if k > seen+1 {
+					t.Fatalf("new user %d rated before user %d finished registering", k, seen+1)
+				}
+				if k > seen {
+					seen = k
+				}
+			}
+		}
+		if seen != sc.NewUsers-1 {
+			t.Errorf("only %d of %d new users registered", seen+1, sc.NewUsers)
+		}
+	})
+	t.Run("churn reaches every new item", func(t *testing.T) {
+		sc := testScenario(KindChurn)
+		st, err := BuildStream(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := sc.Dataset.Items + sc.NewItems - 1; st.MaxItem != want {
+			t.Errorf("MaxItem = %d, want %d", st.MaxItem, want)
+		}
+	})
+	t.Run("junkflood marks out-of-scale ratings", func(t *testing.T) {
+		sc := testScenario(KindJunkFlood)
+		st, err := BuildStream(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ExpectedRejects == 0 {
+			t.Fatal("no junk requests generated at junk_share=0.5")
+		}
+		count := 0
+		for _, r := range st.Requests {
+			if r.ExpectReject {
+				count++
+				if r.Op != OpRate || r.Rating <= 5 {
+					t.Fatalf("junk request is not an out-of-scale rate: %+v", r)
+				}
+			}
+		}
+		if count != st.ExpectedRejects {
+			t.Errorf("ExpectedRejects = %d but %d requests are marked", st.ExpectedRejects, count)
+		}
+	})
+	t.Run("flashcrowd concentrates on the hot item", func(t *testing.T) {
+		sc := testScenario(KindFlashCrowd)
+		st, err := BuildStream(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot := map[int]int{}
+		total := 0
+		for _, r := range st.Requests {
+			if r.Op == OpPredict {
+				hot[r.Item]++
+				total++
+			}
+		}
+		best := 0
+		for _, n := range hot {
+			if n > best {
+				best = n
+			}
+		}
+		if total == 0 || float64(best)/float64(total) < 0.5 {
+			t.Errorf("hottest item got %d/%d predict requests, want a majority", best, total)
+		}
+	})
+}

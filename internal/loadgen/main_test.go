@@ -1,0 +1,12 @@
+package loadgen
+
+import (
+	"os"
+	"testing"
+
+	"cfsf/internal/leakcheck"
+)
+
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -1,0 +1,209 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// OpReport summarises one operation's outcomes. Latencies are
+// milliseconds measured from scheduled arrival (see Runner).
+type OpReport struct {
+	Sent     int64   `json:"sent"`
+	Errors   int64   `json:"errors"`
+	Rejected int64   `json:"rejected,omitempty"`
+	MeanMS   float64 `json:"mean_ms"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MaxMS    float64 `json:"max_ms"`
+}
+
+// SLOCheck is one evaluated gate. Most checks are "actual <= limit";
+// the rejections check (junkflood) demands exact equality.
+type SLOCheck struct {
+	Name   string  `json:"name"`
+	Limit  float64 `json:"limit"`
+	Actual float64 `json:"actual"`
+	Pass   bool    `json:"pass"`
+}
+
+// Report is the machine-readable outcome of one run. ConfigHash + Seed
+// + Fingerprint pin the run to an exactly reproducible request stream.
+type Report struct {
+	Scenario    string  `json:"scenario"`
+	Version     int     `json:"version"`
+	Kind        string  `json:"kind"`
+	Seed        int64   `json:"seed"`
+	ConfigHash  string  `json:"config_hash"`
+	Fingerprint string  `json:"fingerprint"`
+	Requests    int     `json:"requests"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+
+	Ops map[string]*OpReport `json:"ops"`
+
+	RecoveryMS      float64 `json:"recovery_ms,omitempty"`
+	DrainMS         float64 `json:"drain_ms"`
+	ExpectedRejects int64   `json:"expected_rejects,omitempty"`
+	ObservedRejects int64   `json:"observed_rejects,omitempty"`
+
+	Checks []SLOCheck `json:"checks"`
+	Pass   bool       `json:"pass"`
+}
+
+func buildReport(sc *Scenario, st *Stream, counters map[string]*opCounters, elapsed time.Duration, recoveryMS, drainMS float64) *Report {
+	rep := &Report{
+		Scenario:        sc.Name,
+		Version:         sc.Version,
+		Kind:            sc.Kind,
+		Seed:            sc.Seed,
+		ConfigHash:      sc.ConfigHash(),
+		Fingerprint:     st.Fingerprint(),
+		Requests:        len(st.Requests),
+		ElapsedMS:       float64(elapsed) / float64(time.Millisecond),
+		Ops:             map[string]*OpReport{},
+		RecoveryMS:      recoveryMS,
+		DrainMS:         drainMS,
+		ExpectedRejects: int64(st.ExpectedRejects),
+	}
+	for op, c := range counters {
+		snap := c.hist.Snapshot()
+		rep.Ops[op] = &OpReport{
+			Sent:     c.sent.Load(),
+			Errors:   c.errors.Load(),
+			Rejected: c.rejected.Load(),
+			MeanMS:   snap.Mean,
+			P50MS:    snap.P50,
+			P95MS:    snap.P95,
+			P99MS:    snap.P99,
+			MaxMS:    snap.Max,
+		}
+		rep.ObservedRejects += c.rejected.Load()
+	}
+	return rep
+}
+
+// evaluateSLO fills rep.Checks and rep.Pass against the scenario's SLO
+// block. Every gate that applies is evaluated (no short-circuit) so a
+// failing run reports the full picture.
+func evaluateSLO(sc *Scenario, rep *Report) {
+	add := func(name string, limit, actual float64, pass bool) {
+		rep.Checks = append(rep.Checks, SLOCheck{Name: name, Limit: limit, Actual: actual, Pass: pass})
+	}
+
+	ops := make([]string, 0, len(sc.SLO.MaxP99MS))
+	for op := range sc.SLO.MaxP99MS {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		limit := sc.SLO.MaxP99MS[op]
+		o := rep.Ops[op]
+		if o == nil || o.Sent == 0 {
+			// The mix promised this op (Validate enforced it) but none
+			// went out — a generator bug, not a fast server.
+			add("p99_ms:"+op, limit, 0, false)
+			continue
+		}
+		add("p99_ms:"+op, limit, o.P99MS, o.P99MS <= limit)
+	}
+
+	var sent, errors int64
+	for _, o := range rep.Ops {
+		sent += o.Sent
+		errors += o.Errors
+	}
+	rate := 0.0
+	if sent > 0 {
+		rate = float64(errors) / float64(sent)
+	}
+	add("error_rate", sc.SLO.MaxErrorRate, rate, sent > 0 && rate <= sc.SLO.MaxErrorRate)
+
+	if sc.Kind == KindJunkFlood {
+		add("rejections", float64(rep.ExpectedRejects), float64(rep.ObservedRejects),
+			rep.ObservedRejects == rep.ExpectedRejects)
+	}
+	if sc.Kind == KindKillRecover {
+		add("recovery_ms", sc.SLO.MaxRecoveryMS, rep.RecoveryMS,
+			rep.RecoveryMS > 0 && rep.RecoveryMS <= sc.SLO.MaxRecoveryMS)
+	}
+	if sc.SLO.MaxDrainMS > 0 {
+		add("drain_ms", sc.SLO.MaxDrainMS, rep.DrainMS, rep.DrainMS <= sc.SLO.MaxDrainMS)
+	}
+
+	rep.Pass = true
+	for _, c := range rep.Checks {
+		if !c.Pass {
+			rep.Pass = false
+		}
+	}
+}
+
+// Text renders the human-readable run summary.
+func (rep *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s v%d (%s) seed=%d\n", rep.Scenario, rep.Version, rep.Kind, rep.Seed)
+	fmt.Fprintf(&b, "  config %s\n  stream %s\n", rep.ConfigHash[:16], rep.Fingerprint[:16])
+	fmt.Fprintf(&b, "  %d requests in %.0fms\n", rep.Requests, rep.ElapsedMS)
+	for _, op := range sortedOps(rep.Ops) {
+		o := rep.Ops[op]
+		fmt.Fprintf(&b, "  %-10s sent=%-6d err=%-4d p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms\n",
+			op, o.Sent, o.Errors, o.P50MS, o.P95MS, o.P99MS, o.MaxMS)
+	}
+	if rep.Kind == KindKillRecover {
+		fmt.Fprintf(&b, "  recovery-to-ready %.0fms\n", rep.RecoveryMS)
+	}
+	if rep.ExpectedRejects > 0 {
+		fmt.Fprintf(&b, "  rejections %d/%d\n", rep.ObservedRejects, rep.ExpectedRejects)
+	}
+	fmt.Fprintf(&b, "  drain %.0fms\n", rep.DrainMS)
+	for _, c := range rep.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "  [%s] %-20s actual=%.3f limit=%.3f\n", mark, c.Name, c.Actual, c.Limit)
+	}
+	if rep.Pass {
+		b.WriteString("  result: PASS\n")
+	} else {
+		b.WriteString("  result: FAIL\n")
+	}
+	return b.String()
+}
+
+// BenchLines renders the run in `go test -bench` output format so
+// cmd/benchjson can archive and gate it: one line per operation plus
+// scenario-level lines for recovery and drain. Fields come in
+// (value, unit) pairs after the name and iteration count, exactly what
+// benchjson's parser expects.
+func (rep *Report) BenchLines() []string {
+	var lines []string
+	for _, op := range sortedOps(rep.Ops) {
+		o := rep.Ops[op]
+		rate := 0.0
+		if o.Sent > 0 {
+			rate = float64(o.Errors) / float64(o.Sent)
+		}
+		lines = append(lines, fmt.Sprintf(
+			"BenchmarkLoadgen/%s/%s %d %.3f p50-ms %.3f p99-ms %.4f err-rate",
+			rep.Scenario, op, o.Sent, o.P50MS, o.P99MS, rate))
+	}
+	if rep.Kind == KindKillRecover {
+		lines = append(lines, fmt.Sprintf(
+			"BenchmarkLoadgen/%s/recovery 1 %.0f recovery-ms", rep.Scenario, rep.RecoveryMS))
+	}
+	lines = append(lines, fmt.Sprintf(
+		"BenchmarkLoadgen/%s/drain 1 %.0f drain-ms", rep.Scenario, rep.DrainMS))
+	return lines
+}
+
+func sortedOps(ops map[string]*OpReport) []string {
+	names := make([]string, 0, len(ops))
+	for op := range ops {
+		names = append(names, op)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,303 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cfsf/internal/obs"
+)
+
+// Target abstracts where requests go. URL is consulted per request, not
+// cached, because a kill-and-recover target may come back on a new
+// address (the in-process test target does exactly that).
+type Target interface {
+	URL() string
+	Close() error
+}
+
+// Killable is the extra surface the killrecover scenario needs: an
+// abrupt kill (SIGKILL — no drain, no final snapshot) and a restart
+// over the same data directory so recovery replays the WAL tail.
+type Killable interface {
+	Kill() error
+	Restart() error
+}
+
+// StaticTarget points at an already-running server by base URL.
+type StaticTarget string
+
+func (t StaticTarget) URL() string  { return string(t) }
+func (t StaticTarget) Close() error { return nil }
+
+// Runner executes a materialised Stream against a Target.
+type Runner struct {
+	// Client is the HTTP client used for every request; a default with
+	// a 30s timeout is installed when nil.
+	Client *http.Client
+	// Logf receives progress lines; nil silences them.
+	Logf func(format string, args ...any)
+	// ReadyTimeout bounds the post-restart readiness poll (killrecover)
+	// and the pre-run readiness wait. <= 0 means 60s.
+	ReadyTimeout time.Duration
+	// DrainTimeout bounds the post-run lifecycle-queue drain poll.
+	// <= 0 means 30s.
+	DrainTimeout time.Duration
+}
+
+// opCounters aggregates one operation's outcomes. Latency is recorded
+// in milliseconds from the request's scheduled arrival time, so
+// server-side stalls surface as tail latency instead of being absorbed
+// by a slower send rate (no coordinated omission).
+type opCounters struct {
+	hist     *obs.Histogram
+	sent     atomic.Int64
+	errors   atomic.Int64
+	rejected atomic.Int64
+}
+
+type timedReq struct {
+	req   Request
+	sched time.Time
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// Run executes the stream and returns the evaluated report. The
+// dispatcher is open-loop: arrival times come from the schedule alone
+// (shifted only by measured downtime in killrecover), and a buffered
+// queue decouples dispatch from the worker pool so a slow server never
+// throttles the offered load.
+func (r *Runner) Run(ctx context.Context, st *Stream, target Target) (*Report, error) {
+	sc := st.Scenario
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	client := r.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	defer client.CloseIdleConnections()
+
+	if err := r.awaitReady(ctx, client, target, "warm-up"); err != nil {
+		return nil, err
+	}
+
+	counters := map[string]*opCounters{}
+	for op := range sc.Mix {
+		if sc.Mix[op] > 0 {
+			counters[op] = &opCounters{hist: obs.NewHistogram(obs.DefaultLatencyBuckets())}
+		}
+	}
+
+	reqc := make(chan timedReq, len(st.Requests))
+	var wg sync.WaitGroup
+	var inflight sync.WaitGroup
+	for w := 0; w < sc.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tr := range reqc {
+				r.execute(client, target, tr, counters[tr.req.Op])
+				inflight.Done()
+			}
+		}()
+	}
+
+	killAfter := time.Duration(sc.KillAfterMS) * time.Millisecond
+	_, canKill := target.(Killable)
+	if sc.Kind == KindKillRecover && !canKill {
+		close(reqc)
+		wg.Wait()
+		return nil, fmt.Errorf("scenario %q: killrecover needs a killable target (self-spawned server), not an external URL", sc.Name)
+	}
+
+	r.logf("scenario %s: dispatching %d requests over %dms at %g qps (%d workers)",
+		sc.Name, len(st.Requests), sc.DurationMS, sc.QPS, sc.Workers)
+
+	start := time.Now()
+	var offset time.Duration // accumulated downtime; shifts the remaining schedule
+	var recoveryMS float64
+	killed := false
+	var dispatchErr error
+	for _, req := range st.Requests {
+		if ctx.Err() != nil {
+			dispatchErr = ctx.Err()
+			break
+		}
+		if sc.Kind == KindKillRecover && !killed && req.At >= killAfter {
+			// Let everything dispatched before the kill point finish
+			// against the live server, then pull the plug.
+			inflight.Wait()
+			downStart := time.Now()
+			rec, err := r.killAndRecover(ctx, client, target)
+			if err != nil {
+				dispatchErr = err
+				break
+			}
+			recoveryMS = rec
+			offset += time.Since(downStart)
+			killed = true
+		}
+		sched := start.Add(offset + req.At)
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
+		inflight.Add(1)
+		reqc <- timedReq{req: req, sched: sched}
+	}
+	close(reqc)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if dispatchErr != nil {
+		return nil, dispatchErr
+	}
+
+	drainMS, err := r.awaitDrain(ctx, client, target)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := buildReport(sc, st, counters, elapsed, recoveryMS, drainMS)
+	evaluateSLO(sc, rep)
+	return rep, nil
+}
+
+// execute issues one request and records its outcome. Latency is
+// milliseconds since the scheduled arrival.
+func (r *Runner) execute(client *http.Client, target Target, tr timedReq, c *opCounters) {
+	req := tr.req
+	base := target.URL()
+	var (
+		resp *http.Response
+		err  error
+	)
+	switch req.Op {
+	case OpPredict:
+		resp, err = client.Get(fmt.Sprintf("%s/predict?user=%d&item=%d", base, req.User, req.Item))
+	case OpRecommend:
+		resp, err = client.Get(fmt.Sprintf("%s/recommend?user=%d&n=%d", base, req.User, req.N))
+	case OpRate:
+		body, _ := json.Marshal(map[string]any{"user": req.User, "item": req.Item, "rating": req.Rating})
+		resp, err = client.Post(base+"/rate", "application/json", bytes.NewReader(body))
+	case OpBatch:
+		body, _ := json.Marshal(map[string]any{"pairs": req.Pairs})
+		resp, err = client.Post(base+"/predict/batch", "application/json", bytes.NewReader(body))
+	default:
+		return
+	}
+	lat := float64(time.Since(tr.sched)) / float64(time.Millisecond)
+	c.sent.Add(1)
+	c.hist.Observe(lat)
+	if err != nil {
+		c.errors.Add(1)
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	switch {
+	case req.ExpectReject:
+		if resp.StatusCode == http.StatusBadRequest {
+			c.rejected.Add(1)
+		} else {
+			// The validation layer let junk through (or shed it with
+			// the wrong status): that is the failure this scenario
+			// exists to catch.
+			c.errors.Add(1)
+		}
+	case resp.StatusCode >= 400:
+		c.errors.Add(1)
+	}
+}
+
+// awaitReady polls /healthz?ready=1 until it answers 200.
+func (r *Runner) awaitReady(ctx context.Context, client *http.Client, target Target, phase string) error {
+	timeout := r.ReadyTimeout
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		resp, err := client.Get(target.URL() + "/healthz?ready=1")
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("target %s not ready within %v (%s)", target.URL(), timeout, phase)
+}
+
+// killAndRecover SIGKILLs the target mid-traffic, restarts it over the
+// same data directory, and measures restart-to-ready: the span from
+// Restart returning control to the first 200 on /healthz?ready=1 —
+// snapshot load plus WAL-tail replay, the number the scenario gates on.
+func (r *Runner) killAndRecover(ctx context.Context, client *http.Client, target Target) (float64, error) {
+	k := target.(Killable)
+	r.logf("killing target (SIGKILL, no drain)")
+	if err := k.Kill(); err != nil {
+		return 0, fmt.Errorf("kill target: %w", err)
+	}
+	recoveryStart := time.Now()
+	if err := k.Restart(); err != nil {
+		return 0, fmt.Errorf("restart target: %w", err)
+	}
+	if err := r.awaitReady(ctx, client, target, "recovery"); err != nil {
+		return 0, err
+	}
+	rec := float64(time.Since(recoveryStart)) / float64(time.Millisecond)
+	r.logf("target recovered to ready in %.0fms", rec)
+	return rec, nil
+}
+
+// awaitDrain polls /stats until the lifecycle queue reports pending=0
+// and apply_lag=0, returning how long that took in milliseconds. A
+// target without a lifecycle section (no -data-dir) drains instantly.
+func (r *Runner) awaitDrain(ctx context.Context, client *http.Client, target Target) (float64, error) {
+	timeout := r.DrainTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	start := time.Now()
+	deadline := start.Add(timeout)
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		resp, err := client.Get(target.URL() + "/stats")
+		if err != nil {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		var stats struct {
+			Lifecycle *struct {
+				Pending  float64 `json:"pending"`
+				ApplyLag float64 `json:"apply_lag"`
+			} `json:"lifecycle"`
+		}
+		decodeErr := json.NewDecoder(resp.Body).Decode(&stats)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if decodeErr == nil && (stats.Lifecycle == nil || (stats.Lifecycle.Pending == 0 && stats.Lifecycle.ApplyLag == 0)) {
+			return float64(time.Since(start)) / float64(time.Millisecond), nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return 0, fmt.Errorf("lifecycle queue did not drain within %v", timeout)
+}

@@ -1,0 +1,227 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cfsf/internal/core"
+	"cfsf/internal/lifecycle"
+	"cfsf/internal/obs"
+	"cfsf/internal/server"
+	"cfsf/internal/synth"
+	"cfsf/internal/wal"
+)
+
+// trainFor builds the model a target server would serve for the
+// scenario's dataset — same clamped synth config as the generator, so
+// every sampled id resolves.
+func trainFor(t *testing.T, sc *Scenario) *core.Model {
+	t.Helper()
+	ds, err := synth.Generate(datasetConfig(sc.Dataset))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Clusters = 5
+	mod, err := core.Train(ds.Matrix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// TestRunSteadyEndToEnd drives a short steady scenario against an
+// in-process server and checks the report accounts for every request.
+func TestRunSteadyEndToEnd(t *testing.T) {
+	sc := testScenario(KindSteady)
+	sc.SLO.MaxP99MS = map[string]float64{OpPredict: 5000, OpRate: 5000}
+	st, err := BuildStream(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := server.NewWithOptions(trainFor(t, sc), nil, server.Options{GrowthMargin: sc.GrowthMargin()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	r := &Runner{}
+	rep, err := r.Run(context.Background(), st, StaticTarget(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sent, errors int64
+	for _, o := range rep.Ops {
+		sent += o.Sent
+		errors += o.Errors
+	}
+	if sent != int64(len(st.Requests)) {
+		t.Errorf("sent %d of %d scheduled requests", sent, len(st.Requests))
+	}
+	if errors != 0 {
+		t.Errorf("%d errors against a healthy in-process server:\n%s", errors, rep.Text())
+	}
+	if !rep.Pass {
+		t.Errorf("steady run failed its SLOs:\n%s", rep.Text())
+	}
+	if rep.Fingerprint != st.Fingerprint() {
+		t.Errorf("report fingerprint %s != stream fingerprint %s", rep.Fingerprint, st.Fingerprint())
+	}
+	if len(rep.BenchLines()) == 0 {
+		t.Error("no bench lines emitted")
+	}
+}
+
+// TestRunJunkFloodRejections checks the validation-rejection path: every
+// deliberately junk rating must come back 400, and only those.
+func TestRunJunkFloodRejections(t *testing.T) {
+	sc := testScenario(KindJunkFlood)
+	st, err := BuildStream(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.NewWithOptions(trainFor(t, sc), nil, server.Options{GrowthMargin: sc.GrowthMargin()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	r := &Runner{}
+	rep, err := r.Run(context.Background(), st, StaticTarget(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ObservedRejects != rep.ExpectedRejects {
+		t.Errorf("rejections %d/%d:\n%s", rep.ObservedRejects, rep.ExpectedRejects, rep.Text())
+	}
+	if !rep.Pass {
+		t.Errorf("junkflood run failed its SLOs:\n%s", rep.Text())
+	}
+}
+
+// crashTarget is the in-process Killable: Kill aborts the lifecycle
+// manager (no drain, abrupt WAL close — the process-level SIGKILL
+// analogue) and drops the HTTP front end; Restart re-opens the same
+// data directory, replaying the WAL tail, and comes back on a NEW url —
+// exercising the runner's per-request URL() resolution.
+type crashTarget struct {
+	t      *testing.T
+	dir    string
+	sc     *Scenario
+	mod    *core.Model
+	mu     sync.Mutex
+	ts     *httptest.Server
+	mgr    *lifecycle.Manager
+	closed bool
+}
+
+func newCrashTarget(t *testing.T, sc *Scenario) *crashTarget {
+	ct := &crashTarget{t: t, dir: t.TempDir(), sc: sc, mod: trainFor(t, sc)}
+	if err := ct.boot(); err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+func (ct *crashTarget) boot() error {
+	reg := obs.NewRegistry()
+	mgr, err := lifecycle.Open(
+		func() (*core.Model, error) { return ct.mod, nil },
+		lifecycle.Config{DataDir: ct.dir, Fsync: wal.SyncNever, Registry: reg},
+	)
+	if err != nil {
+		return err
+	}
+	srv := server.NewWithOptions(mgr.Model(), nil, server.Options{
+		GrowthMargin: ct.sc.GrowthMargin(), Registry: reg, Manager: mgr,
+	})
+	ct.mu.Lock()
+	ct.mgr = mgr
+	ct.ts = httptest.NewServer(srv.Handler())
+	ct.mu.Unlock()
+	return nil
+}
+
+func (ct *crashTarget) URL() string {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return ct.ts.URL
+}
+
+func (ct *crashTarget) Kill() error {
+	ct.mu.Lock()
+	mgr, ts := ct.mgr, ct.ts
+	ct.mgr, ct.ts = nil, nil
+	ct.mu.Unlock()
+	mgr.Abort()
+	ts.Close()
+	return nil
+}
+
+func (ct *crashTarget) Restart() error { return ct.boot() }
+
+func (ct *crashTarget) Close() error {
+	ct.mu.Lock()
+	mgr, ts := ct.mgr, ct.ts
+	closed := ct.closed
+	ct.closed = true
+	ct.mu.Unlock()
+	if closed || mgr == nil {
+		return nil
+	}
+	ts.Close()
+	return mgr.Close()
+}
+
+// TestRunKillRecover runs the kill-and-recover scenario fully
+// in-process: traffic, abrupt kill at the scheduled point, WAL-replay
+// recovery, resumed traffic, and a measured recovery-to-ready time.
+func TestRunKillRecover(t *testing.T) {
+	sc := testScenario(KindKillRecover)
+	st, err := BuildStream(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := newCrashTarget(t, sc)
+	defer func() {
+		if err := ct.Close(); err != nil {
+			t.Errorf("close crash target: %v", err)
+		}
+	}()
+
+	r := &Runner{ReadyTimeout: 30 * time.Second}
+	rep, err := r.Run(context.Background(), st, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RecoveryMS <= 0 {
+		t.Errorf("recovery time not measured: %v", rep.RecoveryMS)
+	}
+	if !rep.Pass {
+		t.Errorf("killrecover run failed its SLOs:\n%s", rep.Text())
+	}
+	var sent int64
+	for _, o := range rep.Ops {
+		sent += o.Sent
+	}
+	if sent != int64(len(st.Requests)) {
+		t.Errorf("sent %d of %d scheduled requests across the kill", sent, len(st.Requests))
+	}
+}
+
+// TestRunKillRecoverNeedsKillable pins the error path: a killrecover
+// scenario against a plain URL target must refuse to run.
+func TestRunKillRecoverNeedsKillable(t *testing.T) {
+	sc := testScenario(KindKillRecover)
+	st, err := BuildStream(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.NewWithOptions(trainFor(t, sc), nil, server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	r := &Runner{}
+	if _, err := r.Run(context.Background(), st, StaticTarget(ts.URL)); err == nil {
+		t.Fatal("killrecover ran against a static target")
+	}
+}

@@ -1,0 +1,333 @@
+// Package loadgen is a scenario-driven load harness for the cfsf-server
+// HTTP API. A Scenario is a small JSON document naming a traffic shape
+// (steady mix, flash crowd, cold-start wave, catalogue churn, junk
+// flood, kill-and-recover), a seeded synthetic population to draw
+// users/items from, a pacing target, and the SLOs the run must meet.
+//
+// Everything is reproducible: the request stream is a pure function of
+// the resolved scenario (defaults applied), so two runs with the same
+// scenario version and seed issue byte-identical request sequences —
+// Stream's Fingerprint and the scenario's ConfigHash together identify
+// a run completely. The generator draws from its own rand.New(
+// rand.NewSource(seed)); no global PRNG state is touched.
+package loadgen
+
+import (
+	"crypto/sha256"
+	"embed"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Request operation names, matching the server endpoints they drive.
+const (
+	OpPredict   = "predict"   // GET /predict?user=&item=
+	OpRecommend = "recommend" // GET /recommend?user=&n=
+	OpRate      = "rate"      // POST /rate (single-object body)
+	OpBatch     = "batch"     // POST /predict/batch
+)
+
+// Scenario kinds. Each kind reuses the same steady-state machinery and
+// layers one distortion on top; see Stream for the exact semantics.
+const (
+	KindSteady      = "steady"      // mixed read/write at the configured ratio
+	KindFlashCrowd  = "flashcrowd"  // item-level hotspot ramping up over RampMS
+	KindColdStart   = "coldstart"   // wave of brand-new users rating then reading
+	KindChurn       = "churn"       // brand-new items entering the catalogue (GIS growth)
+	KindJunkFlood   = "junkflood"   // share of ratings outside the scale (rejection path)
+	KindKillRecover = "killrecover" // SIGKILL mid-traffic, measure recovery-to-ready
+)
+
+// DatasetConfig sizes the synthetic population the generator samples
+// users and items from. It must match the dataset the target server was
+// booted with (cfsf-loadgen passes the same values to -synth-users /
+// -synth-items / -seed when it spawns the server itself), otherwise
+// sampled ids fall outside the model and reads 404.
+type DatasetConfig struct {
+	Users int   `json:"users"`
+	Items int   `json:"items"`
+	Seed  int64 `json:"seed"`
+}
+
+// SLOConfig is the pass/fail contract evaluated after a run.
+type SLOConfig struct {
+	// MaxP99MS caps the client-observed p99 latency per operation, in
+	// milliseconds, measured from the request's *scheduled* send time
+	// (coordinated-omission free: queueing behind a stalled server
+	// counts against the percentile).
+	MaxP99MS map[string]float64 `json:"max_p99_ms,omitempty"`
+	// MaxErrorRate caps errors/sent across all operations. Expected
+	// rejections (junkflood) are not errors.
+	MaxErrorRate float64 `json:"max_error_rate"`
+	// MaxRecoveryMS caps restart-to-ready time for killrecover: the
+	// span from re-exec to the first 200 on /healthz?ready=1, i.e. the
+	// snapshot-load + WAL-replay cost the lifecycle manager pays.
+	MaxRecoveryMS float64 `json:"max_recovery_ms,omitempty"`
+	// MaxDrainMS, when > 0, caps how long the lifecycle queue takes to
+	// drain (pending and apply-lag both zero in /stats) after the last
+	// request. 0 skips the check.
+	MaxDrainMS float64 `json:"max_drain_ms,omitempty"`
+}
+
+// Scenario is the resolved load-test configuration. JSON field names
+// are the on-disk schema; Validate rejects inconsistent documents
+// before a single request is generated or sent.
+type Scenario struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	Kind    string `json:"kind"`
+	Seed    int64  `json:"seed"`
+
+	Dataset    DatasetConfig      `json:"dataset"`
+	DurationMS int                `json:"duration_ms"`
+	QPS        float64            `json:"qps"`
+	Workers    int                `json:"workers,omitempty"`
+	Mix        map[string]float64 `json:"mix"`
+	RecommendN int                `json:"recommend_n,omitempty"`
+	BatchSize  int                `json:"batch_size,omitempty"`
+
+	// Kind-specific knobs; Validate enforces which kind needs which.
+	HotItemShare      float64 `json:"hot_item_share,omitempty"`       // flashcrowd: peak share of item ops on the hot item
+	RampMS            int     `json:"ramp_ms,omitempty"`              // flashcrowd: linear ramp to peak share
+	NewUsers          int     `json:"new_users,omitempty"`            // coldstart: users born during the run
+	RatingsPerNewUser int     `json:"ratings_per_new_user,omitempty"` // coldstart: profile size before reads target them
+	NewItems          int     `json:"new_items,omitempty"`            // churn: items entering the catalogue
+	JunkShare         float64 `json:"junk_share,omitempty"`           // junkflood: share of rate ops outside the scale
+	KillAfterMS       int     `json:"kill_after_ms,omitempty"`        // killrecover: SIGKILL point
+
+	SLO SLOConfig `json:"slo"`
+}
+
+//go:embed scenarios/*.json
+var embedded embed.FS
+
+// Names lists the committed scenarios, sorted.
+func Names() []string {
+	entries, err := embedded.ReadDir("scenarios")
+	if err != nil {
+		return nil // embed.FS of committed files cannot fail in practice
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Load resolves a scenario by embedded name first, then as a filesystem
+// path, applies defaults, and validates. The returned Scenario is fully
+// resolved: ConfigHash over it identifies the run configuration.
+func Load(nameOrPath string) (*Scenario, error) {
+	raw, err := embedded.ReadFile("scenarios/" + nameOrPath + ".json")
+	if err != nil {
+		raw, err = os.ReadFile(nameOrPath)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: not embedded (have %s) and not a readable file: %w",
+				nameOrPath, strings.Join(Names(), ", "), err)
+		}
+	}
+	return Parse(raw)
+}
+
+// Parse decodes, defaults, and validates a scenario document. Unknown
+// fields are rejected so a typoed knob cannot silently revert to its
+// default.
+func Parse(raw []byte) (*Scenario, error) {
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("decode scenario: %w", err)
+	}
+	sc.applyDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// applyDefaults fills zero-valued optional knobs. Defaults are part of
+// the reproducibility contract: ConfigHash is computed AFTER this, so a
+// future default change cannot silently alias two different runs.
+func (sc *Scenario) applyDefaults() {
+	if sc.Workers == 0 {
+		sc.Workers = 8
+	}
+	if sc.RecommendN == 0 {
+		sc.RecommendN = 10
+	}
+	if sc.BatchSize == 0 {
+		sc.BatchSize = 16
+	}
+	if sc.Dataset.Users == 0 {
+		sc.Dataset.Users = 120
+	}
+	if sc.Dataset.Items == 0 {
+		sc.Dataset.Items = 150
+	}
+	if sc.Dataset.Seed == 0 {
+		sc.Dataset.Seed = 1
+	}
+	if sc.Kind == KindColdStart && sc.RatingsPerNewUser == 0 {
+		sc.RatingsPerNewUser = 5
+	}
+}
+
+var validKinds = map[string]bool{
+	KindSteady: true, KindFlashCrowd: true, KindColdStart: true,
+	KindChurn: true, KindJunkFlood: true, KindKillRecover: true,
+}
+
+var validOps = map[string]bool{
+	OpPredict: true, OpRecommend: true, OpRate: true, OpBatch: true,
+}
+
+// Validate rejects inconsistent scenarios. It runs before generation,
+// so a bad config fails fast — no request is ever built or sent.
+func (sc *Scenario) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("scenario %q: %s", sc.Name, fmt.Sprintf(format, args...))
+	}
+	if sc.Name == "" {
+		return fmt.Errorf("scenario: empty name")
+	}
+	if sc.Version <= 0 {
+		return fail("version must be >= 1, got %d", sc.Version)
+	}
+	if !validKinds[sc.Kind] {
+		return fail("unknown kind %q", sc.Kind)
+	}
+	if sc.DurationMS <= 0 {
+		return fail("duration_ms must be positive, got %d", sc.DurationMS)
+	}
+	if sc.QPS <= 0 || sc.QPS > 1e6 {
+		return fail("qps must be in (0, 1e6], got %g", sc.QPS)
+	}
+	if sc.Workers < 0 {
+		return fail("workers must be positive, got %d", sc.Workers)
+	}
+	if sc.Dataset.Users <= 0 || sc.Dataset.Items <= 0 {
+		return fail("dataset must have positive users and items, got %d×%d",
+			sc.Dataset.Users, sc.Dataset.Items)
+	}
+	if len(sc.Mix) == 0 {
+		return fail("empty mix: name at least one of predict, recommend, rate, batch")
+	}
+	var sum float64
+	for op, w := range sc.Mix {
+		if !validOps[op] {
+			return fail("mix names unknown op %q", op)
+		}
+		if w < 0 {
+			return fail("mix weight for %q is negative (%g)", op, w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return fail("mix weights sum to zero")
+	}
+	if sc.RecommendN < 1 || sc.RecommendN > 100 {
+		return fail("recommend_n must be in [1,100], got %d", sc.RecommendN)
+	}
+	if sc.BatchSize < 1 || sc.BatchSize > 1024 {
+		return fail("batch_size must be in [1,1024], got %d", sc.BatchSize)
+	}
+	if sc.HotItemShare < 0 || sc.HotItemShare > 1 {
+		return fail("hot_item_share must be in [0,1], got %g", sc.HotItemShare)
+	}
+	if sc.JunkShare < 0 || sc.JunkShare > 1 {
+		return fail("junk_share must be in [0,1], got %g", sc.JunkShare)
+	}
+	totalRequests := int(sc.QPS * float64(sc.DurationMS) / 1000)
+	switch sc.Kind {
+	case KindFlashCrowd:
+		if sc.HotItemShare <= 0 {
+			return fail("flashcrowd needs hot_item_share > 0")
+		}
+	case KindColdStart:
+		if sc.NewUsers <= 0 {
+			return fail("coldstart needs new_users > 0")
+		}
+		if sc.RatingsPerNewUser <= 0 {
+			return fail("coldstart needs ratings_per_new_user > 0")
+		}
+		if sc.Mix[OpRate] <= 0 {
+			return fail("coldstart needs a positive rate weight in the mix")
+		}
+		if intros := sc.NewUsers * sc.RatingsPerNewUser; intros > totalRequests {
+			return fail("cold-start wave needs %d registration ratings but qps×duration only yields %d requests",
+				intros, totalRequests)
+		}
+	case KindChurn:
+		if sc.NewItems <= 0 {
+			return fail("churn needs new_items > 0")
+		}
+		if sc.Mix[OpRate] <= 0 {
+			return fail("churn needs a positive rate weight in the mix")
+		}
+		if sc.NewItems > totalRequests {
+			return fail("churn introduces %d items but qps×duration only yields %d requests",
+				sc.NewItems, totalRequests)
+		}
+	case KindJunkFlood:
+		if sc.JunkShare <= 0 {
+			return fail("junkflood needs junk_share > 0")
+		}
+		if sc.Mix[OpRate] <= 0 {
+			return fail("junkflood needs a positive rate weight in the mix")
+		}
+	case KindKillRecover:
+		if sc.KillAfterMS <= 0 || sc.KillAfterMS >= sc.DurationMS {
+			return fail("killrecover needs kill_after_ms in (0, duration_ms), got %d", sc.KillAfterMS)
+		}
+		if sc.SLO.MaxRecoveryMS <= 0 {
+			return fail("killrecover needs slo.max_recovery_ms > 0")
+		}
+	}
+	if sc.SLO.MaxErrorRate < 0 || sc.SLO.MaxErrorRate > 1 {
+		return fail("slo.max_error_rate must be in [0,1], got %g", sc.SLO.MaxErrorRate)
+	}
+	for op, limit := range sc.SLO.MaxP99MS {
+		if !validOps[op] {
+			return fail("slo.max_p99_ms names unknown op %q", op)
+		}
+		if limit <= 0 {
+			return fail("slo.max_p99_ms for %q must be positive, got %g", op, limit)
+		}
+		if sc.Mix[op] <= 0 {
+			return fail("slo.max_p99_ms gates %q but the mix never sends it", op)
+		}
+	}
+	return nil
+}
+
+// ConfigHash is the sha256 of the resolved scenario's canonical JSON
+// encoding (struct field order, defaults applied). Two runs with equal
+// hashes and equal seeds replay the identical request stream.
+func (sc *Scenario) ConfigHash() string {
+	raw, err := json.Marshal(sc)
+	if err != nil {
+		// A Scenario is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("marshal scenario: %v", err))
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// GrowthMargin is how far past the booted matrix bounds this scenario's
+// ids may reach — what the target server's -growth-margin must cover.
+// The slack term absorbs queued-but-unapplied ratings: validation races
+// application, so every fresh id this scenario introduces may be
+// validated against the original bounds.
+func (sc *Scenario) GrowthMargin() int {
+	m := 1 + sc.NewUsers + sc.NewItems
+	if m < 8 {
+		m = 8
+	}
+	return m
+}

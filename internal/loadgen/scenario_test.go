@@ -1,0 +1,115 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestEmbeddedScenariosLoadAndValidate(t *testing.T) {
+	names := Names()
+	want := []string{"churn", "coldstart", "flashcrowd", "junkflood", "killrecover", "steady"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+	for _, name := range names {
+		sc, err := Load(name)
+		if err != nil {
+			t.Errorf("Load(%q): %v", name, err)
+			continue
+		}
+		if sc.Name != name {
+			t.Errorf("scenario %q declares name %q", name, sc.Name)
+		}
+		if len(sc.ConfigHash()) != 64 {
+			t.Errorf("scenario %q: config hash %q not a sha256 hex digest", name, sc.ConfigHash())
+		}
+	}
+}
+
+// TestScenarioRejectionTable feeds invalid documents through Parse and
+// asserts each is refused with a message naming the offending field —
+// the config layer's whole contract is failing before traffic exists.
+func TestScenarioRejectionTable(t *testing.T) {
+	base := func(mutations string) string {
+		doc := `{
+			"name": "bad", "version": 1, "kind": "steady", "seed": 1,
+			"dataset": {"users": 40, "items": 50, "seed": 1},
+			"duration_ms": 1000, "qps": 50,
+			"mix": {"predict": 1},
+			"slo": {"max_error_rate": 0.01}
+		}`
+		for _, m := range strings.Split(mutations, ";") {
+			kv := strings.SplitN(m, "=>", 2)
+			doc = strings.Replace(doc, kv[0], kv[1], 1)
+		}
+		return doc
+	}
+	cases := []struct {
+		name    string
+		doc     string
+		errLike string
+	}{
+		{"zero qps", base(`"qps": 50=>"qps": 0`), "qps"},
+		{"negative qps", base(`"qps": 50=>"qps": -3`), "qps"},
+		{"unknown kind", base(`"kind": "steady"=>"kind": "tsunami"`), "unknown kind"},
+		{"negative duration", base(`"duration_ms": 1000=>"duration_ms": -5`), "duration_ms"},
+		{"zero duration", base(`"duration_ms": 1000=>"duration_ms": 0`), "duration_ms"},
+		{"unknown mix op", base(`"mix": {"predict": 1}=>"mix": {"teleport": 1}`), "unknown op"},
+		{"negative mix weight", base(`"mix": {"predict": 1}=>"mix": {"predict": -1}`), "negative"},
+		{"zero mix sum", base(`"mix": {"predict": 1}=>"mix": {"predict": 0}`), "zero"},
+		{"empty name", base(`"name": "bad"=>"name": ""`), "name"},
+		{"zero version", base(`"version": 1=>"version": 0`), "version"},
+		{"bad dataset", base(`"users": 40=>"users": -4`), "dataset"},
+		{"junk share out of range", base(`"kind": "steady"=>"kind": "junkflood"`) /* junk_share missing */, "junk_share"},
+		{"killrecover without kill point", base(`"kind": "steady"=>"kind": "killrecover"`), "kill_after_ms"},
+		{"slo gates unsent op", base(`"slo": {"max_error_rate": 0.01}=>"slo": {"max_error_rate": 0.01, "max_p99_ms": {"rate": 5}}`), "never sends"},
+		{"error rate out of range", base(`"max_error_rate": 0.01=>"max_error_rate": 2`), "max_error_rate"},
+		{"unknown field", base(`"seed": 1=>"sede": 1`), "sede"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: Parse accepted an invalid scenario", tc.name)
+		} else if !strings.Contains(err.Error(), tc.errLike) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.errLike)
+		}
+	}
+}
+
+// TestInvalidScenarioSendsNothing drives the runner with a scenario
+// that fails validation and counts requests at a live test server: the
+// run must error out with zero requests on the wire.
+func TestInvalidScenarioSendsNothing(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	sc := &Scenario{
+		Name: "invalid", Version: 1, Kind: "steady", Seed: 1,
+		Dataset:    DatasetConfig{Users: 40, Items: 50, Seed: 1},
+		DurationMS: 1000, QPS: -1, // invalid
+		Mix: map[string]float64{OpPredict: 1},
+	}
+	sc.applyDefaults()
+	if _, err := BuildStream(sc); err == nil {
+		t.Fatal("BuildStream accepted an invalid scenario")
+	}
+	r := &Runner{}
+	if _, err := r.Run(context.Background(), &Stream{Scenario: sc}, StaticTarget(ts.URL)); err == nil {
+		t.Fatal("Run accepted an invalid scenario")
+	}
+	if n := hits.Load(); n != 0 {
+		t.Fatalf("invalid scenario reached the server %d times", n)
+	}
+}

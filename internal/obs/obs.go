@@ -120,12 +120,17 @@ type HistogramSnapshot struct {
 
 // Snapshot summarises the histogram. Concurrent Observe calls may tear
 // between count and buckets by a few observations; the summary is for
-// dashboards, not accounting.
+// dashboards, not accounting. What IS guaranteed even under racing
+// Observe calls is internal order: P50 <= P95 <= P99 <= Max. Every
+// quantile interpolates over the same bucket snapshot and the same max
+// reading — re-loading max per quantile would let an Observe racing
+// between the P95 and P99 computations hand them different clamps — and
+// the reported Max is raised to cover P99 when an observation's bucket
+// increment was visible before its max update.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	var s HistogramSnapshot
 	s.Count = h.count.Load()
 	s.Sum = math.Float64frombits(h.sumBits.Load())
-	s.Max = math.Float64frombits(h.maxBits.Load())
 	if s.Count > 0 {
 		s.Mean = s.Sum / float64(s.Count)
 	}
@@ -135,16 +140,27 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		buckets[i] = h.counts[i].Load()
 		total += buckets[i]
 	}
-	s.P50 = h.quantile(buckets, total, 0.50)
-	s.P95 = h.quantile(buckets, total, 0.95)
-	s.P99 = h.quantile(buckets, total, 0.99)
+	// One max reading for the whole summary, loaded after the bucket
+	// sweep so it covers as many of the counted observations as possible.
+	max := math.Float64frombits(h.maxBits.Load())
+	s.Max = max
+	s.P50 = h.quantile(buckets, total, max, 0.50)
+	s.P95 = h.quantile(buckets, total, max, 0.95)
+	s.P99 = h.quantile(buckets, total, max, 0.99)
+	if s.P99 > s.Max {
+		s.Max = s.P99
+	}
 	return s
 }
 
 // quantile estimates the q-quantile from bucket counts by locating the
 // bucket holding the target rank and interpolating linearly inside it.
-// The overflow bucket interpolates toward the observed max.
-func (h *Histogram) quantile(buckets []int64, total int64, q float64) float64 {
+// The overflow bucket interpolates toward max (the caller's single
+// consistent reading of the observed maximum). With buckets, total, and
+// max fixed, the estimate is non-decreasing in q: the target rank grows
+// with q, the interpolation is linear within a bucket, and bucket upper
+// bounds ascend — which is what makes Snapshot's P50/P95/P99 monotone.
+func (h *Histogram) quantile(buckets []int64, total int64, max, q float64) float64 {
 	if total == 0 {
 		return 0
 	}
@@ -166,7 +182,6 @@ func (h *Histogram) quantile(buckets []int64, total int64, q float64) float64 {
 		if i > 0 {
 			lo = h.bounds[i-1]
 		}
-		max := math.Float64frombits(h.maxBits.Load())
 		hi := max
 		if i < len(h.bounds) {
 			hi = h.bounds[i]
@@ -182,7 +197,7 @@ func (h *Histogram) quantile(buckets []int64, total int64, q float64) float64 {
 		}
 		return est
 	}
-	return math.Float64frombits(h.maxBits.Load())
+	return max
 }
 
 // Registry is a named collection of metrics with get-or-create

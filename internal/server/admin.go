@@ -11,11 +11,12 @@ import (
 // lifecycle manager and reports where it landed. Without a manager the
 // server has no durability layer and responds 503.
 func (s *Server) handleAdminSnapshot(w http.ResponseWriter, _ *http.Request) {
-	if s.mgr == nil {
+	mgr := s.manager()
+	if mgr == nil {
 		writeError(w, http.StatusServiceUnavailable, errNoManager)
 		return
 	}
-	info, err := s.mgr.Snapshot()
+	info, err := mgr.Snapshot()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -42,7 +43,8 @@ func (s *Server) handleAdminSnapshot(w http.ResponseWriter, _ *http.Request) {
 // swapped in without blocking reads; 409 when a retrain is already in
 // flight, 400 for an unknown mode.
 func (s *Server) handleAdminRetrain(w http.ResponseWriter, r *http.Request) {
-	if s.mgr == nil {
+	mgr := s.manager()
+	if mgr == nil {
 		writeError(w, http.StatusServiceUnavailable, errNoManager)
 		return
 	}
@@ -52,7 +54,7 @@ func (s *Server) handleAdminRetrain(w http.ResponseWriter, r *http.Request) {
 			mode, lifecycle.RetrainShards, lifecycle.RetrainFull))
 		return
 	}
-	if !s.mgr.TriggerRetrain(mode) {
+	if !mgr.TriggerRetrain(mode) {
 		writeError(w, http.StatusConflict, fmt.Errorf("retrain already in flight"))
 		return
 	}

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cfsf/internal/core"
+	"cfsf/internal/lifecycle"
+	"cfsf/internal/obs"
+	"cfsf/internal/wal"
+)
+
+// TestWarmingServerReadiness covers the liveness/readiness split: a
+// warming server answers /healthz and /metrics immediately, sheds every
+// model-dependent request with 503, and flips all of it atomically at
+// Activate.
+func TestWarmingServerReadiness(t *testing.T) {
+	srv := NewWarming(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	getStatus := func(path string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode, decodeBody(t, resp)
+	}
+
+	// Alive but not ready: plain /healthz is 200 with ready=false, the
+	// readiness probe form is 503.
+	if code, body := getStatus("/healthz"); code != http.StatusOK || body["ready"] != false {
+		t.Errorf("warming /healthz = %d %v, want 200 ready=false", code, body)
+	}
+	if code, _ := getStatus("/healthz?ready=1"); code != http.StatusServiceUnavailable {
+		t.Errorf("warming /healthz?ready=1 = %d, want 503", code)
+	}
+	if code, body := getStatus("/metrics"); code != http.StatusOK || body["ready"] != false {
+		t.Errorf("warming /metrics = %d ready=%v, want 200 ready=false", code, body["ready"])
+	}
+	for _, path := range []string{"/stats", "/predict?user=0&item=0", "/recommend?user=0"} {
+		if code, _ := getStatus(path); code != http.StatusServiceUnavailable {
+			t.Errorf("warming GET %s = %d, want 503", path, code)
+		}
+	}
+	if srv.Ready() {
+		t.Fatal("Ready() = true before Activate")
+	}
+
+	srv.Activate(smallModel(t), nil, nil)
+
+	if !srv.Ready() {
+		t.Fatal("Ready() = false after Activate")
+	}
+	if code, body := getStatus("/healthz?ready=1"); code != http.StatusOK || body["ready"] != true {
+		t.Errorf("ready /healthz?ready=1 = %d %v, want 200 ready=true", code, body)
+	}
+	if code, _ := getStatus("/predict?user=0&item=0"); code != http.StatusOK {
+		t.Errorf("ready /predict = %d, want 200", code)
+	}
+	if code, _ := getStatus("/stats"); code != http.StatusOK {
+		t.Errorf("ready /stats = %d, want 200", code)
+	}
+}
+
+func decodeBody(t *testing.T, resp *http.Response) map[string]any {
+	t.Helper()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode body: %v", err)
+	}
+	return body
+}
+
+// waitDrained polls until every submitted rating is applied (pending and
+// apply-lag both zero) or the deadline passes.
+func waitDrained(t *testing.T, mgr *lifecycle.Manager) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if mgr.Pending() == 0 && mgr.ApplyLag() == 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("queue never drained: pending=%d lag=%d", mgr.Pending(), mgr.ApplyLag())
+}
+
+// TestStatsLifecycleQueueView checks the /stats "lifecycle" section and
+// the /healthz pending/applied fields a durable server exposes: after
+// queued ratings land, pending and apply_lag drain back to zero.
+func TestStatsLifecycleQueueView(t *testing.T) {
+	ts, mgr := newDurableServer(t, t.TempDir(), smallModel(t))
+	defer ts.Close()
+	defer func() {
+		if err := mgr.Close(); err != nil {
+			t.Errorf("close manager: %v", err)
+		}
+	}()
+
+	code, body := postJSON(t, ts.URL+"/rate", rateBody(1))
+	if code != http.StatusAccepted {
+		t.Fatalf("rate = %d %v", code, body)
+	}
+	waitDrained(t, mgr)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	stats := decodeBody(t, resp)
+	lc, ok := stats["lifecycle"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats has no lifecycle section: %v", stats)
+	}
+	if lc["pending"] != float64(0) || lc["apply_lag"] != float64(0) {
+		t.Errorf("drained queue view = %v, want pending=0 apply_lag=0", lc)
+	}
+	if lc["applied_seq"].(float64) < 1 {
+		t.Errorf("applied_seq = %v, want >= 1", lc["applied_seq"])
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	health := decodeBody(t, hresp)
+	if health["ready"] != true {
+		t.Errorf("durable /healthz ready = %v, want true", health["ready"])
+	}
+	if _, ok := health["pending"]; !ok {
+		t.Errorf("durable /healthz missing pending field: %v", health)
+	}
+}
+
+// TestApplyLagGauge drives the manager directly: lag is nonzero while
+// ratings queue behind a slow drain and zero once applied.
+func TestApplyLagGauge(t *testing.T) {
+	reg := obs.NewRegistry()
+	mgr, err := lifecycle.Open(
+		func() (*core.Model, error) { return smallModel(t), nil },
+		lifecycle.Config{DataDir: t.TempDir(), Fsync: wal.SyncNever, Registry: reg},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := mgr.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	if lag := mgr.ApplyLag(); lag != 0 {
+		t.Fatalf("initial apply lag = %d, want 0", lag)
+	}
+	if _, _, err := mgr.Submit(core.RatingUpdate{User: 0, Item: 0, Value: 4}); err != nil {
+		t.Fatal(err)
+	}
+	waitDrained(t, mgr)
+	if lag := mgr.ApplyLag(); lag != 0 {
+		t.Errorf("drained apply lag = %d, want 0", lag)
+	}
+	if g := reg.Gauge("lifecycle_apply_lag").Value(); g != 0 {
+		t.Errorf("lifecycle_apply_lag gauge = %g, want 0", g)
+	}
+}

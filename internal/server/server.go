@@ -96,11 +96,21 @@ func (o Options) withDefaults() Options {
 // Server serves a CFSF model. Reads go through an atomic pointer so
 // predictions never block; writes (incoming ratings) refresh the model
 // incrementally under a mutex and swap the pointer.
+//
+// A Server can be constructed before its model exists (NewWarming): it
+// answers /healthz and /metrics immediately while every model-dependent
+// endpoint returns 503 "warming up", and Activate later installs the
+// model (and optional lifecycle manager) and flips readiness. This is
+// what lets cmd/cfsf-server open its listener before the offline phase
+// or snapshot+WAL recovery finishes, so load balancers — and the loadgen
+// harness measuring recovery time — can watch /healthz?ready=1 go green
+// the moment the model is actually servable.
 type Server struct {
 	model  atomic.Pointer[core.Model]
-	mu     sync.Mutex         // serialises /rate refreshes (no-manager mode)
-	mgr    *lifecycle.Manager // owns the model when non-nil
-	titles []string           // optional item display names
+	mu     sync.Mutex                        // serialises /rate refreshes (no-manager mode)
+	mgr    atomic.Pointer[lifecycle.Manager] // owns the model when non-nil
+	ready  atomic.Bool                       // model (and manager, if any) installed
+	titles atomic.Pointer[[]string]          // optional item display names
 	opts   Options
 	reg    *obs.Registry
 	start  time.Time
@@ -115,32 +125,70 @@ func New(model *core.Model, titles []string) *Server {
 	return NewWithOptions(model, titles, Options{})
 }
 
-// NewWithOptions returns a Server with explicit request-safety limits.
+// NewWithOptions returns a ready Server with explicit request-safety
+// limits.
 func NewWithOptions(model *core.Model, titles []string, opts Options) *Server {
+	s := NewWarming(opts)
+	s.Activate(model, titles, opts.Manager)
+	return s
+}
+
+// NewWarming returns a Server with no model yet: alive but not ready.
+// /healthz and /metrics serve immediately; everything touching the model
+// answers 503 until Activate installs one. Options.Manager is ignored
+// here — pass the manager to Activate once it has booted.
+func NewWarming(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		mgr:       opts.Manager,
-		titles:    titles,
 		opts:      opts,
 		reg:       opts.Registry,
 		start:     time.Now(),
 		endpoints: map[string]*endpointMetrics{},
 	}
-	if s.mgr != nil && model == nil {
-		model = s.mgr.Model()
-	}
-	s.model.Store(model)
-	s.recordModelGauges(s.current())
+	s.reg.Gauge("server_ready").Set(0)
 	return s
 }
 
+// Activate installs the serving model (or the lifecycle manager that owns
+// one) and marks the server ready. It must be called exactly once; the
+// readiness flip is the publication point, so handlers never observe a
+// half-installed model.
+func (s *Server) Activate(model *core.Model, titles []string, mgr *lifecycle.Manager) {
+	if mgr != nil {
+		s.mgr.Store(mgr)
+		if model == nil {
+			model = mgr.Model()
+		}
+	}
+	s.titles.Store(&titles)
+	s.model.Store(model)
+	s.recordModelGauges(model)
+	s.ready.Store(true)
+	s.reg.Gauge("server_ready").Set(1)
+}
+
+// Ready reports whether the model is installed and servable.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// manager returns the lifecycle manager owning the model, or nil.
+func (s *Server) manager() *lifecycle.Manager { return s.mgr.Load() }
+
 // current returns the model to serve this request from: the manager's
-// (which swaps it on every micro-batch) or the server's own pointer.
+// (which swaps it on every micro-batch) or the server's own pointer. It
+// is nil until Activate.
 func (s *Server) current() *core.Model {
-	if s.mgr != nil {
-		return s.mgr.Model()
+	if mgr := s.manager(); mgr != nil {
+		return mgr.Model()
 	}
 	return s.model.Load()
+}
+
+// itemTitles returns the display names installed by Activate, or nil.
+func (s *Server) itemTitles() []string {
+	if p := s.titles.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Model returns the currently served model.
@@ -154,14 +202,14 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("GET /healthz", s.handleHealth))
-	mux.HandleFunc("GET /stats", s.instrument("GET /stats", s.handleStats))
+	mux.HandleFunc("GET /stats", s.instrument("GET /stats", s.requireReady(s.handleStats)))
 	mux.HandleFunc("GET /metrics", s.instrument("GET /metrics", s.handleMetrics))
-	mux.HandleFunc("GET /predict", s.instrument("GET /predict", s.handlePredict))
-	mux.HandleFunc("POST /predict/batch", s.instrument("POST /predict/batch", s.handlePredictBatch))
-	mux.HandleFunc("GET /recommend", s.instrument("GET /recommend", s.handleRecommend))
-	mux.HandleFunc("POST /rate", s.instrument("POST /rate", s.handleRate))
-	mux.HandleFunc("POST /admin/snapshot", s.instrument("POST /admin/snapshot", s.handleAdminSnapshot))
-	mux.HandleFunc("POST /admin/retrain", s.instrument("POST /admin/retrain", s.handleAdminRetrain))
+	mux.HandleFunc("GET /predict", s.instrument("GET /predict", s.requireReady(s.handlePredict)))
+	mux.HandleFunc("POST /predict/batch", s.instrument("POST /predict/batch", s.requireReady(s.handlePredictBatch)))
+	mux.HandleFunc("GET /recommend", s.instrument("GET /recommend", s.requireReady(s.handleRecommend)))
+	mux.HandleFunc("POST /rate", s.instrument("POST /rate", s.requireReady(s.handleRate)))
+	mux.HandleFunc("POST /admin/snapshot", s.instrument("POST /admin/snapshot", s.requireReady(s.handleAdminSnapshot)))
+	mux.HandleFunc("POST /admin/retrain", s.instrument("POST /admin/retrain", s.requireReady(s.handleAdminRetrain)))
 	if s.opts.Debug {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -172,9 +220,29 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// requireReady guards a model-dependent handler: until Activate installs
+// the model, requests are shed with 503 instead of dereferencing a nil
+// model. Load balancers should key on /healthz?ready=1 instead of
+// tripping this path.
+func (s *Server) requireReady(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, errWarmingUp)
+			return
+		}
+		h(w, r)
+	}
+}
+
+var errWarmingUp = errors.New("warming up: model not loaded yet")
+
 // recordModelGauges publishes the served model's dimensions and
 // train-phase timings into the registry so /metrics tracks every swap.
 func (s *Server) recordModelGauges(mod *core.Model) {
+	if mod == nil {
+		return
+	}
 	m := mod.Matrix()
 	st := mod.Stats()
 	s.reg.Gauge("model_users").Set(float64(m.NumUsers()))
@@ -285,8 +353,8 @@ func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if s.mgr != nil {
-		s.handleRateQueued(w, req.User, req.Item, req.Rating, req.Time)
+	if mgr := s.manager(); mgr != nil {
+		s.handleRateQueued(w, mgr, req.User, req.Item, req.Rating, req.Time)
 		return
 	}
 
@@ -384,13 +452,13 @@ func (s *Server) handleRateBatch(w http.ResponseWriter, raw json.RawMessage) {
 		return ups, nil
 	}
 
-	if s.mgr != nil {
-		ups, err := validate(s.mgr.Model())
+	if mgr := s.manager(); mgr != nil {
+		ups, err := validate(mgr.Model())
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		seqs, pending, err := s.mgr.SubmitBatch(ups)
+		seqs, pending, err := mgr.SubmitBatch(ups)
 		switch {
 		case errors.Is(err, lifecycle.ErrQueueFull), errors.Is(err, lifecycle.ErrClosed):
 			writeError(w, http.StatusServiceUnavailable, err)
@@ -440,12 +508,12 @@ func (s *Server) handleRateBatch(w http.ResponseWriter, raw json.RawMessage) {
 // acknowledge. Validation runs against the serving model at submission
 // time; because application is asynchronous the model may grow between
 // validation and apply, which only ever widens what would be accepted.
-func (s *Server) handleRateQueued(w http.ResponseWriter, user, item int, rating float64, ts int64) {
-	if err := s.validateRate(s.mgr.Model(), user, item, rating); err != nil {
+func (s *Server) handleRateQueued(w http.ResponseWriter, mgr *lifecycle.Manager, user, item int, rating float64, ts int64) {
+	if err := s.validateRate(mgr.Model(), user, item, rating); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	seq, pending, err := s.mgr.Submit(core.RatingUpdate{User: user, Item: item, Value: rating, Time: ts})
+	seq, pending, err := mgr.Submit(core.RatingUpdate{User: user, Item: item, Value: rating, Time: ts})
 	switch {
 	case errors.Is(err, lifecycle.ErrQueueFull):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -465,8 +533,24 @@ func (s *Server) handleRateQueued(w http.ResponseWriter, user, item int, rating 
 	})
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+// handleHealth distinguishes liveness from readiness: a 200 with
+// "ready":false means the process is up but the model is still training
+// or recovering (snapshot load + WAL-tail replay). With ?ready=1 the
+// check becomes a readiness probe: 503 until Activate, so load balancers
+// and the loadgen harness can wait for — and time — warm-up precisely.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	ready := s.ready.Load()
+	resp := map[string]any{"status": "ok", "ready": ready}
+	if mgr := s.manager(); mgr != nil {
+		resp["pending"] = mgr.Pending()
+		resp["applied_seq"] = mgr.AppliedSeq()
+	}
+	status := http.StatusOK
+	if !ready && r.URL.Query().Get("ready") != "" {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, resp)
 }
 
 // shardStats returns the per-shard view of the serving model: the
@@ -474,10 +558,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // routing-only view of the standalone model (sizes are real, apply and
 // retrain counters are zero because the standalone path doesn't shard).
 func (s *Server) shardStats() []core.ShardStats {
-	if s.mgr != nil {
-		return s.mgr.ShardStats()
+	if mgr := s.manager(); mgr != nil {
+		return mgr.ShardStats()
 	}
-	return core.NewSharded(s.current()).ShardStats()
+	if mod := s.current(); mod != nil {
+		return core.NewSharded(mod).ShardStats()
+	}
+	return nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -486,7 +573,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := mod.Stats()
 	cfg := mod.Config()
 	shards := s.shardStats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"num_shards":    len(shards),
 		"shards":        shards,
 		"users":         m.NumUsers(),
@@ -510,16 +597,35 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"M": cfg.M, "K": cfg.K, "C": cfg.Clusters,
 			"lambda": cfg.Lambda, "delta": cfg.Delta, "epsilon": cfg.OriginalWeight,
 		},
-	})
+	}
+	// The queue view the loadgen steady scenario asserts on: depth and
+	// apply-lag (newest journaled seq minus applied watermark) must drain
+	// back to zero once traffic stops.
+	if mgr := s.manager(); mgr != nil {
+		resp["lifecycle"] = map[string]any{
+			"pending":      mgr.Pending(),
+			"apply_lag":    mgr.ApplyLag(),
+			"applied_seq":  mgr.AppliedSeq(),
+			"wal_last_seq": mgr.WALStats().LastSeq,
+			"retraining":   mgr.Retraining(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetrics reports the per-endpoint view plus the raw registry
-// snapshot. Model gauges are refreshed at scrape time so they track the
-// serving model even when swaps happen inside the lifecycle manager.
+// snapshot. Model and queue gauges are refreshed at scrape time so they
+// track the serving model even when swaps happen inside the lifecycle
+// manager. Unlike /stats it serves before Activate too — a scrape of a
+// warming server sees server_ready=0 and whatever boot has recorded.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.recordModelGauges(s.current())
+	if mgr := s.manager(); mgr != nil {
+		mgr.PublishGauges()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds": time.Since(s.start).Seconds(),
+		"ready":          s.ready.Load(),
 		"endpoints":      s.endpointsView(),
 		"registry":       s.reg.Snapshot(),
 		"shards":         s.shardStats(),
@@ -552,8 +658,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		},
 		"local_items": p.ItemsUsed, "local_users": p.UsersUsed,
 	}
-	if s.titles != nil && item < len(s.titles) {
-		resp["title"] = s.titles[item]
+	if titles := s.itemTitles(); item < len(titles) {
+		resp["title"] = titles[item]
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -626,11 +732,12 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	recs := mod.Recommend(user, n)
+	titles := s.itemTitles()
 	items := make([]map[string]any, 0, len(recs))
 	for _, rec := range recs {
 		entry := map[string]any{"item": rec.Item, "score": round3(rec.Score)}
-		if s.titles != nil && rec.Item < len(s.titles) {
-			entry["title"] = s.titles[rec.Item]
+		if rec.Item < len(titles) {
+			entry["title"] = titles[rec.Item]
 		}
 		items = append(items, entry)
 	}
