@@ -48,6 +48,7 @@ func run() int {
 		serverBin = flag.String("server-bin", "", "path to a prebuilt cfsf-server binary (required without -target)")
 		dataDir   = flag.String("data-dir", "", "durability root for the spawned server (default: per-run temp dir)")
 		fsync     = flag.String("fsync", "always", "WAL fsync policy for the spawned server")
+		serverArg = flag.String("server-arg", "", "extra flags appended verbatim to the spawned server's argument vector, space-separated (e.g. '-compact=true -compact-min-segments 4')")
 		duration  = flag.Int("duration-ms", 0, "override scenario duration_ms (0 = scenario value)")
 		qps       = flag.Float64("qps", 0, "override scenario qps (0 = scenario value)")
 		seed      = flag.Int64("seed", 0, "override scenario seed (0 = scenario value)")
@@ -116,7 +117,7 @@ func run() int {
 	var reports []*loadgen.Report
 	allPass := true
 	for _, sc := range scenarios {
-		rep, err := runScenario(ctx, runner, sc, *target, *serverBin, *dataDir, *fsync)
+		rep, err := runScenario(ctx, runner, sc, *target, *serverBin, *dataDir, *fsync, strings.Fields(*serverArg))
 		if err != nil {
 			log.Printf("scenario %q: %v", sc.Name, err)
 			return 2
@@ -163,7 +164,7 @@ func run() int {
 // runScenario builds the request stream, resolves the target (external
 // URL or a freshly spawned server on a private data dir), runs, and
 // tears the target down.
-func runScenario(ctx context.Context, runner *loadgen.Runner, sc *loadgen.Scenario, targetURL, serverBin, dataDir, fsync string) (*loadgen.Report, error) {
+func runScenario(ctx context.Context, runner *loadgen.Runner, sc *loadgen.Scenario, targetURL, serverBin, dataDir, fsync string, serverArgs []string) (*loadgen.Report, error) {
 	st, err := loadgen.BuildStream(sc)
 	if err != nil {
 		return nil, err
@@ -198,6 +199,7 @@ func runScenario(ctx context.Context, runner *loadgen.Runner, sc *loadgen.Scenar
 			GrowthMargin: sc.GrowthMargin(),
 			Fsync:        fsync,
 			Stderr:       logSink,
+			ExtraArgs:    serverArgs,
 		})
 		if err != nil {
 			return nil, err

@@ -70,7 +70,9 @@ func main() {
 		snapshotKeep  = flag.Int("snapshot-keep", 2, "how many snapshot files to retain")
 		retrainAfter  = flag.Int("retrain-after", 0, "background retrain after this many applied ratings (0 disables)")
 		retrainMode   = flag.String("retrain-mode", "shards", "background retrain style: shards (per-shard sweep) or full (stop-the-world KMeans)")
-		snapVerify    = flag.Bool("snapshot-verify", true, "load each snapshot back and compare predictions before it may prune the WAL")
+		snapVerify    = flag.Bool("snapshot-verify", true, "read each written snapshot blob back and compare it to the serving model before the manifest may prune the WAL")
+		compact       = flag.Bool("compact", false, "fold checkpoint-covered WAL segments into a deduped compacted base after each snapshot instead of deleting them")
+		compactMinSeg = flag.Int("compact-min-segments", 2, "skip the post-snapshot compaction pass below this many WAL segments")
 
 		debug           = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 		growthMargin    = flag.Int("growth-margin", 1, "how far past current matrix bounds a /rate id may grow the model")
@@ -207,6 +209,8 @@ func main() {
 			RetrainAfter:       *retrainAfter,
 			RetrainMode:        *retrainMode,
 			SkipSnapshotVerify: !*snapVerify,
+			CompactEnabled:     *compact,
+			CompactMinSegments: *compactMinSeg,
 			Registry:           registry,
 			Logf:               log.Printf,
 		})

@@ -51,6 +51,21 @@ func snapshot(path string, data []byte) error {
 	return f.Close()
 }
 
+// promote drops the rename that publishes a temp file: flagged.
+func promote(tmp, final string) {
+	os.Rename(tmp, final) // want "error from os.Rename is silently discarded"
+}
+
+// promoteChecked propagates the rename error: legal; the cleanup rename
+// documents its discard: legal.
+func promoteChecked(tmp, final string) error {
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Rename(final, tmp)
+		return err
+	}
+	return nil
+}
+
 // reader closes a read handle silently: legal (os.Open, not a write
 // handle).
 func reader(path string) ([]byte, error) {

@@ -1,9 +1,11 @@
 // Package walerr flags silently discarded errors on durability-critical
-// calls: the internal/wal API (append, fsync, rotate, replay, close) and
-// os.File Sync/Close on write handles. A WAL append whose error vanishes
-// acknowledges a rating that was never journaled; an fsync error that is
-// dropped converts "durable per policy" into "durable if the disk felt
-// like it".
+// calls: the internal/wal API (append, fsync, rotate, compact, replay,
+// close), os.File Sync/Close on write handles, and os.Rename. A WAL
+// append whose error vanishes acknowledges a rating that was never
+// journaled; an fsync error that is dropped converts "durable per
+// policy" into "durable if the disk felt like it"; a dropped rename
+// error leaves code proceeding as if a temp file had been promoted (a
+// compacted base or snapshot blob) when it never was.
 //
 // Discarding is "silent" when the call is an expression statement or a
 // defer/go statement. An explicit blank assignment (`_ = f.Close()`) is
@@ -29,7 +31,7 @@ import (
 // Analyzer is the walerr pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "walerr",
-	Doc:  "flags discarded errors from internal/wal calls and os.File Sync/Close on write paths",
+	Doc:  "flags discarded errors from internal/wal calls, os.File Sync/Close on write paths, and os.Rename",
 	Run:  run,
 }
 
@@ -123,7 +125,15 @@ func check(pass *analysis.Pass, call *ast.CallExpr, writeHandles map[types.Objec
 			fn.Pkg().Name(), fn.Name())
 		return
 	}
-	// Cases 2+3: os.File Sync anywhere, Close on write handles.
+	// Case 2: os.Rename — the atomic-promotion step of every temp+rename
+	// publish (compacted base, snapshot blob, manifest). Proceeding past
+	// a failed rename means acting as if the file were published.
+	if fn.Pkg() != nil && fn.Pkg().Path() == "os" && fn.Name() == "Rename" {
+		pass.Reportf(call.Pos(),
+			"error from os.Rename is silently discarded; a failed rename leaves the published file missing or stale")
+		return
+	}
+	// Cases 3+4: os.File Sync anywhere, Close on write handles.
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil || !analysis.IsNamedType(sig.Recv().Type(), "os", "File") {
 		return

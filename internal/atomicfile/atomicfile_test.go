@@ -1,0 +1,65 @@
+package atomicfile
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteAndSyncCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+
+	if err := WriteAndSync(path, []byte("one"), 0o644); err != nil {
+		t.Fatalf("WriteAndSync: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "one" {
+		t.Fatalf("read back: %q, %v", got, err)
+	}
+
+	if err := WriteAndSync(path, []byte("two"), 0o644); err != nil {
+		t.Fatalf("WriteAndSync replace: %v", err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil || string(got) != "two" {
+		t.Fatalf("read back after replace: %q, %v", got, err)
+	}
+}
+
+func TestWriteToAndSyncErrorLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := WriteAndSync(path, []byte("keep"), 0o644); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+
+	boom := errors.New("boom")
+	err := WriteToAndSync(path, 0o644, func(f *os.File) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("want wrapped fill error, got %v", err)
+	}
+
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "keep" {
+		t.Fatalf("target changed on failed write: %q, %v", got, rerr)
+	}
+	// No temp litter either.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestSyncDirMissing(t *testing.T) {
+	if err := SyncDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("want error for missing dir")
+	}
+}

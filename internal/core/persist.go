@@ -5,13 +5,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sync/atomic"
 	"time"
 
+	"cfsf/internal/atomicfile"
 	"cfsf/internal/cluster"
 	"cfsf/internal/ratings"
 	"cfsf/internal/similarity"
-	"cfsf/internal/smoothing"
 )
 
 // modelWire is the on-disk form of a trained model. It stores the
@@ -45,17 +44,13 @@ func (mod *Model) Save(w io.Writer) error {
 	return nil
 }
 
-// SaveFile saves the model to a file created at path.
+// SaveFile saves the model to path atomically and durably (temp file,
+// fsync, rename, directory fsync), so a crash mid-save never leaves a
+// torn model file behind.
 func (mod *Model) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := mod.Save(f); err != nil {
-		_ = f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicfile.WriteToAndSync(path, 0o644, func(f *os.File) error {
+		return mod.Save(f)
+	})
 }
 
 // Load reconstructs a model saved with Save. Smoothing tables, iCluster
@@ -79,21 +74,8 @@ func Load(r io.Reader) (*Model, error) {
 	}
 
 	start := time.Now()
-	mod := &Model{
-		cfg:      wire.Config,
-		m:        wire.Matrix,
-		gis:      similarity.FromSnapshot(wire.GIS),
-		clusters: wire.Clusters,
-	}
-	mod.buildDecay()
-	mod.sm = smoothing.NewWeighted(mod.m, mod.clusters, mod.decay)
-	mod.ic = smoothing.BuildICluster(mod.sm, mod.cfg.Workers)
-	mod.neighborCache = make([]atomic.Pointer[[]likeMinded], mod.m.NumUsers())
-	mod.initRecCache()
-	mod.buildTopM(nil)
-	mod.stats.GISNeighbors = mod.gis.TotalNeighbors()
-	mod.stats.ClusterIters = wire.Clusters.Iterations
-	mod.stats.TotalDuration = time.Since(start)
+	mod := rebuildModel(wire.Config, wire.Matrix, wire.GIS, wire.Clusters)
+	stampRebuildDuration(mod, start)
 	return mod, nil
 }
 

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"cfsf/internal/ratings"
+)
+
+// saveParts serialises mod as one shared blob plus one blob per shard.
+func saveParts(t *testing.T, mod *Model) (shared []byte, shards [][]byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := mod.SaveSharedBlob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	shared = append([]byte(nil), buf.Bytes()...)
+	for c := 0; c < mod.Clusters().K; c++ {
+		buf.Reset()
+		if err := mod.SaveShardBlob(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, append([]byte(nil), buf.Bytes()...))
+	}
+	return shared, shards
+}
+
+// assembleFromParts loads the blobs back and rebuilds the model the way
+// the lifecycle boot path does.
+func assembleFromParts(t *testing.T, shared []byte, shards [][]byte) *Model {
+	t.Helper()
+	sp, err := LoadSharedPart(bytes.NewReader(shared))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]ratings.Entry, sp.NumUsers)
+	var times [][]int64
+	if sp.HasTimes {
+		times = make([][]int64, sp.NumUsers)
+	}
+	for _, blob := range shards {
+		part, err := LoadShardPart(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, u := range part.Users {
+			rows[u] = part.Rows[j]
+			if sp.HasTimes {
+				times[u] = part.Times[j]
+			}
+		}
+	}
+	mod, err := AssembleModel(sp, rows, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func TestShardBlobRoundTripPredictsIdentically(t *testing.T) {
+	mod, _ := trainSmall(t)
+	loaded := func() *Model { sh, ss := saveParts(t, mod); return assembleFromParts(t, sh, ss) }()
+	for u := 0; u < mod.Matrix().NumUsers(); u++ {
+		for i := 0; i < 25; i++ {
+			if a, b := mod.Predict(u, i), loaded.Predict(u, i); a != b {
+				t.Fatalf("Predict(%d,%d): %g != %g after part reassembly", u, i, a, b)
+			}
+		}
+	}
+	if loaded.Matrix().NumRatings() != mod.Matrix().NumRatings() {
+		t.Error("matrix did not round-trip")
+	}
+	if loaded.Matrix().HasTimes() != mod.Matrix().HasTimes() {
+		t.Error("timestamp presence did not round-trip")
+	}
+}
+
+func TestShardBlobRoundTripWithTimestamps(t *testing.T) {
+	mod, _ := trainSmall(t)
+	// Fold in timed updates so the matrix carries timestamps.
+	ups := []RatingUpdate{
+		{User: 1, Item: 2, Value: 4, Time: 1700000100},
+		{User: 3, Item: 5, Value: 2, Time: 1700000200},
+	}
+	next, err := mod.WithUpdates(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !next.Matrix().HasTimes() {
+		t.Fatal("expected timed matrix")
+	}
+	loaded := func() *Model { sh, ss := saveParts(t, next); return assembleFromParts(t, sh, ss) }()
+	if !loaded.Matrix().HasTimes() {
+		t.Fatal("timestamps lost in part round-trip")
+	}
+	for _, up := range ups {
+		ts, ok := loaded.Matrix().RatingTime(up.User, up.Item)
+		if !ok || ts != up.Time {
+			t.Fatalf("RatingTime(%d,%d) = %d,%v want %d", up.User, up.Item, ts, ok, up.Time)
+		}
+	}
+	for u := 0; u < next.Matrix().NumUsers(); u++ {
+		for i := 0; i < 25; i++ {
+			if a, b := next.Predict(u, i), loaded.Predict(u, i); a != b {
+				t.Fatalf("Predict(%d,%d): %g != %g after timed part reassembly", u, i, a, b)
+			}
+		}
+	}
+}
+
+func TestShardBlobDetectsCorruption(t *testing.T) {
+	mod, _ := trainSmall(t)
+	shared, shards := saveParts(t, mod)
+
+	flip := func(b []byte, at int) []byte {
+		out := append([]byte(nil), b...)
+		out[at] ^= 0x40
+		return out
+	}
+	if _, err := LoadSharedPart(bytes.NewReader(flip(shared, len(shared)/2))); err == nil {
+		t.Error("corrupt shared payload accepted")
+	}
+	if _, err := LoadShardPart(bytes.NewReader(flip(shards[0], len(shards[0])/2))); err == nil {
+		t.Error("corrupt shard payload accepted")
+	}
+	if _, err := LoadShardPart(bytes.NewReader(flip(shards[0], 3))); err == nil {
+		t.Error("corrupt magic accepted")
+	}
+	// Truncation.
+	if _, err := LoadShardPart(bytes.NewReader(shards[0][:len(shards[0])-5])); err == nil {
+		t.Error("truncated shard blob accepted")
+	}
+	// Kind confusion: a shard blob is not a shared blob.
+	if _, err := LoadSharedPart(bytes.NewReader(shards[0])); err == nil {
+		t.Error("shard blob accepted as shared blob")
+	}
+}
+
+func TestApplyReportsDirtyShards(t *testing.T) {
+	mod, _ := trainSmall(t)
+	s := NewSharded(mod)
+
+	ups := []RatingUpdate{{User: 7, Item: 3, Value: 5}}
+	next, err := s.Apply(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := next.DirtyShards()
+	if len(dirty) == 0 {
+		t.Fatal("apply reported no dirty shards")
+	}
+	// The pre-apply routing of every changed user must be dirty, and the
+	// post-apply assignment too.
+	want := map[int]bool{s.ShardOf(7): true, next.ShardOf(7): true}
+	got := map[int]bool{}
+	for _, c := range dirty {
+		got[c] = true
+	}
+	for c := range want {
+		if !got[c] {
+			t.Errorf("shard %d (routing of user 7) not reported dirty: %v", c, dirty)
+		}
+	}
+	// Ascending and unique.
+	for i := 1; i < len(dirty); i++ {
+		if dirty[i] <= dirty[i-1] {
+			t.Fatalf("dirty shards not ascending: %v", dirty)
+		}
+	}
+
+	// RebuildGIS touches only shared state.
+	if d := next.RebuildGIS().DirtyShards(); d != nil {
+		t.Errorf("RebuildGIS dirtied shard rows: %v", d)
+	}
+
+	// RetrainShard dirties at least the retrained shard.
+	rt, err := next.RetrainShard(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range rt.DirtyShards() {
+		if c == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("retrained shard 2 not in dirty set %v", rt.DirtyShards())
+	}
+}

@@ -26,6 +26,11 @@ import (
 type ShardedModel struct {
 	mod    *Model       //cfsf:immutable
 	shards []ShardStats //cfsf:immutable
+	// dirty lists, ascending, the shards whose persisted rows this value's
+	// construction invalidated relative to its predecessor (see
+	// DirtyShards). It describes the transition, not cumulative state:
+	// each Apply/RetrainShard result carries only its own step's dirt.
+	dirty []int //cfsf:immutable
 }
 
 // ShardStats describes one shard of a ShardedModel.
@@ -103,7 +108,20 @@ func (s *ShardedModel) Apply(updates []RatingUpdate) (*ShardedModel, error) {
 		}
 	}
 	ms := float64(time.Since(start)) / float64(time.Millisecond)
-	out := &ShardedModel{mod: next, shards: append([]ShardStats(nil), s.shards...)}
+	// Persistence dirt is the union of each changed user's pre-apply
+	// routing and post-apply assignment: the refresh pass can move a user
+	// to another cluster, invalidating both the shard that lost the row
+	// and the one that gained it.
+	dirtySet := make(map[int]bool, len(touched))
+	for c := range touched {
+		dirtySet[c] = true
+	}
+	for _, up := range updates {
+		if up.User < len(next.clusters.Assign) {
+			dirtySet[next.clusters.Assign[up.User]] = true
+		}
+	}
+	out := &ShardedModel{mod: next, shards: append([]ShardStats(nil), s.shards...), dirty: sortedShardSet(dirtySet)}
 	for c := range touched {
 		if c < len(out.shards) {
 			out.shards[c].Applies++
@@ -139,7 +157,7 @@ func (s *ShardedModel) RetrainShard(shard int) (*ShardedModel, error) {
 			}
 		}
 	}
-	out := &ShardedModel{mod: mod, shards: append([]ShardStats(nil), s.shards...)}
+	out := &ShardedModel{mod: mod, shards: append([]ShardStats(nil), s.shards...), dirty: []int{shard}}
 	if len(moved) > 0 {
 		cl, affected := mod.clusters.RefreshUsers(mod.m, moved)
 		affItems := map[int]bool{}
@@ -164,6 +182,11 @@ func (s *ShardedModel) RetrainShard(shard int) (*ShardedModel, error) {
 		// moved is ascending (members lists are) as carryRecCache needs.
 		next.carryRecCache(mod, moved, nil)
 		out.mod = next
+		dirtySet := map[int]bool{shard: true}
+		for _, u := range moved {
+			dirtySet[cl.Assign[u]] = true
+		}
+		out.dirty = sortedShardSet(dirtySet)
 	}
 	out.shards[shard].Retrains++
 	out.shards[shard].LastRetrainMS = float64(time.Since(start)) / float64(time.Millisecond)

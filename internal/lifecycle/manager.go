@@ -10,33 +10,41 @@
 //
 // Data-dir layout:
 //
-//	<dir>/wal/seg-<firstSeq>.wal    append-only rating journal (internal/wal)
-//	<dir>/snapshots/snap-<seq>.gob  model snapshots; <seq> is the last
-//	                                rating sequence the snapshot covers
+//	<dir>/wal/seg-<firstSeq>.wal         append-only rating journal (internal/wal)
+//	<dir>/wal/base-<toSeq>.cwal          compacted base the folded segments
+//	                                     rewrite into (wal compaction)
+//	<dir>/snapshots/manifest-<seq>.json  one recovery point: watermark + blob refs
+//	<dir>/snapshots/shared-<seq>.blob    config + GIS + clustering at <seq>
+//	<dir>/snapshots/shard-<id>-<seq>.blob one shard's matrix rows at <seq>
+//	<dir>/snapshots/snap-<seq>.gob       legacy monolithic snapshot (still
+//	                                     boots; migrated on the next snapshot)
 //
-// Boot loads the newest loadable snapshot — unreadable or
-// unknown-version files are skipped in favour of older ones — or calls
+// Boot loads the newest loadable recovery point — an unreadable manifest
+// or legacy file is skipped in favour of an older one, and inside a
+// manifest an unreadable shard blob is patched from an older manifest's
+// blob plus the WAL before the whole point is given up on — or calls
 // the bootstrap function when none loads, then replays the WAL tail past
-// the snapshot's sequence. Each rating record carries the shard it was
+// the point's sequence. Each rating record carries the shard it was
 // routed to and each batch-commit record the shard it was applied on, so
 // replay regroups ratings into exactly the per-shard micro-batches the
 // previous process applied and the recovered model is bit-for-bit
 // identical. A fresh snapshot is then written so the next boot replays
-// nothing — but only after it passes a load-and-predict self-check; a
-// snapshot that cannot be read back and reproduce the serving model's
-// predictions never prunes the WAL it claims to cover.
+// nothing — but only after every written blob passes a read-back
+// self-check; a snapshot that cannot be read back bit-for-bit never
+// prunes the WAL it claims to cover.
 package lifecycle
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"cfsf/internal/atomicfile"
 	"cfsf/internal/core"
 	"cfsf/internal/obs"
 	"cfsf/internal/wal"
@@ -79,8 +87,18 @@ type Config struct {
 	// SnapshotEvery, when > 0, snapshots the model in the background at
 	// this cadence (skipped when nothing changed since the last one).
 	SnapshotEvery time.Duration
-	// SnapshotKeep is how many snapshot files to retain. <= 0 means 2.
+	// SnapshotKeep is how many recovery points (manifests or legacy
+	// snapshots) to retain. <= 0 means 2.
 	SnapshotKeep int
+
+	// CompactEnabled folds checkpoint-covered WAL segments into a
+	// compacted base after each snapshot instead of deleting them, so
+	// recovery can still patch older shard blobs forward while the log
+	// stays bounded.
+	CompactEnabled bool
+	// CompactMinSegments is the segment count at which a post-snapshot
+	// compaction pass actually runs. <= 0 means 2.
+	CompactMinSegments int
 
 	// RetrainAfter, when > 0, triggers a background retrain once this
 	// many ratings have been applied since the last retrain.
@@ -119,6 +137,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SnapshotKeep <= 0 {
 		c.SnapshotKeep = 2
+	}
+	if c.CompactMinSegments <= 0 {
+		c.CompactMinSegments = 2
 	}
 	if c.RetrainMode == "" {
 		c.RetrainMode = RetrainShards
@@ -165,6 +186,10 @@ type modelState struct {
 	sharded  *core.ShardedModel
 	seq      uint64
 	complete bool
+	// gen is the dirty-tracking generation this state was stored at: the
+	// dirty spans recorded at or before it describe exactly the shards
+	// whose persisted rows this model invalidates (see markDirty).
+	gen uint64
 }
 
 type pendingUpdate struct {
@@ -195,6 +220,14 @@ type SnapshotInfo struct {
 	CoveredSeq uint64        `json:"covered_seq"`
 	Bytes      int64         `json:"bytes"`
 	Duration   time.Duration `json:"-"`
+	DurationMS float64       `json:"duration_ms"`
+	// ShardsWritten / ShardsClean split the shard blobs into rewritten
+	// and re-referenced (clean since the previous manifest, so their
+	// existing verified blobs were reused); SharedWritten reports whether
+	// the shared blob was rewritten.
+	ShardsWritten int  `json:"shards_written"`
+	ShardsClean   int  `json:"shards_clean"`
+	SharedWritten bool `json:"shared_written"`
 	// Skipped is true when nothing changed since the last snapshot and
 	// no file was written.
 	Skipped bool `json:"skipped,omitempty"`
@@ -219,8 +252,17 @@ type Manager struct {
 	done    chan struct{}
 	closing atomic.Bool
 
-	snapMu       sync.Mutex  // serialises snapshot writes
+	snapMu       sync.Mutex  // serialises snapshot writes, retention, and compaction
 	snapForce    atomic.Bool // a retrain swapped the model without advancing seq
+	lastManifest *manifest   //cfsf:guarded-by snapMu // newest published manifest; clean shards reuse its blob refs
+	lastSnap     atomic.Pointer[SnapshotInfo]
+	lastCkptSeq  atomic.Uint64 // sequence of the newest checkpoint record (compaction fold boundary)
+
+	dirtyMu    sync.Mutex
+	gen        uint64          //cfsf:guarded-by dirtyMu // one per model swap with persistence dirt
+	dirtyShard map[int]genSpan //cfsf:guarded-by dirtyMu
+	sharedGen  *genSpan        //cfsf:guarded-by dirtyMu // shared blob dirt (conservatively every swap)
+
 	retrainReq   chan string // requested RetrainMode ("" = configured default)
 	retrainc     chan retrainResult
 	retraining   bool                // run-loop state: a retrain goroutine is in flight
@@ -290,9 +332,13 @@ func Open(bootstrap func() (*core.Model, error), cfg Config) (*Manager, error) {
 		retrainReq: make(chan string, 1),
 		// Buffered so the retrain goroutine can finish even if the loop
 		// is gone (Abort) — it must never block forever on send.
-		retrainc: make(chan retrainResult, 1),
+		retrainc:   make(chan retrainResult, 1),
+		dirtyShard: map[int]genSpan{},
 	}
 	m.bindMetrics()
+	// Fold boundary until this run's first checkpoint: the highest
+	// checkpoint the previous run journaled.
+	m.lastCkptSeq.Store(w.Stats().LastCheckpoint)
 
 	if err := m.bootModel(bootstrap); err != nil {
 		_ = w.Close()
@@ -337,42 +383,82 @@ const (
 
 func snapName(seq uint64) string { return fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix) }
 
-type snapshotFile struct {
-	path string
-	seq  uint64
+// genSpan is the generation range over which a persisted part has been
+// dirtied and not yet re-persisted: min is a lower bound on the oldest
+// uncovered dirt, max the newest.
+type genSpan struct{ min, max uint64 }
+
+// markDirty records that the model swap about to be published dirtied
+// the given shards (every shard when all is set) plus the shared part,
+// and returns the generation the new modelState must carry. Called
+// before the corresponding state.Store: a snapshot that reads a state at
+// generation g then finds a span with min <= g knows that state's model
+// covers the dirt.
+func (m *Manager) markDirty(shards []int, all bool, numShards int) uint64 {
+	m.dirtyMu.Lock()
+	defer m.dirtyMu.Unlock()
+	m.gen++
+	g := m.gen
+	if m.sharedGen == nil {
+		m.sharedGen = &genSpan{min: g, max: g}
+	} else {
+		m.sharedGen.max = g
+	}
+	mark := func(s int) {
+		if sp, ok := m.dirtyShard[s]; ok {
+			sp.max = g
+			m.dirtyShard[s] = sp
+		} else {
+			m.dirtyShard[s] = genSpan{min: g, max: g}
+		}
+	}
+	if all {
+		for s := 0; s < numShards; s++ {
+			mark(s)
+		}
+	} else {
+		for _, s := range shards {
+			mark(s)
+		}
+	}
+	return g
 }
 
-// listSnapshots returns every snapshot file in the data dir, newest
-// (highest covered sequence) first.
-func listSnapshots(dataDir string) ([]snapshotFile, error) {
-	entries, err := os.ReadDir(snapshotDir(dataDir))
-	if err != nil {
-		return nil, err
-	}
-	var snaps []snapshotFile
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
-			continue
+// dirtyAt returns, ascending, the shards with dirt at or before
+// generation g — dirt a model stored at g has folded in — plus whether
+// the shared part has such dirt.
+func (m *Manager) dirtyAt(g uint64) (shards []int, shared bool) {
+	m.dirtyMu.Lock()
+	defer m.dirtyMu.Unlock()
+	for s, sp := range m.dirtyShard {
+		if sp.min <= g {
+			shards = append(shards, s)
 		}
-		var s uint64
-		if _, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), "%016x", &s); err != nil {
-			continue
-		}
-		snaps = append(snaps, snapshotFile{path: filepath.Join(snapshotDir(dataDir), name), seq: s})
 	}
-	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq > snaps[j].seq })
-	return snaps, nil
+	sort.Ints(shards)
+	return shards, m.sharedGen != nil && m.sharedGen.min <= g
 }
 
-// latestSnapshot returns the newest snapshot file and the sequence it
-// covers, or "" when none exists.
-func latestSnapshot(dataDir string) (path string, seq uint64, err error) {
-	snaps, err := listSnapshots(dataDir)
-	if err != nil || len(snaps) == 0 {
-		return "", 0, err
+// clearDirty discharges dirt at or before generation g (it has been
+// persisted); dirt marked after g survives for the next snapshot.
+func (m *Manager) clearDirty(g uint64) {
+	m.dirtyMu.Lock()
+	defer m.dirtyMu.Unlock()
+	for s, sp := range m.dirtyShard {
+		if sp.max <= g {
+			delete(m.dirtyShard, s)
+		} else if sp.min <= g {
+			sp.min = g + 1
+			m.dirtyShard[s] = sp
+		}
 	}
-	return snaps[0].path, snaps[0].seq, nil
+	if m.sharedGen != nil {
+		if m.sharedGen.max <= g {
+			m.sharedGen = nil
+		} else if m.sharedGen.min <= g {
+			m.sharedGen.min = g + 1
+		}
+	}
 }
 
 // bootModel establishes the serving model: snapshot or bootstrap, then
@@ -382,32 +468,65 @@ func latestSnapshot(dataDir string) (path string, seq uint64, err error) {
 //cfsf:init-only runs from Open before the manager is returned or the run loop starts
 //cfsf:locked mu same: nothing else can touch the manager during boot
 func (m *Manager) bootModel(bootstrap func() (*core.Model, error)) error {
-	snaps, err := listSnapshots(m.cfg.DataDir)
+	points, err := listDurablePoints(m.cfg.DataDir)
 	if err != nil {
 		return fmt.Errorf("lifecycle: list snapshots: %w", err)
 	}
-	// Try snapshots newest-first: a file that cannot be decoded — torn by
-	// the filesystem, or written by a newer build whose wire version this
-	// binary rejects — is skipped in favour of the next older one. The
-	// WAL needed to catch up from an older snapshot is still present
-	// because segments are only pruned once a *verified* snapshot covers
-	// them.
+	// Try recovery points newest-first: a manifest or legacy file that
+	// cannot be loaded — torn by the filesystem, or written by a newer
+	// build whose wire version this binary rejects — is skipped in favour
+	// of the next older one. The WAL needed to catch up from an older
+	// point is still present because segments are only pruned (or folded
+	// into the compacted base) once a *verified* snapshot covers them.
 	var base *core.Model
 	var baseSeq uint64
-	hadSnapshot := false
-	for _, s := range snaps {
+	hadSnapshot, legacyLoaded := false, false
+	var bootPatched []int
+	for _, pt := range points {
+		// A point is only usable when the WAL can still extend it: a
+		// contiguous record stream from its watermark to the tail, not
+		// deduped below it (dedupe keeps final cells but destroys the
+		// batch grouping bit-for-bit replay needs). Retention prunes in
+		// step with the point ladder, so this only skips points orphaned
+		// by a SnapshotKeep decrease or external file surgery.
+		if av := m.w.AvailableFrom(); av > pt.seq+1 {
+			m.cfg.Logf("lifecycle: snapshot %s unusable (wal starts at seq %d, tail from seq %d is gone); trying an older one",
+				filepath.Base(pt.path), av, pt.seq)
+			continue
+		}
+		if db := m.w.DedupedBelow(); db > pt.seq {
+			m.cfg.Logf("lifecycle: snapshot %s unusable (wal deduped below seq %d, batch replay from seq %d lost); trying an older one",
+				filepath.Base(pt.path), db, pt.seq)
+			continue
+		}
 		t := time.Now()
-		mod, lerr := core.LoadFile(s.path)
+		var mod *core.Model
+		var man *manifest
+		var patched []int
+		var lerr error
+		if pt.manifest {
+			mod, man, patched, lerr = m.loadManifestPoint(pt)
+		} else {
+			mod, lerr = core.LoadFile(pt.path)
+		}
 		if lerr != nil {
 			m.reg.Counter("lifecycle_snapshot_load_failures_total").Inc()
-			m.cfg.Logf("lifecycle: snapshot %s unusable (%v); trying an older one", filepath.Base(s.path), lerr)
+			m.cfg.Logf("lifecycle: snapshot %s unusable (%v); trying an older one", filepath.Base(pt.path), lerr)
 			continue
 		}
 		m.cfg.Logf("lifecycle: loaded snapshot %s (covers seq %d) in %v",
-			filepath.Base(s.path), s.seq, time.Since(t).Round(time.Millisecond))
-		base, baseSeq, hadSnapshot = mod, s.seq, true
-		m.boot.SnapshotLoaded = s.path
-		m.boot.SnapshotSeq = s.seq
+			filepath.Base(pt.path), pt.seq, time.Since(t).Round(time.Millisecond))
+		base, baseSeq, hadSnapshot = mod, pt.seq, true
+		legacyLoaded = !pt.manifest
+		bootPatched = patched
+		// nil man for a legacy point: the next snapshot writes everything.
+		// Boot is single-threaded, but the boot-time Snapshot below reads
+		// this under snapMu, so publish it the same way.
+		m.snapMu.Lock()
+		m.lastManifest = man
+		m.snapMu.Unlock()
+		m.boot.SnapshotLoaded = pt.path
+		m.boot.SnapshotSeq = pt.seq
 		break
 	}
 	if !hadSnapshot {
@@ -432,6 +551,13 @@ func (m *Manager) bootModel(bootstrap func() (*core.Model, error)) error {
 	// were journaled but possibly never applied; they form one final
 	// batch.
 	cur := core.NewSharded(base)
+	bootDirty := map[int]bool{}
+	for _, s := range bootPatched {
+		// A patched shard's manifest ref points at the unusable blob; the
+		// boot snapshot below must rewrite it.
+		bootDirty[s] = true
+	}
+	markAllBoot := !hadSnapshot || legacyLoaded
 	var queued []pendingUpdate
 	lastSeq := baseSeq
 	applyThrough := func(covered uint64, shard int) error {
@@ -448,9 +574,15 @@ func (m *Manager) bootModel(bootstrap func() (*core.Model, error)) error {
 			return nil
 		}
 		queued = kept
-		next, err := m.applyUpdates(cur, batch)
+		next, dirty, err := m.applyUpdates(cur, batch)
 		if err != nil {
 			return fmt.Errorf("lifecycle: replay batch through seq %d: %w", covered, err)
+		}
+		if cur.Model().Matrix().HasTimes() != next.Model().Matrix().HasTimes() {
+			markAllBoot = true // times flip: every shard blob's wire shape changed
+		}
+		for _, s := range dirty {
+			bootDirty[s] = true
 		}
 		cur = next
 		m.boot.ReplayedBatches++
@@ -475,18 +607,34 @@ func (m *Manager) bootModel(bootstrap func() (*core.Model, error)) error {
 	}
 
 	m.maxSeq = maxU64(baseSeq, lastSeq)
-	m.state.Store(&modelState{sharded: cur, seq: m.maxSeq, complete: true})
+	var g uint64
+	if markAllBoot {
+		g = m.markDirty(nil, true, cur.NumShards())
+	} else if len(bootDirty) > 0 {
+		g = m.markDirty(sortedInts(bootDirty), false, cur.NumShards())
+	}
+	m.state.Store(&modelState{sharded: cur, seq: m.maxSeq, complete: true, gen: g})
 
-	// Re-anchor durability: after any replay (or a first boot with no
-	// snapshot at all) write a snapshot so the next boot starts from a
-	// clean point — and so recovery no longer depends on the bootstrap
-	// function reproducing the base model exactly.
-	if m.boot.ReplayedRecords > 0 || !hadSnapshot {
+	// Re-anchor durability: after any replay, a boot from a legacy or
+	// shard-patched snapshot, or a first boot with no snapshot at all,
+	// write a snapshot so the next boot starts from a clean point — and
+	// so recovery no longer depends on the bootstrap function reproducing
+	// the base model exactly.
+	if m.boot.ReplayedRecords > 0 || !hadSnapshot || legacyLoaded || len(bootPatched) > 0 {
 		if _, err := m.Snapshot(); err != nil {
 			return fmt.Errorf("lifecycle: boot snapshot: %w", err)
 		}
 	}
 	return nil
+}
+
+func sortedInts(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
 }
 
 func maxU64(a, b uint64) uint64 {
@@ -499,14 +647,17 @@ func maxU64(a, b uint64) uint64 {
 // applyUpdates folds updates into the sharded model, falling back to
 // per-update application when the batch fails as a whole so one
 // malformed update cannot wedge the log (bad updates are counted and
-// dropped).
-func (m *Manager) applyUpdates(sm *core.ShardedModel, updates []core.RatingUpdate) (*core.ShardedModel, error) {
+// dropped). It returns the union of the dirty-shard sets of every apply
+// it performed — the fallback path chains several, each carrying only
+// its own step's dirt.
+func (m *Manager) applyUpdates(sm *core.ShardedModel, updates []core.RatingUpdate) (*core.ShardedModel, []int, error) {
 	next, err := sm.Apply(updates)
 	if err == nil {
-		return next, nil
+		return next, next.DirtyShards(), nil
 	}
 	m.cfg.Logf("lifecycle: batch of %d failed (%v); retrying per update", len(updates), err)
 	cur := sm
+	dirty := map[int]bool{}
 	for _, u := range updates {
 		n, uerr := cur.Apply([]core.RatingUpdate{u})
 		if uerr != nil {
@@ -514,9 +665,12 @@ func (m *Manager) applyUpdates(sm *core.ShardedModel, updates []core.RatingUpdat
 			m.cfg.Logf("lifecycle: dropping unappliable update (%d,%d)=%g: %v", u.User, u.Item, u.Value, uerr)
 			continue
 		}
+		for _, s := range n.DirtyShards() {
+			dirty[s] = true
+		}
 		cur = n
 	}
-	return cur, nil
+	return cur, sortedInts(dirty), nil
 }
 
 // Model returns the currently served model.
@@ -788,7 +942,7 @@ func (m *Manager) applyPending() {
 
 		t := time.Now()
 		cur := m.state.Load()
-		next, err := m.applyUpdates(cur.sharded, updates)
+		next, dirty, err := m.applyUpdates(cur.sharded, updates)
 		if err != nil {
 			// applyUpdates only errors when even per-update fallback is
 			// impossible; drop the batch rather than wedge the loop.
@@ -796,12 +950,16 @@ func (m *Manager) applyPending() {
 			m.cfg.Logf("lifecycle: dropping batch of %d: %v", n, err)
 			continue
 		}
+		// A timestamp flip changes every shard blob's wire shape, not just
+		// the touched rows — persistence must rewrite them all.
+		flip := cur.sharded.Model().Matrix().HasTimes() != next.Model().Matrix().HasTimes()
+		g := m.markDirty(dirty, flip, next.NumShards())
 		// The watermark only reaches maxSeq once every queue entry below it
 		// is applied; between per-shard batches it trails the oldest still-
 		// pending rating, and the model is marked incomplete so snapshots
 		// wait (see modelState).
 		m.mu.Lock()
-		st := &modelState{sharded: next, seq: m.maxSeq, complete: true}
+		st := &modelState{sharded: next, seq: m.maxSeq, complete: true, gen: g}
 		if len(m.pending) > 0 {
 			st.seq = m.pending[0].seq - 1
 			st.complete = false
@@ -844,7 +1002,11 @@ func (m *Manager) publishModelGauges() {
 	m.reg.Gauge("lifecycle_shards").Set(float64(st.sharded.NumShards()))
 	m.reg.Gauge("lifecycle_applied_seq").Set(float64(st.seq))
 	m.reg.Gauge("wal_last_seq").Set(float64(m.w.LastSeq()))
-	m.reg.Gauge("wal_segments").Set(float64(m.w.Stats().Segments))
+	ws := m.w.Stats()
+	m.reg.Gauge("wal_segments").Set(float64(ws.Segments))
+	m.reg.Gauge("wal_compactions").Set(float64(ws.Compactions))
+	m.reg.Gauge("wal_base_records").Set(float64(ws.BaseRecords))
+	m.reg.Gauge("wal_base_bytes").Set(float64(ws.BaseBytes))
 	m.mPending.Set(float64(m.Pending()))
 	m.mApplyLag.Set(float64(m.ApplyLag()))
 }
@@ -908,7 +1070,7 @@ func (m *Manager) finishRetrain(res retrainResult) {
 	}
 	mod := res.sharded
 	if len(catchUp) > 0 {
-		next, err := m.applyUpdates(mod, catchUp)
+		next, _, err := m.applyUpdates(mod, catchUp)
 		if err != nil {
 			m.mRetrainErrs.Inc()
 			m.cfg.Logf("lifecycle: retrain catch-up failed, keeping old model: %v", err)
@@ -916,8 +1078,11 @@ func (m *Manager) finishRetrain(res retrainResult) {
 		}
 		mod = next
 	}
+	// A retrain re-fits clustering and rebuilds the GIS: every persisted
+	// part is stale.
+	g := m.markDirty(nil, true, mod.NumShards())
 	cur := m.state.Load() // catch-up covered everything applied so far
-	m.state.Store(&modelState{sharded: mod, seq: cur.seq, complete: cur.complete})
+	m.state.Store(&modelState{sharded: mod, seq: cur.seq, complete: cur.complete, gen: g})
 	m.driftCount = 0
 	m.mRetrains.Inc()
 	m.mRetrainLat.Observe(durMS(res.duration))
@@ -959,15 +1124,18 @@ func (m *Manager) Retraining() bool {
 	return m.reg.Gauge("lifecycle_retraining").Value() == 1
 }
 
-// Snapshot writes the serving model atomically (temp file + rename, both
-// fsynced) to snapshots/snap-<seq>.gob, verifies it with a load-and-
-// predict self-check, and only then journals a checkpoint record, prunes
-// WAL segments the snapshot covers, and drops snapshots beyond
-// SnapshotKeep — a snapshot that cannot reproduce the serving model's
-// predictions is deleted and never shrinks the WAL. When nothing was
-// applied since the last snapshot, or the model is mid-drain (per-shard
-// batching has applied a rating beyond the contiguous watermark), it
-// returns Skipped without touching disk.
+// Snapshot persists the serving model as an incremental recovery point:
+// it writes a blob for every shard dirtied since the previous manifest
+// (plus the shared config/GIS/clustering blob), re-references the
+// previous manifest's blobs for clean shards, verifies every written
+// blob with a read-back self-check, and only then publishes the manifest
+// atomically, journals a checkpoint record, prunes retention, and
+// shrinks the WAL (deleting covered segments, or folding them into the
+// compacted base when compaction is enabled) — a blob that cannot be
+// read back bit-for-bit aborts the snapshot and never shrinks the WAL.
+// When nothing was applied since the last snapshot, or the model is
+// mid-drain (per-shard batching has applied a rating beyond the
+// contiguous watermark), it returns Skipped without touching disk.
 //
 //cfsf:wallclock-ok snapshot duration feeds the snapshot_ms histogram only
 func (m *Manager) Snapshot() (SnapshotInfo, error) {
@@ -978,14 +1146,16 @@ func (m *Manager) Snapshot() (SnapshotInfo, error) {
 	if !st.complete {
 		return SnapshotInfo{CoveredSeq: st.seq, Skipped: true}, nil
 	}
-	path := filepath.Join(snapshotDir(m.cfg.DataDir), snapName(st.seq))
-	// A snapshot file for this seq normally means there is nothing new to
-	// persist — except right after a retrain, which replaces the model
-	// without advancing the WAL seq. snapForce marks that case; the
-	// rename below then overwrites the stale file atomically.
+	dir := snapshotDir(m.cfg.DataDir)
+	// Nothing dirty at an unchanged watermark means the previous manifest
+	// still describes the serving model exactly — except right after a
+	// retrain, which replaces the model without advancing the WAL seq.
+	// snapForce marks that case.
 	force := m.snapForce.Swap(false)
-	if _, err := os.Stat(path); err == nil && !force {
-		return SnapshotInfo{Path: path, CoveredSeq: st.seq, Skipped: true}, nil
+	dirty, sharedDirty := m.dirtyAt(st.gen)
+	prev := m.lastManifest
+	if !force && prev != nil && prev.Seq == st.seq && len(dirty) == 0 && !sharedDirty {
+		return SnapshotInfo{Path: filepath.Join(dir, manifestName(st.seq)), CoveredSeq: st.seq, Skipped: true}, nil
 	}
 
 	persisted := false
@@ -1000,134 +1170,180 @@ func (m *Manager) Snapshot() (SnapshotInfo, error) {
 	}
 
 	t := time.Now()
-	tmp, err := os.CreateTemp(snapshotDir(m.cfg.DataDir), ".tmp-snap-*")
-	if err != nil {
-		return SnapshotInfo{}, fmt.Errorf("lifecycle: snapshot temp file: %w", err)
+	mod := st.sharded.Model()
+	numShards := st.sharded.NumShards()
+
+	// Decide what to write: every shard when there is no previous
+	// manifest to reuse (first manifest, legacy migration, shard-count
+	// change) or after a retrain; otherwise only the dirty ones.
+	writeAll := force || prev == nil || len(prev.Shards) != numShards
+	writeSet := make(map[int]bool, numShards)
+	if writeAll {
+		for s := 0; s < numShards; s++ {
+			writeSet[s] = true
+		}
+	} else {
+		for _, s := range dirty {
+			if s < numShards {
+				writeSet[s] = true
+			}
+		}
 	}
-	tmpName := tmp.Name()
+	sharedWritten := writeAll || sharedDirty
+
+	man := &manifest{
+		Version: manifestVersion,
+		Seq:     st.seq,
+		Users:   mod.Matrix().NumUsers(),
+		Items:   mod.Matrix().NumItems(),
+		Shards:  make([]shardBlobRef, numShards),
+	}
+	var written []string // blob files this snapshot created, for cleanup on failure
+	var bytesWritten int64
 	fail := func(err error) (SnapshotInfo, error) {
-		_ = tmp.Close()
-		_ = os.Remove(tmpName)
+		for _, name := range written {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
 		return SnapshotInfo{}, err
 	}
-	if err := st.sharded.Model().Save(tmp); err != nil {
-		return fail(err)
-	}
-	if err := tmp.Sync(); err != nil {
-		return fail(fmt.Errorf("lifecycle: sync snapshot: %w", err))
-	}
-	size, _ := tmp.Seek(0, 2)
-	if err := tmp.Close(); err != nil {
-		return fail(fmt.Errorf("lifecycle: close snapshot: %w", err))
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return SnapshotInfo{}, fmt.Errorf("lifecycle: publish snapshot: %w", err)
-	}
-	if err := syncDirOf(path); err != nil {
-		return SnapshotInfo{}, err
+	writeBlob := func(base string, save func(f *os.File) error) (string, error) {
+		name := uniqueBlobName(dir, base)
+		if err := atomicfile.WriteToAndSync(filepath.Join(dir, name), 0o644, save); err != nil {
+			return "", err
+		}
+		written = append(written, name)
+		if fi, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			bytesWritten += fi.Size()
+		}
+		return name, nil
 	}
 
-	// Self-check before the snapshot is allowed to shrink the WAL: load
-	// the published file back and demand bit-identical predictions from
-	// the reconstructed model. A snapshot that fails is removed — the WAL
-	// (and any older verified snapshot) still covers everything, so
-	// durability is unchanged; what is prevented is pruning the log on
-	// the word of a file that cannot actually restore the model.
+	if sharedWritten {
+		name, err := writeBlob(fmt.Sprintf("%s%016x", sharedBlobPrefix, st.seq),
+			func(f *os.File) error { return mod.SaveSharedBlob(f) })
+		if err != nil {
+			return fail(fmt.Errorf("lifecycle: write shared blob: %w", err))
+		}
+		man.Shared = blobRef{File: name, Seq: st.seq}
+	} else {
+		man.Shared = prev.Shared
+	}
+	shardsWritten := 0
+	for s := 0; s < numShards; s++ {
+		if !writeSet[s] {
+			man.Shards[s] = prev.Shards[s]
+			continue
+		}
+		shard := s
+		name, err := writeBlob(fmt.Sprintf("%s%04d-%016x", shardBlobPrefix, s, st.seq),
+			func(f *os.File) error { return mod.SaveShardBlob(f, shard) })
+		if err != nil {
+			return fail(fmt.Errorf("lifecycle: write shard %d blob: %w", s, err))
+		}
+		man.Shards[s] = shardBlobRef{ID: s, File: name, Seq: st.seq}
+		shardsWritten++
+	}
+
+	// Self-check before the manifest may reference the new blobs (and so
+	// before anything can shrink the WAL): read every written blob back
+	// and demand it reproduce the serving model bit-for-bit. Clean
+	// shards' blobs passed this check when they were first written.
 	if !m.cfg.SkipSnapshotVerify {
-		if err := verifySnapshot(path, st.sharded.Model()); err != nil {
+		if err := verifyWrittenParts(dir, man, writeSet, sharedWritten, mod); err != nil {
 			m.reg.Counter("lifecycle_snapshot_verify_failures_total").Inc()
-			os.Remove(path)
-			return SnapshotInfo{}, fmt.Errorf("lifecycle: snapshot %s failed self-check: %w", filepath.Base(path), err)
+			return fail(fmt.Errorf("lifecycle: snapshot at seq %d failed self-check: %w", st.seq, err))
 		}
 		m.reg.Counter("lifecycle_snapshots_verified_total").Inc()
 	}
-	persisted = true
 
-	if _, err := m.w.AppendCheckpoint(st.seq); err != nil {
-		m.cfg.Logf("lifecycle: journal checkpoint: %v", err)
+	// Publish: the manifest rename is the commit point. Overwriting the
+	// manifest at an unchanged watermark (post-retrain) is safe because
+	// the rewritten blobs got fresh names — the old manifest's blob set
+	// stays intact until this rename replaces it.
+	manPath := filepath.Join(dir, manifestName(st.seq))
+	manData, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fail(fmt.Errorf("lifecycle: encode manifest: %w", err))
 	}
-	if n, err := m.w.Prune(st.seq); err != nil {
+	if err := atomicfile.WriteAndSync(manPath, manData, 0o644); err != nil {
+		return fail(fmt.Errorf("lifecycle: publish manifest: %w", err))
+	}
+	persisted = true
+	m.lastManifest = man
+	m.clearDirty(st.gen)
+
+	if ckptSeq, err := m.w.AppendCheckpoint(st.seq); err != nil {
+		m.cfg.Logf("lifecycle: journal checkpoint: %v", err)
+	} else {
+		m.lastCkptSeq.Store(ckptSeq)
+	}
+	m.pruneDurablePoints()
+	// Shrink the WAL below the oldest retained point, not below this
+	// snapshot: older manifests must keep their tail replay (and their
+	// shard blobs their patch window) until retention drops them.
+	if m.cfg.CompactEnabled {
+		m.compactLocked(false)
+	} else if n, err := m.w.Prune(m.oldestRetainedPointSeq()); err != nil {
 		m.cfg.Logf("lifecycle: prune wal: %v", err)
 	} else if n > 0 {
 		m.reg.Counter("wal_segments_pruned_total").Add(int64(n))
 	}
-	m.pruneSnapshots()
 
-	info := SnapshotInfo{Path: path, CoveredSeq: st.seq, Bytes: size, Duration: time.Since(t)}
+	info := SnapshotInfo{
+		Path: manPath, CoveredSeq: st.seq, Bytes: bytesWritten, Duration: time.Since(t),
+		ShardsWritten: shardsWritten, ShardsClean: numShards - shardsWritten, SharedWritten: sharedWritten,
+	}
+	info.DurationMS = durMS(info.Duration)
+	m.lastSnap.Store(&info)
 	m.mSnapshots.Inc()
 	m.mSnapLat.Observe(durMS(info.Duration))
+	m.reg.Counter("lifecycle_shard_blobs_written_total").Add(int64(shardsWritten))
+	m.reg.Counter("lifecycle_shard_blobs_skipped_clean_total").Add(int64(numShards - shardsWritten))
 	m.reg.Gauge("lifecycle_snapshot_seq").Set(float64(st.seq))
-	m.cfg.Logf("lifecycle: snapshot %s (%d bytes, covers seq %d) in %v",
-		filepath.Base(path), size, st.seq, info.Duration.Round(time.Millisecond))
+	m.cfg.Logf("lifecycle: snapshot %s (%d bytes, covers seq %d, %d/%d shard blobs written) in %v",
+		filepath.Base(manPath), bytesWritten, st.seq, shardsWritten, numShards, info.Duration.Round(time.Millisecond))
 	return info, nil
 }
 
-// verifySnapshot loads the snapshot file back and compares a grid sample
-// of its predictions against the live model's, exactly. Load rebuilds
-// the smoothing tables and iCluster rankings from the persisted matrix
-// and clustering, so equality here means the file actually carries
-// everything recovery needs.
-func verifySnapshot(path string, live *core.Model) error {
-	loaded, err := core.LoadFile(path)
+// compactLocked runs one WAL compaction pass under snapMu: fold
+// checkpoint-covered segments into the compacted base, deduping below
+// the oldest sequence any retained recovery point still needs.
+//
+//cfsf:locked snapMu the fold boundary and dedupe horizon must not race a snapshot or retention pass
+func (m *Manager) compactLocked(force bool) (wal.CompactStats, error) {
+	if !force && m.w.Stats().Segments < m.cfg.CompactMinSegments {
+		return wal.CompactStats{}, nil
+	}
+	cs, err := m.w.Compact(m.lastCkptSeq.Load(), m.oldestRetainedSeq(), force)
 	if err != nil {
-		return err
+		m.cfg.Logf("lifecycle: compact wal: %v", err)
+		return cs, err
 	}
-	lm, vm := live.Matrix(), loaded.Matrix()
-	if lm.NumUsers() != vm.NumUsers() || lm.NumItems() != vm.NumItems() || lm.NumRatings() != vm.NumRatings() {
-		return fmt.Errorf("reloaded dimensions %dx%d/%d differ from %dx%d/%d",
-			vm.NumUsers(), vm.NumItems(), vm.NumRatings(), lm.NumUsers(), lm.NumItems(), lm.NumRatings())
+	if cs.SegmentsFolded > 0 {
+		m.reg.Counter("wal_segments_compacted_total").Add(int64(cs.SegmentsFolded))
+		m.reg.Counter("wal_compacted_cells_dropped_total").Add(int64(cs.DroppedCells))
 	}
-	// Sample a coarse grid rather than the full P×Q matrix: wrong
-	// clustering, deviations, or similarities shift predictions across
-	// whole rows, so a strided sample catches structural corruption at a
-	// fraction of the cost.
-	uStep := max(1, lm.NumUsers()/16)
-	iStep := max(1, lm.NumItems()/16)
-	for u := 0; u < lm.NumUsers(); u += uStep {
-		for i := 0; i < lm.NumItems(); i += iStep {
-			if got, want := loaded.Predict(u, i), live.Predict(u, i); got != want {
-				return fmt.Errorf("prediction (%d,%d) reloads as %v, serving model says %v", u, i, got, want)
-			}
-		}
-	}
-	return nil
+	return cs, nil
 }
 
-func syncDirOf(path string) error {
-	d, err := os.Open(filepath.Dir(path))
-	if err != nil {
-		return fmt.Errorf("lifecycle: open dir for sync: %w", err)
-	}
-	err = d.Sync()
-	d.Close()
-	if err != nil {
-		return fmt.Errorf("lifecycle: sync dir: %w", err)
-	}
-	return nil
+// Compact runs a WAL compaction pass on demand (the /admin/compact
+// endpoint): sealed segments covered by the newest checkpoint fold into
+// the compacted base. With force set, the pass runs even below the
+// configured segment threshold and rewrites the base alone when no
+// segment is foldable (re-deduping under an advanced horizon).
+func (m *Manager) Compact(force bool) (wal.CompactStats, error) {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	return m.compactLocked(force)
 }
 
-// pruneSnapshots removes all but the newest SnapshotKeep snapshot files.
-func (m *Manager) pruneSnapshots() {
-	entries, err := os.ReadDir(snapshotDir(m.cfg.DataDir))
-	if err != nil {
-		return
+// SnapshotStats returns what the most recent non-skipped snapshot wrote
+// (zero value before the first one this run).
+func (m *Manager) SnapshotStats() SnapshotInfo {
+	if p := m.lastSnap.Load(); p != nil {
+		return *p
 	}
-	var names []string
-	for _, e := range entries {
-		if n := e.Name(); strings.HasPrefix(n, snapPrefix) && strings.HasSuffix(n, snapSuffix) {
-			names = append(names, n)
-		}
-	}
-	if len(names) <= m.cfg.SnapshotKeep {
-		return
-	}
-	sort.Strings(names) // hex sequence names sort chronologically
-	for _, n := range names[:len(names)-m.cfg.SnapshotKeep] {
-		if err := os.Remove(filepath.Join(snapshotDir(m.cfg.DataDir), n)); err == nil {
-			m.cfg.Logf("lifecycle: pruned snapshot %s", n)
-		}
-	}
+	return SnapshotInfo{}
 }
 
 // Close drains the queue (every journaled rating is applied), waits for

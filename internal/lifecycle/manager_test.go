@@ -533,12 +533,30 @@ func TestSnapshotSkipAndPrune(t *testing.T) {
 		if info.Skipped || info.Bytes == 0 {
 			t.Fatalf("snapshot round %d: %+v", round, info)
 		}
-		files, err := filepath.Glob(filepath.Join(dir, "snapshots", "snap-*.gob"))
+		files, err := filepath.Glob(filepath.Join(dir, "snapshots", "manifest-*.json"))
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(files) != 1 {
-			t.Errorf("round %d: %d snapshot files retained, want 1 (%v)", round, len(files), files)
+			t.Errorf("round %d: %d manifests retained, want 1 (%v)", round, len(files), files)
+		}
+		// Blob GC keeps only files the retained manifest references.
+		blobs, _ := filepath.Glob(filepath.Join(dir, "snapshots", "*.blob"))
+		man, err := readManifest(files[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		referenced := map[string]bool{man.Shared.File: true}
+		for _, ref := range man.Shards {
+			referenced[ref.File] = true
+		}
+		if len(blobs) != len(referenced) {
+			t.Errorf("round %d: %d blobs on disk, manifest references %d (%v)", round, len(blobs), len(referenced), blobs)
+		}
+		for _, b := range blobs {
+			if !referenced[filepath.Base(b)] {
+				t.Errorf("round %d: unreferenced blob %s survived GC", round, filepath.Base(b))
+			}
 		}
 	}
 	// Segments below the checkpoint were pruned; only the live tail stays.

@@ -30,6 +30,12 @@ type ProcOptions struct {
 	Fsync string
 	// Stderr receives the server's log output; nil discards it.
 	Stderr io.Writer
+	// ExtraArgs are appended verbatim to the server's argument vector
+	// (after the generated flags, so they win on repeats). The CI smoke
+	// uses this to run killrecover with WAL compaction on
+	// ("-compact=true"); Restart re-execs the same vector, so recovery
+	// runs under the same flags traffic did.
+	ExtraArgs []string
 }
 
 // ProcTarget runs cfsf-server as a child process. Kill is a real
@@ -70,6 +76,7 @@ func SpawnServer(opts ProcOptions) (*ProcTarget, error) {
 	if opts.Fsync != "" {
 		args = append(args, "-fsync", opts.Fsync)
 	}
+	args = append(args, opts.ExtraArgs...)
 	t := &ProcTarget{opts: opts, addr: addr, args: args}
 	if err := t.start(); err != nil {
 		return nil, err

@@ -32,8 +32,49 @@ func (s *Server) handleAdminSnapshot(w http.ResponseWriter, _ *http.Request) {
 		resp["status"] = "skipped"
 	} else {
 		resp["bytes"] = info.Bytes
+		resp["shards_written"] = info.ShardsWritten
+		resp["shards_clean"] = info.ShardsClean
+		resp["shared_written"] = info.SharedWritten
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAdminCompact folds checkpoint-covered WAL segments into the
+// compacted base synchronously. ?force=1 runs the pass even below the
+// configured segment threshold and rewrites the base alone when no
+// segment is foldable (re-deduping under an advanced horizon). Useful
+// when compaction is disabled (-compact=false) or to reclaim space
+// without waiting for the next snapshot.
+func (s *Server) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
+	mgr := s.manager()
+	if mgr == nil {
+		writeError(w, http.StatusServiceUnavailable, errNoManager)
+		return
+	}
+	force := false
+	switch v := r.URL.Query().Get("force"); v {
+	case "", "0", "false":
+	case "1", "true":
+		force = true
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad force value %q (want 1/true or 0/false)", v))
+		return
+	}
+	cs, err := mgr.Compact(force)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.reg.Counter("admin_compact_total").Inc()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":              "ok",
+		"segments_folded":     cs.SegmentsFolded,
+		"records_in":          cs.RecordsIn,
+		"records_out":         cs.RecordsOut,
+		"dropped_cells":       cs.DroppedCells,
+		"dropped_commits":     cs.DroppedCommits,
+		"dropped_checkpoints": cs.DroppedCheckpoints,
+	})
 }
 
 // handleAdminRetrain starts a background retrain of the serving model

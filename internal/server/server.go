@@ -210,6 +210,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /rate", s.instrument("POST /rate", s.requireReady(s.handleRate)))
 	mux.HandleFunc("POST /admin/snapshot", s.instrument("POST /admin/snapshot", s.requireReady(s.handleAdminSnapshot)))
 	mux.HandleFunc("POST /admin/retrain", s.instrument("POST /admin/retrain", s.requireReady(s.handleAdminRetrain)))
+	mux.HandleFunc("POST /admin/compact", s.instrument("POST /admin/compact", s.requireReady(s.handleAdminCompact)))
 	if s.opts.Debug {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -602,13 +603,26 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	// apply-lag (newest journaled seq minus applied watermark) must drain
 	// back to zero once traffic stops.
 	if mgr := s.manager(); mgr != nil {
-		resp["lifecycle"] = map[string]any{
+		ws := mgr.WALStats()
+		lc := map[string]any{
 			"pending":      mgr.Pending(),
 			"apply_lag":    mgr.ApplyLag(),
 			"applied_seq":  mgr.AppliedSeq(),
-			"wal_last_seq": mgr.WALStats().LastSeq,
+			"wal_last_seq": ws.LastSeq,
 			"retraining":   mgr.Retraining(),
+			"storage": map[string]any{
+				"wal_segments":     ws.Segments,
+				"wal_compactions":  ws.Compactions,
+				"wal_base_records": ws.BaseRecords,
+				"wal_base_bytes":   ws.BaseBytes,
+			},
 		}
+		// What the last non-skipped snapshot actually wrote: with
+		// incremental manifests most shards are clean and skipped.
+		if snap := mgr.SnapshotStats(); snap.Path != "" {
+			lc["last_snapshot"] = snap
+		}
+		resp["lifecycle"] = lc
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,498 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"cfsf/internal/atomicfile"
+)
+
+// Log compaction rewrites checkpoint-covered sealed segments (plus the
+// previous compacted base) into one compacted base file, then deletes the
+// folded sources. The base preserves every record's original sequence
+// number and the batch-commit grouping above the caller's horizon, so
+// replaying "base + remaining segments" from any retained durable point
+// is bit-for-bit identical to replaying the original segments.
+//
+// The horizon is the oldest retained durable point (manifest or legacy
+// snapshot) sequence. Replay from a durable point only ever reads records
+// after that point, which splits the base into two zones:
+//
+//   - seq <= horizon: these records are never batch-replayed again (every
+//     retained recovery start is at or above the horizon); they are kept
+//     only so matrix rows can be rebuilt (shard-blob patching, and the
+//     last-resort bootstrap path). Superseded (user,item) cells are
+//     dropped across batches — last writer wins — and batch-commit
+//     records are dropped entirely.
+//   - seq > horizon: replay from a retained durable point can start here,
+//     so batch structure is sacred. Ratings are deduped only within one
+//     committed batch (the model folds a batch atomically, and the
+//     matrix builder keeps the last duplicate, so dropping an earlier
+//     same-cell rating of the same batch cannot change the result);
+//     commit records and the trailing uncommitted queue are untouched.
+//
+// A dropped rating must not flip timestamp presence: an update with a
+// timestamp is only dropped when the surviving same-cell record also
+// carries one (or the dropped one carried none).
+//
+// The base file layout is a 32-byte header — magic, first sequence,
+// last sequence, and the highest horizon ever applied (so later readers
+// know below which sequence batch structure is gone) — followed by
+// ordinary record frames. Promotion is
+// crash-safe: the new base is written to a temp file, fsynced, renamed,
+// and the directory fsynced before any source file is deleted; Open
+// cleans up whichever side of that window a crash exposes.
+
+const (
+	basePrefix     = "base-"
+	baseSuffix     = ".cwal"
+	baseHeaderSize = 32
+)
+
+var baseMagic = [8]byte{'C', 'F', 'S', 'F', 'W', 'A', 'B', 1}
+
+func baseName(toSeq uint64) string {
+	return fmt.Sprintf("%s%016x%s", basePrefix, toSeq, baseSuffix)
+}
+
+// baseInfo describes the live compacted base file.
+type baseInfo struct {
+	name    string
+	fromSeq uint64 // sequence the base's coverage starts at
+	toSeq   uint64 // last sequence the base covers (boundary to the next segment)
+	// horizon is the highest horizon any compaction pass applied: records
+	// at or below it have lost superseded cells and commit records, so
+	// batch-exact replay below it is impossible (cell-level last-writer
+	// state is preserved).
+	horizon uint64
+	records int
+	bytes   int64
+	// lastCheckpoint is the highest checkpoint Covered value among the
+	// base's records (0 when none).
+	lastCheckpoint uint64
+}
+
+// CompactStats reports one compaction pass.
+type CompactStats struct {
+	// SegmentsFolded is how many sealed segments were rewritten into the
+	// base (the previous base, when present, is folded too but not
+	// counted here).
+	SegmentsFolded int `json:"segments_folded"`
+	// RecordsIn / RecordsOut count records read from the sources and
+	// written to the new base.
+	RecordsIn  int `json:"records_in"`
+	RecordsOut int `json:"records_out"`
+	// DroppedCells counts superseded (user,item) ratings removed;
+	// DroppedCommits and DroppedCheckpoints count bookkeeping records
+	// below the horizon that no retained replay can observe.
+	DroppedCells       int `json:"dropped_cells"`
+	DroppedCommits     int `json:"dropped_commits"`
+	DroppedCheckpoints int `json:"dropped_checkpoints"`
+	// BaseRecords/BaseBytes/BaseFromSeq/BaseToSeq describe the promoted
+	// base file.
+	BaseRecords int    `json:"base_records"`
+	BaseBytes   int64  `json:"base_bytes"`
+	BaseFromSeq uint64 `json:"base_from_seq"`
+	BaseToSeq   uint64 `json:"base_to_seq"`
+}
+
+// AvailableFrom returns the lowest sequence from which the log can serve
+// a contiguous record stream: the base's start when the first remaining
+// segment continues it directly, otherwise the first segment's start.
+// Callers patching state forward from sequence S need AvailableFrom() <=
+// S+1, or records in (S, tail] may be missing.
+func (w *WAL) AvailableFrom() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.base != nil {
+		if len(w.segments) == 0 || w.segments[0].firstSeq <= w.base.toSeq+1 {
+			return w.base.fromSeq
+		}
+	}
+	if len(w.segments) > 0 {
+		return w.segments[0].firstSeq
+	}
+	return 1
+}
+
+// DedupedBelow returns the highest horizon any compaction pass has
+// applied: records at or below it may have lost superseded cells and
+// commit records, so batch-exact replay of that range is impossible.
+// Zero when no compacted base exists.
+func (w *WAL) DedupedBelow() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.base != nil {
+		return w.base.horizon
+	}
+	return 0
+}
+
+// Compact folds every checkpoint-covered sealed segment (every segment
+// whose successor starts at or below covered+1) plus the previous base
+// into a new compacted base, promotes it atomically, and deletes the
+// folded sources. horizon is the oldest retained durable point sequence;
+// records at or below it lose superseded cells and commit records,
+// records above it keep their batch structure (see the package comment).
+//
+// With no foldable segments the call is a no-op unless force is set, in
+// which case the existing base alone is rewritten under the (possibly
+// advanced) horizon. The returned stats are zero when nothing was done.
+func (w *WAL) Compact(covered, horizon uint64, force bool) (CompactStats, error) {
+	w.compactMu.Lock()
+	defer w.compactMu.Unlock()
+
+	w.mu.Lock()
+	oldBase := w.base
+	var fold []segment
+	for i := 0; i+1 < len(w.segments) && w.segments[i+1].firstSeq <= covered+1; i++ {
+		fold = append(fold, w.segments[i])
+	}
+	w.mu.Unlock()
+
+	if len(fold) == 0 && (oldBase == nil || !force) {
+		return CompactStats{}, nil
+	}
+
+	// The horizon only ever advances: records once deduped under an older
+	// horizon stay deduped, so the recorded value is the max over passes.
+	if oldBase != nil && oldBase.horizon > horizon {
+		horizon = oldBase.horizon
+	}
+
+	// Coverage boundary of the new base: just below the first segment we
+	// are not folding.
+	var toSeq uint64
+	if len(fold) > 0 {
+		w.mu.Lock()
+		toSeq = w.segments[len(fold)].firstSeq - 1
+		w.mu.Unlock()
+	} else {
+		toSeq = oldBase.toSeq
+	}
+	fromSeq := toSeq + 1 // lowered below to the first source's start
+
+	// Read every source record in order: previous base first, then the
+	// folded segments.
+	var recs []Record
+	if oldBase != nil {
+		if oldBase.fromSeq < fromSeq {
+			fromSeq = oldBase.fromSeq
+		}
+		var err error
+		recs, err = readBaseRecords(filepath.Join(w.dir, oldBase.name), recs)
+		if err != nil {
+			return CompactStats{}, fmt.Errorf("wal: compact: %w", err)
+		}
+	}
+	for _, seg := range fold {
+		if seg.firstSeq < fromSeq {
+			fromSeq = seg.firstSeq
+		}
+		var err error
+		recs, err = readSegmentRecords(filepath.Join(w.dir, seg.name), recs)
+		if err != nil {
+			return CompactStats{}, fmt.Errorf("wal: compact: %w", err)
+		}
+	}
+
+	stats := CompactStats{SegmentsFolded: len(fold), RecordsIn: len(recs)}
+	keep := compactRecords(recs, horizon, &stats)
+
+	// Write and promote the new base.
+	name := baseName(toSeq)
+	path := filepath.Join(w.dir, name)
+	var baseBytes int64
+	err := atomicfile.WriteToAndSync(path, 0o644, func(f *os.File) error {
+		var hdr [baseHeaderSize]byte
+		copy(hdr[:8], baseMagic[:])
+		binary.BigEndian.PutUint64(hdr[8:], fromSeq)
+		binary.BigEndian.PutUint64(hdr[16:], toSeq)
+		binary.BigEndian.PutUint64(hdr[24:], horizon)
+		if _, err := f.Write(hdr[:]); err != nil {
+			return err
+		}
+		buf := make([]byte, 0, 1<<16)
+		for _, i := range keep {
+			buf = appendRecord(buf, recs[i])
+			if len(buf) >= 1<<16-maxEncodedRecord {
+				if _, err := f.Write(buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+			}
+		}
+		if _, err := f.Write(buf); err != nil {
+			return err
+		}
+		baseBytes = baseHeaderSize
+		return nil
+	})
+	if err != nil {
+		return CompactStats{}, fmt.Errorf("wal: compact promote: %w", err)
+	}
+	if fi, err := os.Stat(path); err == nil {
+		baseBytes = fi.Size()
+	}
+
+	stats.RecordsOut = len(keep)
+	stats.BaseRecords = len(keep)
+	stats.BaseBytes = baseBytes
+	stats.BaseFromSeq = fromSeq
+	stats.BaseToSeq = toSeq
+
+	// Swap in the new base and garbage-collect the folded sources. The
+	// new base is durable, so a failed deletion only leaves files Open
+	// knows how to clean up on the next boot.
+	w.mu.Lock()
+	w.base = &baseInfo{name: name, fromSeq: fromSeq, toSeq: toSeq, horizon: horizon, records: len(keep), bytes: baseBytes}
+	w.segments = w.segments[len(fold):]
+	w.stats.Compactions++
+	w.mu.Unlock()
+
+	if oldBase != nil && oldBase.name != name {
+		if err := os.Remove(filepath.Join(w.dir, oldBase.name)); err != nil {
+			w.opts.Logf("wal: compact: remove superseded base %s: %v", oldBase.name, err)
+		}
+	}
+	for _, seg := range fold {
+		if err := os.Remove(filepath.Join(w.dir, seg.name)); err != nil {
+			w.opts.Logf("wal: compact: remove folded segment %s: %v", seg.name, err)
+		}
+	}
+	if err := atomicfile.SyncDir(w.dir); err != nil {
+		w.opts.Logf("wal: compact: %v", err)
+	}
+	w.opts.Logf("wal: compacted %d segment(s) into %s: %d -> %d record(s), horizon %d",
+		len(fold), name, stats.RecordsIn, stats.RecordsOut, horizon)
+	return stats, nil
+}
+
+// compactRecords selects which source records survive, returning their
+// indexes in order. See the package comment for the two-zone rules.
+func compactRecords(recs []Record, horizon uint64, stats *CompactStats) []int {
+	drop := make([]bool, len(recs))
+
+	type cell struct{ user, item int }
+
+	// Zone A (seq <= horizon): last writer per cell wins, commits drop.
+	lastWriter := map[cell]int{}
+	// Checkpoints: keep everything above the horizon; below it keep only
+	// the newest, and only when no newer one exists above.
+	lastCkpt := -1
+	anyCkptAboveHorizon := false
+
+	// Zone B (seq > horizon): simulate replay grouping to dedupe within
+	// committed batches only. queued holds indexes of not-yet-committed
+	// ratings above the horizon.
+	var queued []int
+	commitBatch := func(covered uint64, shard int) {
+		var batch []int
+		kept := queued[:0]
+		for _, i := range queued {
+			if recs[i].Seq <= covered && (shard < 0 || recs[i].Shard == shard) {
+				batch = append(batch, i)
+			} else {
+				kept = append(kept, i)
+			}
+		}
+		queued = kept
+		// Within the batch, the model folds all updates at once and the
+		// matrix keeps the last duplicate per cell, so earlier duplicates
+		// are dead — unless dropping one would lose timestamp presence.
+		last := map[cell]int{}
+		for _, i := range batch {
+			last[cell{recs[i].Update.User, recs[i].Update.Item}] = i
+		}
+		for _, i := range batch {
+			k := cell{recs[i].Update.User, recs[i].Update.Item}
+			li := last[k]
+			if li != i && (recs[i].Update.Time == 0 || recs[li].Update.Time != 0) {
+				drop[i] = true
+				stats.DroppedCells++
+			}
+		}
+	}
+
+	for i, rec := range recs {
+		switch rec.Type {
+		case RecordRating:
+			if rec.Seq <= horizon {
+				k := cell{rec.Update.User, rec.Update.Item}
+				if prev, ok := lastWriter[k]; ok {
+					// Last writer wins below the horizon, with the same
+					// timestamp-presence guard as in-batch dedupe.
+					if recs[prev].Update.Time == 0 || rec.Update.Time != 0 {
+						drop[prev] = true
+						stats.DroppedCells++
+						lastWriter[k] = i
+					}
+					// Otherwise keep both; the newer record still wins at
+					// rebuild (the builder keeps the later duplicate).
+					if recs[prev].Update.Time != 0 && rec.Update.Time == 0 {
+						lastWriter[k] = i
+					}
+				} else {
+					lastWriter[k] = i
+				}
+			} else {
+				queued = append(queued, i)
+			}
+		case RecordBatchCommit:
+			if rec.Seq <= horizon {
+				// No retained replay starts below the horizon, so this
+				// commit can never regroup anything again.
+				drop[i] = true
+				stats.DroppedCommits++
+			} else {
+				commitBatch(rec.Covered, rec.Shard)
+			}
+		case RecordCheckpoint:
+			if rec.Seq > horizon {
+				anyCkptAboveHorizon = true
+			} else {
+				if lastCkpt >= 0 {
+					drop[lastCkpt] = true
+					stats.DroppedCheckpoints++
+				}
+				lastCkpt = i
+			}
+		}
+	}
+	if lastCkpt >= 0 && anyCkptAboveHorizon {
+		drop[lastCkpt] = true
+		stats.DroppedCheckpoints++
+	}
+
+	keep := make([]int, 0, len(recs))
+	for i := range recs {
+		if !drop[i] {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}
+
+// readBaseRecords appends every record of a base file to dst, validating
+// header and checksums.
+func readBaseRecords(path string, dst []Record) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return dst, err
+	}
+	from, to, _, err := parseBaseHeader(filepath.Base(path), data)
+	if err != nil {
+		return dst, err
+	}
+	_ = from
+	off := baseHeaderSize
+	var last uint64
+	for off < len(data) {
+		rec, n, err := decodeRecord(data[off:])
+		if err != nil {
+			return dst, fmt.Errorf("base %s corrupt at offset %d: %v", filepath.Base(path), off, err)
+		}
+		if rec.Seq <= last || rec.Seq > to {
+			return dst, fmt.Errorf("base %s: sequence %d out of order or beyond %d", filepath.Base(path), rec.Seq, to)
+		}
+		last = rec.Seq
+		dst = append(dst, rec)
+		off += n
+	}
+	return dst, nil
+}
+
+// readSegmentRecords appends every record of a sealed segment to dst.
+func readSegmentRecords(path string, dst []Record) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return dst, err
+	}
+	if len(data) < segHeaderSize || [8]byte(data[:8]) != segMagic {
+		return dst, fmt.Errorf("segment %s has a bad header", filepath.Base(path))
+	}
+	off := segHeaderSize
+	for off < len(data) {
+		rec, n, err := decodeRecord(data[off:])
+		if err != nil {
+			return dst, fmt.Errorf("segment %s corrupt at offset %d: %v", filepath.Base(path), off, err)
+		}
+		dst = append(dst, rec)
+		off += n
+	}
+	return dst, nil
+}
+
+func parseBaseHeader(name string, data []byte) (from, to, horizon uint64, err error) {
+	if len(data) < baseHeaderSize {
+		return 0, 0, 0, fmt.Errorf("base %s shorter than its header", name)
+	}
+	if [8]byte(data[:8]) != baseMagic {
+		return 0, 0, 0, fmt.Errorf("base %s has bad magic", name)
+	}
+	from = binary.BigEndian.Uint64(data[8:16])
+	to = binary.BigEndian.Uint64(data[16:24])
+	horizon = binary.BigEndian.Uint64(data[24:32])
+	var named uint64
+	if _, serr := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, basePrefix), baseSuffix), "%016x", &named); serr != nil || named != to {
+		return 0, 0, 0, fmt.Errorf("base %s header coverage %d does not match its name", name, to)
+	}
+	if from > to+1 {
+		return 0, 0, 0, fmt.Errorf("base %s coverage [%d,%d] inverted", name, from, to)
+	}
+	return from, to, horizon, nil
+}
+
+// scanBase validates the base file at Open time: header, checksums,
+// strictly increasing sequences. It returns the populated info.
+func scanBase(path string) (*baseInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read base: %w", err)
+	}
+	name := filepath.Base(path)
+	from, to, horizon, err := parseBaseHeader(name, data)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %v", err)
+	}
+	info := &baseInfo{name: name, fromSeq: from, toSeq: to, horizon: horizon, bytes: int64(len(data))}
+	off := baseHeaderSize
+	var last uint64
+	for off < len(data) {
+		rec, n, err := decodeRecord(data[off:])
+		if err != nil {
+			// A base is written atomically; a torn one means disk-level
+			// corruption, which recovery must surface, not skip.
+			return nil, fmt.Errorf("wal: base %s corrupt at offset %d: %v", name, off, err)
+		}
+		if rec.Seq <= last || rec.Seq > to {
+			return nil, fmt.Errorf("wal: base %s: sequence %d out of order or beyond %d", name, rec.Seq, to)
+		}
+		last = rec.Seq
+		info.records++
+		if rec.Type == RecordCheckpoint && rec.Covered > info.lastCheckpoint {
+			info.lastCheckpoint = rec.Covered
+		}
+		off += n
+	}
+	return info, nil
+}
+
+// listBaseFiles returns the base files in dir sorted ascending by their
+// coverage boundary.
+func listBaseFiles(entries []os.DirEntry) []string {
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, basePrefix) || !strings.HasSuffix(name, baseSuffix) {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
