@@ -11,12 +11,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# lint runs the repo's own invariant checkers. It must exit clean: the
-# baseline file is a migration tool, not a parking lot, and CI runs the
-# same command as a blocking step.
+# lint runs the repo's own invariant checkers in parallel dependency
+# order, writing the SARIF report beside the binaries. It must exit
+# clean: the baseline file is a migration tool, not a parking lot, and
+# CI runs the same command as a blocking step.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/cfsf-lint ./...
+	mkdir -p bin
+	$(GO) run ./cmd/cfsf-lint -parallel 0 -sarif bin/cfsf-lint.sarif ./...
 
 vet:
 	$(GO) vet ./...

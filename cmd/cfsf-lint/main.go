@@ -3,22 +3,35 @@
 //
 // Usage:
 //
-//	cfsf-lint [-json] [-baseline file] [-write-baseline file] [patterns...]
+//	cfsf-lint [-json] [-sarif file] [-baseline file] [-write-baseline file]
+//	          [-enable list] [-disable list] [-parallel n]
+//	          [-update-wire-golden] [patterns...]
 //
 // Patterns default to ./... . Exit status: 0 when clean, 1 when findings
 // remain, 2 on usage or load errors.
 //
+// Packages are analyzed in dependency order with cross-package facts
+// (function and field summaries) flowing from imports to importers, on
+// -parallel workers (0 = one per CPU). -enable/-disable take
+// comma-separated analyzer names; -sarif writes the findings as SARIF
+// 2.1.0 for code-scanning upload alongside the normal output.
+//
 // Scoping: mapiterfloat and nondeterm police the crash-replay guarantee,
 // so they run only on replay-path packages (core, smoothing, similarity,
 // cluster, wal, lifecycle) — the serving layer may read wall clocks and
-// iterate maps freely. lockcheck and walerr run everywhere.
+// iterate maps freely. All other analyzers run everywhere.
 //
 // A baseline file (one "analyzer|package|file|message" line per tolerated
 // finding, no line numbers so unrelated edits don't invalidate it)
 // suppresses known findings; -write-baseline records the current set.
-// Policy: the baseline must stay empty — it exists for incident
-// bisection, not for parking debt. New suppressions go through
-// //cfsf:* annotations with justification strings instead.
+// Entries that no longer match any finding are pruned from the file with
+// a warning — a baseline only ever shrinks. Policy: the baseline must
+// stay empty — it exists for incident bisection, not for parking debt.
+// New suppressions go through //cfsf:* annotations with justification
+// strings instead.
+//
+// -update-wire-golden rewrites each package's wire_golden.json from the
+// current source instead of checking against it; review the diff.
 package main
 
 import (
@@ -26,6 +39,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"io"
 	"os"
 	"path/filepath"
@@ -33,10 +47,15 @@ import (
 	"strings"
 
 	"cfsf/internal/analysis"
+	"cfsf/internal/analysis/atomiccheck"
+	"cfsf/internal/analysis/cowcheck"
 	"cfsf/internal/analysis/lockcheck"
+	"cfsf/internal/analysis/lockorder"
 	"cfsf/internal/analysis/mapiterfloat"
 	"cfsf/internal/analysis/nondeterm"
+	"cfsf/internal/analysis/poolescape"
 	"cfsf/internal/analysis/walerr"
+	"cfsf/internal/analysis/wirecompat"
 )
 
 func main() {
@@ -62,10 +81,15 @@ var replayOnly = map[string]bool{
 }
 
 var analyzers = []*analysis.Analyzer{
+	atomiccheck.Analyzer,
+	cowcheck.Analyzer,
 	lockcheck.Analyzer,
+	lockorder.Analyzer,
 	mapiterfloat.Analyzer,
 	nondeterm.Analyzer,
+	poolescape.Analyzer,
 	walerr.Analyzer,
+	wirecompat.Analyzer,
 }
 
 // run is the driver body, factored from main for testing. dir is the
@@ -74,10 +98,15 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cfsf-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
-	baselinePath := fs.String("baseline", "", "suppress findings listed in this baseline file")
+	sarifPath := fs.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
+	baselinePath := fs.String("baseline", "", "suppress findings listed in this baseline file (stale entries are pruned)")
 	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit 0")
+	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	parallel := fs.Int("parallel", 0, "package-analysis workers (0 = one per CPU, 1 = sequential)")
+	updateWire := fs.Bool("update-wire-golden", false, "rewrite wire_golden.json files from current source instead of checking")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: cfsf-lint [-json] [-baseline file] [-write-baseline file] [patterns...]\n\nAnalyzers:\n")
+		fmt.Fprintf(stderr, "usage: cfsf-lint [flags] [patterns...]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -87,13 +116,23 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	active, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(stderr, "cfsf-lint:", err)
+		return 2
+	}
+	wirecompat.Update = *updateWire
+
 	pkgs, err := analysis.LoadPackages(dir, fs.Args()...)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	diags, err := analysis.RunAnalyzers(pkgs, analyzers, func(a *analysis.Analyzer, pkgPath string) bool {
-		return !replayOnly[a.Name] || replayPackages[pkgPath]
+	diags, err := analysis.RunAnalyzers(pkgs, active, analysis.RunOptions{
+		Workers: *parallel,
+		Filter: func(a *analysis.Analyzer, pkgPath string) bool {
+			return !replayOnly[a.Name] || replayPackages[pkgPath]
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -109,20 +148,19 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if *baselinePath != "" {
-		base, err := loadBaseline(*baselinePath)
+		diags, err = applyBaseline(*baselinePath, diags, stderr)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		kept := diags[:0]
-		for _, d := range diags {
-			if !base[baselineKey(d)] {
-				kept = append(kept, d)
-			}
-		}
-		diags = kept
 	}
 
+	if *sarifPath != "" {
+		if err := writeSARIF(*sarifPath, active, diags); err != nil {
+			fmt.Fprintln(stderr, "cfsf-lint: sarif:", err)
+			return 2
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -145,10 +183,117 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// selectAnalyzers applies -enable/-disable, rejecting unknown names so
+// a typo cannot silently skip a gate.
+func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, error) {
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	parse := func(list string) (map[string]bool, error) {
+		set := map[string]bool{}
+		if list == "" {
+			return set, nil
+		}
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				return nil, fmt.Errorf("unknown analyzer %q", name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	on, err := parse(enable)
+	if err != nil {
+		return nil, err
+	}
+	off, err := parse(disable)
+	if err != nil {
+		return nil, err
+	}
+	var active []*analysis.Analyzer
+	for _, a := range analyzers {
+		if len(on) > 0 && !on[a.Name] {
+			continue
+		}
+		if off[a.Name] {
+			continue
+		}
+		active = append(active, a)
+	}
+	if len(active) == 0 {
+		return nil, fmt.Errorf("flag selection leaves no analyzers enabled")
+	}
+	return active, nil
+}
+
 // baselineKey identifies a finding without its line number, so the
 // baseline survives unrelated edits to the same file.
 func baselineKey(d analysis.Diagnostic) string {
 	return strings.Join([]string{d.Analyzer, d.Package, filepath.Base(d.Pos.Filename), d.Message}, "|")
+}
+
+// applyBaseline suppresses baselined findings and prunes entries that
+// no longer match anything: each pruned entry is warned on stderr and
+// the file is rewritten without it, so the baseline only ever shrinks.
+func applyBaseline(path string, diags []analysis.Diagnostic, stderr io.Writer) ([]analysis.Diagnostic, error) {
+	base, err := loadBaseline(path)
+	if err != nil {
+		return nil, err
+	}
+	used := map[string]bool{}
+	kept := diags[:0]
+	for _, d := range diags {
+		k := baselineKey(d)
+		if base[k] {
+			used[k] = true
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	var stale []string
+	for k := range base {
+		if !used[k] {
+			stale = append(stale, k)
+		}
+	}
+	if len(stale) > 0 {
+		sort.Strings(stale)
+		for _, k := range stale {
+			fmt.Fprintf(stderr, "cfsf-lint: baseline: pruning stale entry: %s\n", k)
+		}
+		var remaining []analysis.Diagnostic
+		for k := range used {
+			// Reconstruct enough of a diagnostic for saveBaseline's keying:
+			// the key IS the serialized form, so parse it back.
+			parts := strings.SplitN(k, "|", 4)
+			if len(parts) == 4 {
+				remaining = append(remaining, analysis.Diagnostic{
+					Analyzer: parts[0],
+					Package:  parts[1],
+					Pos:      token.Position{Filename: parts[2]},
+					Message:  parts[3],
+				})
+			}
+		}
+		if err := saveBaseline(path, remaining); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stderr, "cfsf-lint: baseline: pruned %d stale entr%s from %s\n",
+			len(stale), plural(len(stale), "y", "ies"), path)
+	}
+	return kept, nil
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 func loadBaseline(path string) (map[string]bool, error) {

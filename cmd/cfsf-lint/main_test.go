@@ -154,3 +154,169 @@ func TestBadFlagExitsUsage(t *testing.T) {
 		t.Fatalf("exit = %d, want 2", code)
 	}
 }
+
+func TestBaselinePruneAndWarn(t *testing.T) {
+	dir := violatingModule(t)
+	baseline := filepath.Join(t.TempDir(), "baseline.txt")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-write-baseline", baseline, "./..."}, dir, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline exit = %d; stderr:\n%s", code, stderr.String())
+	}
+
+	// Plant a stale entry that no current finding matches.
+	const stale = "walerr|lintfixture|gone.go|a finding that no longer exists"
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, baseline, string(data)+stale+"\n")
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", baseline, "./..."}, dir, &stdout, &stderr); code != 0 {
+		t.Fatalf("baselined run exit = %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "pruning stale entry: "+stale) {
+		t.Fatalf("missing prune warning on stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "pruned 1 stale entry") {
+		t.Fatalf("missing prune summary on stderr:\n%s", stderr.String())
+	}
+
+	// The file was rewritten: the stale entry is gone, the live one kept.
+	rewritten, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(rewritten), stale) {
+		t.Fatalf("stale entry survived the rewrite:\n%s", rewritten)
+	}
+	if !strings.Contains(string(rewritten), "walerr|lintfixture|main.go|") {
+		t.Fatalf("live entry was lost in the rewrite:\n%s", rewritten)
+	}
+
+	// Idempotence: a second run prunes nothing and stays clean.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", baseline, "./..."}, dir, &stdout, &stderr); code != 0 {
+		t.Fatalf("second baselined run exit = %d; stderr:\n%s", code, stderr.String())
+	}
+	if strings.Contains(stderr.String(), "pruning") {
+		t.Fatalf("second run pruned again:\n%s", stderr.String())
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	dir := violatingModule(t)
+	sarifFile := filepath.Join(t.TempDir(), "findings.sarif")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-sarif", sarifFile, "./..."}, dir, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+
+	data, err := os.ReadFile(sarifFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v\n%s", err, data)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	rules := log.Runs[0].Tool.Driver.Rules
+	if len(rules) != len(analyzers) {
+		t.Errorf("got %d rules, want one per analyzer (%d)", len(rules), len(analyzers))
+	}
+	results := log.Runs[0].Results
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.RuleID != "walerr" {
+		t.Errorf("ruleId = %q, want walerr", r.RuleID)
+	}
+	if r.Level != "error" {
+		t.Errorf("level = %q, want error", r.Level)
+	}
+	if len(r.Locations) != 1 {
+		t.Fatalf("got %d locations, want 1", len(r.Locations))
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if filepath.Base(loc.ArtifactLocation.URI) != "main.go" || strings.Contains(loc.ArtifactLocation.URI, "\\") {
+		t.Errorf("artifact URI = %q, want a slashed path to main.go", loc.ArtifactLocation.URI)
+	}
+	if loc.Region == nil || loc.Region.StartLine == 0 {
+		t.Errorf("region = %+v, want a start line", loc.Region)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	dir := violatingModule(t)
+
+	// Disabling the only analyzer with a finding makes the run clean.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-disable", "walerr", "./..."}, dir, &stdout, &stderr); code != 0 {
+		t.Fatalf("-disable walerr exit = %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+
+	// Enabling only an unrelated analyzer skips walerr too.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-enable", "lockcheck", "./..."}, dir, &stdout, &stderr); code != 0 {
+		t.Fatalf("-enable lockcheck exit = %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+
+	// Enabling walerr explicitly still reports it.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-enable", "walerr", "./..."}, dir, &stdout, &stderr); code != 1 {
+		t.Fatalf("-enable walerr exit = %d, want 1", code)
+	}
+
+	// Typos cannot silently skip a gate.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-disable", "wallerr", "./..."}, dir, &stdout, &stderr); code != 2 {
+		t.Fatalf("-disable with unknown name exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), `unknown analyzer "wallerr"`) {
+		t.Fatalf("missing unknown-analyzer error:\n%s", stderr.String())
+	}
+
+	// Enabling and disabling the same set leaves nothing to run.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-enable", "walerr", "-disable", "walerr", "./..."}, dir, &stdout, &stderr); code != 2 {
+		t.Fatalf("empty selection exit = %d, want 2", code)
+	}
+}
+
+// TestEveryAnalyzerHasFixtures is the registry meta-test: each analyzer
+// wired into the driver must carry at least one analysistest fixture
+// package, so a new analyzer cannot land untested.
+func TestEveryAnalyzerHasFixtures(t *testing.T) {
+	for _, a := range analyzers {
+		fixtures := filepath.Join("..", "..", "internal", "analysis", a.Name, "testdata", "src")
+		entries, err := os.ReadDir(fixtures)
+		if err != nil {
+			t.Errorf("analyzer %s: no fixture directory: %v", a.Name, err)
+			continue
+		}
+		var pkgs int
+		for _, e := range entries {
+			if e.IsDir() {
+				pkgs++
+			}
+		}
+		if pkgs == 0 {
+			t.Errorf("analyzer %s: %s has no fixture packages", a.Name, fixtures)
+		}
+	}
+}

@@ -43,6 +43,15 @@ type Analyzer struct {
 	// Run inspects the pass's package and reports findings via
 	// Pass.Reportf.
 	Run func(*Pass) error
+	// FactTypes lists the concrete fact types Run exports (pointers to
+	// gob-serializable structs). An analyzer that exports a type not
+	// listed here fails at seal time.
+	FactTypes []Fact
+	// Finish, when non-nil, runs once after every package pass has
+	// completed, with the whole run's sealed facts in hand — the hook
+	// for whole-program checks (e.g. lock-order cycles) that no single
+	// package can see.
+	Finish func(*Program) []Diagnostic
 }
 
 // Diagnostic is one finding, positioned in the analyzed source.
@@ -67,7 +76,18 @@ type Pass struct {
 	Info     *types.Info
 
 	ann   *Annotations
+	cg    *CallGraph
+	store *FactStore
 	diags *[]Diagnostic
+}
+
+// CallGraph returns the package's static call graph, built on first
+// use and shared by every analyzer running on the package.
+func (p *Pass) CallGraph() *CallGraph {
+	if p.cg == nil {
+		p.cg = buildCallGraph(p.Info, p.Files)
+	}
+	return p.cg
 }
 
 // Reportf records a diagnostic at pos.
@@ -187,33 +207,9 @@ func FieldAnnotation(field *ast.Field, key string) (Annotation, bool) {
 	return Annotation{}, false
 }
 
-// RunAnalyzers applies every analyzer to every package and returns the
-// combined diagnostics sorted by position. A nil filter runs every
-// analyzer on every package; otherwise filter decides per (analyzer,
-// package path).
-func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, filter func(a *Analyzer, pkgPath string) bool) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		var ann *Annotations
-		for _, a := range analyzers {
-			if filter != nil && !filter(a, pkg.Path) {
-				continue
-			}
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				ann:      ann,
-				diags:    &diags,
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
-			}
-			ann = pass.Annotations() // share the per-package annotation index
-		}
-	}
+// sortDiagnostics orders diagnostics by position, analyzer, message —
+// the stable order every entry point reports in.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -227,7 +223,6 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, filter func(a *Analyze
 		}
 		return a.Message < b.Message
 	})
-	return diags, nil
 }
 
 // JustificationOrReport returns true when the annotation carries a

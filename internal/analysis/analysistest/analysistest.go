@@ -38,7 +38,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) []a
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a}, nil)
+	diags, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a}, analysis.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

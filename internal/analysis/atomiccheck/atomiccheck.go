@@ -1,0 +1,179 @@
+// Package atomiccheck enforces all-or-nothing atomicity: a variable or
+// field that is ever accessed through sync/atomic (atomic.LoadUint64,
+// atomic.AddInt64, atomic.StorePointer, ...) must never be read or
+// written plainly. A mixed access pattern is a data race the memory
+// model gives no meaning to — the plain read can see a torn or stale
+// value no matter how careful the atomic side is — and it is invisible
+// to the race detector unless both sides happen to fire in one test
+// run.
+//
+// The set of atomically-accessed objects travels as facts, so a
+// dependent package reading an imported counter field plainly is
+// flagged even though every atomic access lives in the declaring
+// package. New-style typed atomics (atomic.Uint64, atomic.Pointer[T])
+// need no analysis: their representation is unexported, so the type
+// system already forbids plain access.
+//
+// Escape: //cfsf:atomic-ok <why> on the access line, for reads that are
+// deliberately approximate (a stats snapshot that tolerates staleness)
+// — the justification string is required.
+package atomiccheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cfsf/internal/analysis"
+)
+
+// Analyzer is the atomiccheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "atomiccheck",
+	Doc:       "flags plain reads/writes of variables that are accessed with sync/atomic elsewhere",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*AtomicFact)(nil)},
+}
+
+// AtomicFact marks one variable or field as atomically accessed.
+type AtomicFact struct {
+	Name string // object name, for diagnostics
+}
+
+// AFact marks AtomicFact as a fact.
+func (*AtomicFact) AFact() {}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:       pass,
+		atomic:     map[types.Object]bool{},
+		sanctioned: map[ast.Node]bool{},
+		imported:   map[types.Object]bool{},
+	}
+	for _, f := range pass.Files {
+		c.collect(f)
+	}
+	for obj := range c.atomic {
+		pass.ExportObjectFact(obj, &AtomicFact{Name: obj.Name()})
+	}
+	for _, f := range pass.Files {
+		c.check(f)
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// atomic is every object whose address flows into a sync/atomic call
+	// in this package.
+	atomic map[types.Object]bool
+	// sanctioned marks the operand nodes inside those calls, so the check
+	// walk does not flag the atomic accesses themselves.
+	sanctioned map[ast.Node]bool
+	// imported caches cross-package fact lookups (true = atomic).
+	imported map[types.Object]bool
+}
+
+// collect records `&x` arguments of sync/atomic package-level calls.
+func (c *checker) collect(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(c.pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || un.Op.String() != "&" {
+				continue
+			}
+			target := ast.Unparen(un.X)
+			if obj := c.objectOf(target); obj != nil {
+				c.atomic[obj] = true
+				c.sanctioned[target] = true
+			}
+		}
+		return true
+	})
+}
+
+// objectOf resolves an atomic operand to a package-level var or a field
+// object; locals are ignored (a local cannot be accessed from elsewhere
+// without already being shared some other racy way).
+func (c *checker) objectOf(e ast.Expr) types.Object {
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj := c.pass.Info.Uses[v]
+		if obj == nil {
+			obj = c.pass.Info.Defs[v]
+		}
+		if vr, ok := obj.(*types.Var); ok && vr.Parent() == c.pass.Pkg.Scope() {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if s, ok := c.pass.Info.Selections[v]; ok && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+		// Qualified package-level var: pkg.Counter.
+		if obj, ok := c.pass.Info.Uses[v.Sel].(*types.Var); ok && !obj.IsField() {
+			return obj
+		}
+	}
+	return nil
+}
+
+// isAtomic reports whether obj is atomically accessed — here or, via
+// fact import, in any package analyzed before this one.
+func (c *checker) isAtomic(obj types.Object) bool {
+	if c.atomic[obj] {
+		return true
+	}
+	if known, ok := c.imported[obj]; ok {
+		return known
+	}
+	var af AtomicFact
+	known := obj.Pkg() != nil && obj.Pkg() != c.pass.Pkg && c.pass.ImportObjectFact(obj, &af)
+	c.imported[obj] = known
+	return known
+}
+
+// check flags every unsanctioned mention of an atomic object.
+func (c *checker) check(f *ast.File) {
+	ann := c.pass.Annotations()
+	ast.Inspect(f, func(n ast.Node) bool {
+		if c.sanctioned[n] {
+			return false
+		}
+		var obj types.Object
+		switch v := n.(type) {
+		case *ast.Ident:
+			o := c.pass.Info.Uses[v]
+			if vr, ok := o.(*types.Var); ok && !vr.IsField() && vr.Parent() != nil && vr.Parent().Parent() == types.Universe {
+				obj = o
+			}
+		case *ast.SelectorExpr:
+			if s, ok := c.pass.Info.Selections[v]; ok && s.Kind() == types.FieldVal {
+				obj = s.Obj()
+			} else if o, ok := c.pass.Info.Uses[v.Sel].(*types.Var); ok && !o.IsField() {
+				obj = o
+			}
+		default:
+			return true
+		}
+		if obj == nil || !c.isAtomic(obj) {
+			return true
+		}
+		if a, ok := ann.Covering(c.pass.Fset, n.Pos(), "atomic-ok"); ok {
+			c.pass.JustificationOrReport(a)
+			return false
+		}
+		c.pass.Reportf(n.Pos(),
+			"plain access to %s, which is accessed with sync/atomic elsewhere: mixed plain/atomic access is a data race (use sync/atomic here, or //cfsf:atomic-ok <why> for a deliberately approximate read)",
+			obj.Name())
+		return false
+	})
+	// Keep the walk result deterministic for nested selectors: returning
+	// false above stops descent so one access reports once.
+}

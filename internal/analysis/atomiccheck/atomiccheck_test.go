@@ -1,0 +1,14 @@
+package atomiccheck_test
+
+import (
+	"testing"
+
+	"cfsf/internal/analysis/analysistest"
+	"cfsf/internal/analysis/atomiccheck"
+)
+
+func TestAtomicCheck(t *testing.T) {
+	// atomics is listed first so its pass exports the AtomicFact set
+	// that atomicuser's pass imports.
+	analysistest.Run(t, "testdata", atomiccheck.Analyzer, "atomics", "atomicuser")
+}

@@ -1,0 +1,52 @@
+// Package atomics exercises atomiccheck within one package.
+package atomics
+
+import "sync/atomic"
+
+// Hits is always bumped atomically.
+var Hits uint64
+
+// Misses is only ever touched plainly: legal (never atomic).
+var Misses uint64
+
+// Stats mixes an atomic counter with a plain field.
+type Stats struct {
+	N    uint64
+	name string
+}
+
+func bump() {
+	atomic.AddUint64(&Hits, 1)
+}
+
+func read() uint64 {
+	return atomic.LoadUint64(&Hits)
+}
+
+func plainRead() uint64 {
+	return Hits // want "plain access to Hits"
+}
+
+func plainWrite() {
+	Hits = 0 // want "plain access to Hits"
+}
+
+func missesOK() uint64 {
+	Misses++
+	return Misses
+}
+
+func (s *Stats) inc() {
+	atomic.AddUint64(&s.N, 1)
+}
+
+func (s *Stats) peek() uint64 {
+	return s.N // want "plain access to N"
+}
+
+func (s *Stats) snapshot() uint64 {
+	//cfsf:atomic-ok startup-only read before any goroutine exists
+	return s.N
+}
+
+func (s *Stats) label() string { return s.name }

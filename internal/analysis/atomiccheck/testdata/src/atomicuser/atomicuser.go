@@ -1,0 +1,29 @@
+// Package atomicuser accesses atomics' objects from outside the
+// declaring package: the atomic-access set arrives as imported facts.
+package atomicuser
+
+import (
+	"sync/atomic"
+
+	"atomics"
+)
+
+func bump() {
+	atomic.AddUint64(&atomics.Hits, 1)
+}
+
+func sneakVar() uint64 {
+	return atomics.Hits // want "plain access to Hits"
+}
+
+func sneakField(s *atomics.Stats) uint64 {
+	return s.N // want "plain access to N"
+}
+
+func properField(s *atomics.Stats) uint64 {
+	return atomic.LoadUint64(&s.N)
+}
+
+func missesOK() uint64 {
+	return atomics.Misses
+}

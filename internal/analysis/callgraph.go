@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is the lightweight static call graph of one package: every
+// declared function or method, mapped to the calls its body makes that
+// resolve to a static callee (package functions and direct method
+// calls; calls through function values and interfaces are absent).
+// Calls inside function literals are attributed to the enclosing
+// declaration — for the invariants the analyzers check, a closure's
+// body is part of the function that built it.
+type CallGraph struct {
+	funcs []*types.Func
+	calls map[*types.Func][]CallSite
+}
+
+// CallSite is one static call within a function body.
+type CallSite struct {
+	Callee *types.Func
+	Pos    token.Pos
+}
+
+// Functions returns the package's declared functions and methods in
+// source order.
+func (g *CallGraph) Functions() []*types.Func { return g.funcs }
+
+// Calls returns the static call sites inside fn's declaration, in
+// source order. fn must be declared in the graph's package.
+func (g *CallGraph) Calls(fn *types.Func) []CallSite { return g.calls[fn] }
+
+// buildCallGraph walks every function declaration of the package.
+func buildCallGraph(info *types.Info, files []*ast.File) *CallGraph {
+	g := &CallGraph{calls: map[*types.Func][]CallSite{}}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.funcs = append(g.funcs, fn)
+			var sites []CallSite
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := Callee(info, call); callee != nil {
+					sites = append(sites, CallSite{Callee: callee, Pos: call.Pos()})
+				}
+				return true
+			})
+			g.calls[fn] = sites
+		}
+	}
+	sort.Slice(g.funcs, func(i, j int) bool { return g.funcs[i].Pos() < g.funcs[j].Pos() })
+	return g
+}
+
+// Reaches reports whether any function in from can reach to through the
+// package-local graph (from included when it equals to's caller chain).
+// Cross-package edges are not followed; callers that need them consult
+// facts instead.
+func (g *CallGraph) Reaches(from, to *types.Func) bool {
+	seen := map[*types.Func]bool{}
+	var walk func(fn *types.Func) bool
+	walk = func(fn *types.Func) bool {
+		if fn == to {
+			return true
+		}
+		if seen[fn] {
+			return false
+		}
+		seen[fn] = true
+		for _, site := range g.calls[fn] {
+			if walk(site.Callee) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}

@@ -1,0 +1,18 @@
+package cowcheck_test
+
+import (
+	"testing"
+
+	"cfsf/internal/analysis/analysistest"
+	"cfsf/internal/analysis/cowcheck"
+)
+
+func TestCow(t *testing.T) {
+	analysistest.Run(t, "testdata", cowcheck.Analyzer, "cow")
+}
+
+func TestCowCrossPackage(t *testing.T) {
+	// cowapi first so its field and writer facts are sealed before
+	// cowuser's pass imports them.
+	analysistest.Run(t, "testdata", cowcheck.Analyzer, "cowapi", "cowuser")
+}

@@ -1,0 +1,117 @@
+// Package cow exercises the single-package cow contract: fresh
+// construction, init-only builders writing inside closures, the
+// publication point (atomic Store and structure escape), and writes to
+// the live value loaded back out.
+package cow
+
+import "sync/atomic"
+
+type model struct {
+	topM [][]int //cfsf:cow swapped whole via ptr.Store; rows shared with readers
+	rank []int   //cfsf:cow same contract
+}
+
+var ptr atomic.Pointer[model]
+
+type holder struct{ cur *model }
+
+var slot holder
+
+// build writes cow fields of a fresh composite literal: legal.
+func build(n int) *model {
+	m := &model{}
+	m.topM = make([][]int, n)
+	for i := range m.topM {
+		m.topM[i] = []int{i}
+	}
+	return m
+}
+
+// run stands in for parallel.For: it invokes the closure synchronously.
+func run(n int, f func(int)) {
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+}
+
+// buildParallel mirrors Model.buildTopM: an init-only builder writing
+// its receiver's cow field inside a worker closure. The closure
+// inherits the builder's context, so the writes are legal here and the
+// obligation moves to buildParallel's call sites.
+//
+//cfsf:init-only called on models that have not been published yet
+func (m *model) buildParallel(n int) {
+	run(n, func(i int) {
+		m.topM[i] = []int{i}
+	})
+}
+
+// publishThenWrite mutates a value it already Stored.
+func publishThenWrite() {
+	m := &model{}
+	m.rank = []int{1}
+	ptr.Store(m)
+	m.rank = []int{2} // want "after its value was published"
+}
+
+// escapeThenWrite publishes by storing into a package-level structure
+// (the under-lock swap idiom) and then keeps writing.
+func escapeThenWrite(n int) {
+	m := &model{}
+	slot.cur = m
+	m.rank = []int{n} // want "after its value was published"
+}
+
+// mutateLoaded writes the live value handed back by Load.
+func mutateLoaded() {
+	m := ptr.Load()
+	m.rank = nil // want "after its value was published"
+}
+
+// mutateLoadedInline writes through the Load call directly.
+func mutateLoadedInline() {
+	ptr.Load().rank = nil // want "after its value was published"
+}
+
+// setRank writes a parameter's cow field: not a local violation, but
+// it becomes a writer summary checked at every call site.
+func setRank(m *model, r []int) {
+	m.rank = r
+}
+
+// callerFresh passes a fresh value to the writer: legal.
+func callerFresh(n int) *model {
+	m := &model{}
+	setRank(m, []int{n})
+	m.buildParallel(n)
+	return m
+}
+
+// callerLoaded hands the live value to the writer.
+func callerLoaded() {
+	setRank(ptr.Load(), nil) // want "loaded from the live published pointer"
+}
+
+// callerPublished stores first, then calls the writer.
+func callerPublished(n int) {
+	m := &model{}
+	ptr.Store(m)
+	m.buildParallel(n) // want "writes copy-on-write fields"
+}
+
+// forward propagates the obligation through a middleman: forward's own
+// summary makes callerLoadedForward's call site the violation.
+func forward(m *model) {
+	setRank(m, nil)
+}
+
+func callerLoadedForward() {
+	m := ptr.Load()
+	forward(m) // want "already published"
+}
+
+// approximate demonstrates the escape hatch.
+func approximate() {
+	m := ptr.Load()
+	m.rank = m.rank[:0] //cfsf:cow-ok fixture: deliberate in-place trim to exercise the escape hatch
+}

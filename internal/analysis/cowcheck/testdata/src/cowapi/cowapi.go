@@ -1,0 +1,25 @@
+// Package cowapi exports a cow-annotated type and its builders so a
+// dependent package exercises CowFieldFact and CowWriterFact across
+// the package boundary.
+package cowapi
+
+type Model struct {
+	TopM [][]int //cfsf:cow swapped whole at the host's publication point
+}
+
+// NewModel builds a fresh model.
+func NewModel(n int) *Model {
+	m := &Model{}
+	m.TopM = make([][]int, n)
+	return m
+}
+
+// Rebuild rewrites the mirror in place; callers must only hand it
+// unpublished values.
+//
+//cfsf:init-only called on models that have not been published yet
+func (m *Model) Rebuild(n int) {
+	for i := range m.TopM {
+		m.TopM[i] = []int{n}
+	}
+}

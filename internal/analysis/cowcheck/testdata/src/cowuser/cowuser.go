@@ -1,0 +1,36 @@
+// Package cowuser drives cowapi from another package: both the cow
+// field contract and the writer summary cross the boundary as facts.
+package cowuser
+
+import (
+	"sync/atomic"
+
+	"cowapi"
+)
+
+var cur atomic.Pointer[cowapi.Model]
+
+// swapIn is the intended lifecycle: build, rebuild, publish.
+func swapIn(n int) {
+	m := cowapi.NewModel(n)
+	m.Rebuild(n)
+	cur.Store(m)
+}
+
+// stompLive writes a cow field of the live model.
+func stompLive() {
+	m := cur.Load()
+	m.TopM[0] = nil // want "after its value was published"
+}
+
+// rebuildLive hands the live model to an imported writer.
+func rebuildLive(n int) {
+	cur.Load().Rebuild(n) // want "loaded from the live published pointer"
+}
+
+// rebuildPublished publishes first, then rebuilds.
+func rebuildPublished(n int) {
+	m := &cowapi.Model{}
+	cur.Store(m)
+	m.Rebuild(n) // want "writes copy-on-write fields"
+}

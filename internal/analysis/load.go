@@ -37,9 +37,10 @@ type listedPackage struct {
 	Error      *struct{ Err string }
 }
 
-// goList runs `go list` with the given arguments in dir and decodes the
-// concatenated JSON objects it prints.
-func goList(dir string, args ...string) ([]listedPackage, error) {
+// goListOutput invokes the go tool and returns its raw stdout. A
+// variable so tests can substitute canned (including malformed) output
+// and exercise the decode and error paths without a toolchain run.
+var goListOutput = func(dir string, args []string) ([]byte, error) {
 	cmd := exec.Command("go", append([]string{"list"}, args...)...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
@@ -47,6 +48,16 @@ func goList(dir string, args ...string) ([]listedPackage, error) {
 	out, err := cmd.Output()
 	if err != nil {
 		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", args, err, stderr.String())
+	}
+	return out, nil
+}
+
+// goList runs `go list` with the given arguments in dir and decodes the
+// concatenated JSON objects it prints.
+func goList(dir string, args ...string) ([]listedPackage, error) {
+	out, err := goListOutput(dir, args)
+	if err != nil {
+		return nil, err
 	}
 	dec := json.NewDecoder(bytes.NewReader(out))
 	var pkgs []listedPackage

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// swapGoList substitutes the go-list invocation for the duration of the
+// test. The hook is package state, so these tests must not be parallel.
+func swapGoList(t *testing.T, fn func(dir string, args []string) ([]byte, error)) {
+	t.Helper()
+	orig := goListOutput
+	goListOutput = fn
+	t.Cleanup(func() { goListOutput = orig })
+}
+
+func TestGoListMalformedOutput(t *testing.T) {
+	swapGoList(t, func(string, []string) ([]byte, error) {
+		return []byte(`{"ImportPath": "cfsf/internal/bro`), nil // truncated JSON
+	})
+	_, err := LoadPackages(".", "./...")
+	if err == nil || !strings.Contains(err.Error(), "decode go list output") {
+		t.Fatalf("LoadPackages on malformed go list output: err = %v, want decode error", err)
+	}
+}
+
+func TestGoListCommandFailure(t *testing.T) {
+	// A bare temp dir is not inside a module, so the real `go list`
+	// exits non-zero and the loader must surface its stderr.
+	dir := t.TempDir()
+	_, err := LoadPackages(dir, "./...")
+	if err == nil || !strings.Contains(err.Error(), "go list") {
+		t.Fatalf("LoadPackages outside a module: err = %v, want go list failure", err)
+	}
+}
+
+func TestLoadPackagesSurfacesListError(t *testing.T) {
+	swapGoList(t, func(_ string, args []string) ([]byte, error) {
+		for _, a := range args {
+			if a == "-deps" {
+				return nil, nil // dependency pass: nothing to export
+			}
+		}
+		return []byte(`{"ImportPath": "broken/pkg", "Error": {"Err": "build constraints exclude all Go files"}}`), nil
+	})
+	_, err := LoadPackages(".", "broken/pkg")
+	if err == nil || !strings.Contains(err.Error(), "broken/pkg: build constraints exclude all Go files") {
+		t.Fatalf("LoadPackages on errored target: err = %v, want the go list error", err)
+	}
+}
+
+// cannedTarget routes the dependency pass to empty output and the
+// target pass to a single listed package rooted at dir.
+func cannedTarget(dir, importPath string, goFiles ...string) func(string, []string) ([]byte, error) {
+	return func(_ string, args []string) ([]byte, error) {
+		for _, a := range args {
+			if a == "-deps" {
+				return nil, nil
+			}
+		}
+		out := `{"ImportPath": "` + importPath + `", "Dir": "` + dir + `", "Name": "p", "GoFiles": ["` +
+			strings.Join(goFiles, `", "`) + `"]}`
+		return []byte(out), nil
+	}
+}
+
+func TestLoadPackagesParseError(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "bad.go")
+	if err := os.WriteFile(src, []byte("package p\nfunc {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	swapGoList(t, cannedTarget(dir, "example/p", "bad.go"))
+	_, err := LoadPackages(dir)
+	if err == nil || !strings.Contains(err.Error(), "analysis: parse") {
+		t.Fatalf("LoadPackages on syntax error: err = %v, want parse error", err)
+	}
+}
+
+func TestLoadPackagesMissingExportData(t *testing.T) {
+	// The dependency pass returns no export entries, so type-checking a
+	// file that imports the standard library must fail through
+	// exportLookup's "no export data" path.
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(src, []byte("package p\n\nimport \"os\"\n\nvar _ = os.Args\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	swapGoList(t, cannedTarget(dir, "example/p", "p.go"))
+	_, err := LoadPackages(dir)
+	if err == nil || !strings.Contains(err.Error(), "analysis: typecheck") ||
+		!strings.Contains(err.Error(), `no export data for "os"`) {
+		t.Fatalf("LoadPackages without export data: err = %v, want typecheck/no-export-data error", err)
+	}
+}
+
+func TestLoadPackagesTypecheckError(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(src, []byte("package p\n\nvar x int = \"not an int\"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	swapGoList(t, cannedTarget(dir, "example/p", "p.go"))
+	_, err := LoadPackages(dir)
+	if err == nil || !strings.Contains(err.Error(), "analysis: typecheck example/p") {
+		t.Fatalf("LoadPackages on type error: err = %v, want typecheck error", err)
+	}
+}
+
+func TestListExportsPropagatesListFailure(t *testing.T) {
+	wantErr := errors.New("go list exploded")
+	swapGoList(t, func(string, []string) ([]byte, error) { return nil, wantErr })
+	if _, err := ListExports("."); !errors.Is(err, wantErr) {
+		t.Fatalf("ListExports: err = %v, want %v", err, wantErr)
+	}
+}
+
+func TestListExportsMapsPaths(t *testing.T) {
+	swapGoList(t, func(string, []string) ([]byte, error) {
+		return []byte(`{"ImportPath": "fmt", "Export": "/cache/fmt.a"}
+{"ImportPath": "os", "Export": "/cache/os.a"}`), nil
+	})
+	exports, err := ListExports(".", "fmt", "os")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exports["fmt"] != "/cache/fmt.a" || exports["os"] != "/cache/os.a" {
+		t.Fatalf("ListExports = %v, want both cache paths mapped", exports)
+	}
+}

@@ -18,12 +18,13 @@
 //     point. An in-place write to a shared model — the GIS swap bug
 //     class — is exactly what this flags.
 //
-// The analysis is local and flow-approximate by design: it walks each
-// function's statements in source order, tracking Lock/Unlock pairs by
-// the receiver expression's spelling (m.mu, w.mu). That catches the bug
-// class that matters — an access with no lock acquisition on any local
-// path — without whole-program may-alias analysis. Helper functions
-// called with the lock held declare it with //cfsf:locked <mutex>.
+// Contracts travel as facts: every annotated field's contract is
+// exported under its object path, so a dependent package touching an
+// imported guarded field is held to the same rule as code next to the
+// declaration. Within a function the analysis is local and
+// flow-approximate by design — see the shared walker in
+// internal/analysis/lockstate. Helper functions called with the lock
+// held declare it with //cfsf:locked <mutex>.
 package lockcheck
 
 import (
@@ -33,14 +34,27 @@ import (
 	"strings"
 
 	"cfsf/internal/analysis"
+	"cfsf/internal/analysis/lockstate"
 )
 
 // Analyzer is the lockcheck pass.
 var Analyzer = &analysis.Analyzer{
-	Name: "lockcheck",
-	Doc:  "enforces //cfsf:guarded-by and //cfsf:immutable field contracts",
-	Run:  run,
+	Name:      "lockcheck",
+	Doc:       "enforces //cfsf:guarded-by and //cfsf:immutable field contracts, across packages via facts",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*GuardedFact)(nil)},
 }
+
+// GuardedFact is the exported form of a field contract: dependent
+// packages importing the field see the same guarded-by/immutable rule
+// its declaration states.
+type GuardedFact struct {
+	Mutex     string // guarded-by mutex field name ("" for immutable-only)
+	Immutable bool
+}
+
+// AFact marks GuardedFact as a fact.
+func (*GuardedFact) AFact() {}
 
 // fieldContract describes one annotated field.
 type fieldContract struct {
@@ -50,9 +64,6 @@ type fieldContract struct {
 
 func run(pass *analysis.Pass) error {
 	contracts := collectContracts(pass)
-	if len(contracts) == 0 {
-		return nil
-	}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -67,7 +78,8 @@ func run(pass *analysis.Pass) error {
 
 // collectContracts parses field annotations from every struct type
 // declaration, validating that a guarded-by target names a sync.Mutex or
-// sync.RWMutex field of the same struct.
+// sync.RWMutex field of the same struct, and exports each contract as a
+// fact for dependent packages.
 func collectContracts(pass *analysis.Pass) map[types.Object]fieldContract {
 	contracts := map[types.Object]fieldContract{}
 	for _, f := range pass.Files {
@@ -79,7 +91,7 @@ func collectContracts(pass *analysis.Pass) map[types.Object]fieldContract {
 			mutexFields := map[string]bool{}
 			for _, field := range st.Fields.List {
 				t := pass.Info.TypeOf(field.Type)
-				if isMutex(t) {
+				if lockstate.IsMutex(t) {
 					for _, name := range field.Names {
 						mutexFields[name.Name] = true
 					}
@@ -103,6 +115,7 @@ func collectContracts(pass *analysis.Pass) map[types.Object]fieldContract {
 				for _, name := range field.Names {
 					if obj := pass.Info.Defs[name]; obj != nil {
 						contracts[obj] = c
+						pass.ExportObjectFact(obj, &GuardedFact{Mutex: c.mutex, Immutable: c.immutable})
 					}
 				}
 			}
@@ -112,29 +125,34 @@ func collectContracts(pass *analysis.Pass) map[types.Object]fieldContract {
 	return contracts
 }
 
-func isMutex(t types.Type) bool {
-	return analysis.IsNamedType(t, "sync", "Mutex") || analysis.IsNamedType(t, "sync", "RWMutex")
-}
-
 // checker carries the per-function lock state.
 type checker struct {
 	pass      *analysis.Pass
 	contracts map[types.Object]fieldContract
-	held      map[string]bool       // "m.mu" -> locked on the current path
+	w         *lockstate.Walker
 	fresh     map[types.Object]bool // vars assigned from composite literals here
 	initOnly  bool                  // //cfsf:init-only function
 	// reported dedupes per selector node: assignment targets are visited
 	// by both checkWrite (chain walk) and checkExpr (read scan).
 	reported map[*ast.SelectorExpr]bool
+	// imported caches cross-package contract lookups by field object.
+	imported map[types.Object]*fieldContract
 }
 
 func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, contracts map[types.Object]fieldContract) {
 	c := &checker{
 		pass:      pass,
 		contracts: contracts,
-		held:      map[string]bool{},
 		fresh:     map[types.Object]bool{},
 		reported:  map[*ast.SelectorExpr]bool{},
+		imported:  map[types.Object]*fieldContract{},
+	}
+	c.w = &lockstate.Walker{
+		Info:        pass.Info,
+		OnExpr:      c.checkExpr,
+		OnWrite:     c.checkWrite,
+		OnAssign:    c.trackFresh,
+		OnValueSpec: c.trackFreshSpec,
 	}
 	if a, ok := analysis.FuncAnnotation(fd.Doc, "locked"); ok {
 		// The first word names the mutex; anything after it is the
@@ -144,209 +162,13 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, contracts map[types.Object
 		if mutex == "" {
 			pass.Reportf(a.Pos, "//cfsf:locked requires the mutex name")
 		} else if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
-			c.held[fd.Recv.List[0].Names[0].Name+"."+mutex] = true
+			c.w.Seed(fd.Recv.List[0].Names[0].Name + "." + mutex)
 		}
 	}
 	if a, ok := analysis.FuncAnnotation(fd.Doc, "init-only"); ok {
 		c.initOnly = pass.JustificationOrReport(a)
 	}
-	c.stmts(fd.Body.List)
-}
-
-// stmts walks a statement list in source order, updating lock state and
-// checking every field access. Branch bodies share (and persist) the
-// state — an over-approximation that matches the straight-line
-// lock-use idiom this repo follows.
-func (c *checker) stmts(list []ast.Stmt) {
-	for _, stmt := range list {
-		c.stmt(stmt)
-	}
-}
-
-func (c *checker) stmt(stmt ast.Stmt) {
-	switch v := stmt.(type) {
-	case *ast.ExprStmt:
-		if !c.lockCall(v.X, false) {
-			c.checkExpr(v.X)
-		}
-	case *ast.DeferStmt:
-		// defer mu.Unlock() keeps the lock held to function end; any
-		// other deferred call is checked with the current state.
-		if !c.lockCall(v.Call, true) {
-			c.checkExpr(v.Call)
-		}
-	case *ast.AssignStmt:
-		for _, rhs := range v.Rhs {
-			c.checkExpr(rhs)
-		}
-		c.trackFresh(v)
-		for _, lhs := range v.Lhs {
-			c.checkWrite(lhs)
-			c.checkExpr(lhs)
-		}
-	case *ast.IncDecStmt:
-		c.checkWrite(v.X)
-		c.checkExpr(v.X)
-	case *ast.DeclStmt:
-		if gd, ok := v.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, val := range vs.Values {
-						c.checkExpr(val)
-					}
-					c.trackFreshSpec(vs)
-				}
-			}
-		}
-	case *ast.ReturnStmt:
-		for _, r := range v.Results {
-			c.checkExpr(r)
-		}
-	case *ast.IfStmt:
-		if v.Init != nil {
-			c.stmt(v.Init)
-		}
-		c.checkExpr(v.Cond)
-		// A branch that ends in return/break/continue/panic never reaches
-		// the statements after the if: its lock changes (the early-return
-		// `mu.Unlock(); return` idiom) must not leak onto the fall-through
-		// path.
-		saved := copyHeld(c.held)
-		c.stmts(v.Body.List)
-		if terminates(v.Body.List) {
-			c.held = saved
-		}
-		if v.Else != nil {
-			saved = copyHeld(c.held)
-			c.stmt(v.Else)
-			if blk, ok := v.Else.(*ast.BlockStmt); ok && terminates(blk.List) {
-				c.held = saved
-			}
-		}
-	case *ast.ForStmt:
-		if v.Init != nil {
-			c.stmt(v.Init)
-		}
-		if v.Cond != nil {
-			c.checkExpr(v.Cond)
-		}
-		c.stmts(v.Body.List)
-		if v.Post != nil {
-			c.stmt(v.Post)
-		}
-	case *ast.RangeStmt:
-		c.checkExpr(v.X)
-		c.stmts(v.Body.List)
-	case *ast.BlockStmt:
-		c.stmts(v.List)
-	case *ast.SwitchStmt:
-		if v.Init != nil {
-			c.stmt(v.Init)
-		}
-		if v.Tag != nil {
-			c.checkExpr(v.Tag)
-		}
-		for _, cl := range v.Body.List {
-			if cc, ok := cl.(*ast.CaseClause); ok {
-				for _, e := range cc.List {
-					c.checkExpr(e)
-				}
-				c.stmts(cc.Body)
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		if v.Init != nil {
-			c.stmt(v.Init)
-		}
-		c.stmt(v.Assign)
-		for _, cl := range v.Body.List {
-			if cc, ok := cl.(*ast.CaseClause); ok {
-				c.stmts(cc.Body)
-			}
-		}
-	case *ast.SelectStmt:
-		for _, cl := range v.Body.List {
-			if cc, ok := cl.(*ast.CommClause); ok {
-				if cc.Comm != nil {
-					c.stmt(cc.Comm)
-				}
-				c.stmts(cc.Body)
-			}
-		}
-	case *ast.GoStmt:
-		c.checkExpr(v.Call)
-	case *ast.SendStmt:
-		c.checkExpr(v.Chan)
-		c.checkExpr(v.Value)
-	case *ast.LabeledStmt:
-		c.stmt(v.Stmt)
-	}
-}
-
-func copyHeld(held map[string]bool) map[string]bool {
-	out := make(map[string]bool, len(held))
-	for k, v := range held {
-		out[k] = v
-	}
-	return out
-}
-
-// terminates reports whether a statement list always leaves the
-// enclosing flow: its last statement is a return, a branch
-// (break/continue/goto), or a panic call.
-func terminates(list []ast.Stmt) bool {
-	if len(list) == 0 {
-		return false
-	}
-	switch last := list[len(list)-1].(type) {
-	case *ast.ReturnStmt, *ast.BranchStmt:
-		return true
-	case *ast.ExprStmt:
-		if call, ok := last.X.(*ast.CallExpr); ok {
-			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
-				return true
-			}
-		}
-	case *ast.BlockStmt:
-		return terminates(last.List)
-	}
-	return false
-}
-
-// lockCall updates lock state if e is a mutex Lock/Unlock call on a
-// field selector; it reports true when the call was lock management.
-func (c *checker) lockCall(e ast.Expr, deferred bool) bool {
-	call, ok := ast.Unparen(e).(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return false
-	}
-	recv := c.pass.Info.TypeOf(sel.X)
-	if !isMutex(recv) {
-		return false
-	}
-	key := analysis.ExprString(sel.X)
-	if key == "" {
-		return false
-	}
-	switch sel.Sel.Name {
-	case "Lock", "RLock":
-		c.held[key] = true
-		return true
-	case "Unlock", "RUnlock":
-		if !deferred {
-			delete(c.held, key)
-		}
-		return true
-	case "TryLock", "TryRLock":
-		// The result decides; treat as acquired (over-approximate).
-		c.held[key] = true
-		return true
-	}
-	return false
+	c.w.Walk(fd.Body)
 }
 
 // trackFresh records LHS variables assigned from composite literals
@@ -436,13 +258,35 @@ func (c *checker) checkWrite(lhs ast.Expr) {
 	}
 }
 
+// contractFor resolves the field's contract: declared in this package,
+// or imported as a fact from the declaring one.
+func (c *checker) contractFor(obj types.Object) (fieldContract, bool) {
+	if contract, ok := c.contracts[obj]; ok {
+		return contract, true
+	}
+	if cached, ok := c.imported[obj]; ok {
+		if cached == nil {
+			return fieldContract{}, false
+		}
+		return *cached, true
+	}
+	var gf GuardedFact
+	if obj.Pkg() != nil && obj.Pkg() != c.pass.Pkg && c.pass.ImportObjectFact(obj, &gf) {
+		contract := fieldContract{mutex: gf.Mutex, immutable: gf.Immutable}
+		c.imported[obj] = &contract
+		return contract, true
+	}
+	c.imported[obj] = nil
+	return fieldContract{}, false
+}
+
 // checkSelector verifies one field access against its contract.
 func (c *checker) checkSelector(sel *ast.SelectorExpr, write bool) {
 	s, ok := c.pass.Info.Selections[sel]
 	if !ok || s.Kind() != types.FieldVal {
 		return
 	}
-	contract, ok := c.contracts[s.Obj()]
+	contract, ok := c.contractFor(s.Obj())
 	if !ok {
 		return
 	}
@@ -463,7 +307,7 @@ func (c *checker) checkSelector(sel *ast.SelectorExpr, write bool) {
 	}
 	if contract.mutex != "" {
 		base := analysis.ExprString(sel.X)
-		if base == "" || !c.held[base+"."+contract.mutex] {
+		if base == "" || !c.w.Held(base+"."+contract.mutex) {
 			c.reported[sel] = true
 			c.pass.Reportf(sel.Pos(),
 				"guarded field %s accessed without %s.%s held on the local path (lock it, or declare the contract with //cfsf:locked %s on the enclosing function)",

@@ -8,5 +8,5 @@ import (
 )
 
 func TestLockcheck(t *testing.T) {
-	analysistest.Run(t, "testdata", lockcheck.Analyzer, "locked")
+	analysistest.Run(t, "testdata", lockcheck.Analyzer, "locked", "guarded", "guarduser")
 }

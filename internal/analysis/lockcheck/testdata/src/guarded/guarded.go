@@ -1,0 +1,21 @@
+// Package guarded declares field contracts that the guarduser fixture
+// consumes across the package boundary, exercising lockcheck's fact
+// export.
+package guarded
+
+import "sync"
+
+// Store is shared state whose contracts travel as facts.
+type Store struct {
+	// Mu orders access to Count.
+	Mu sync.Mutex
+	// Count is the live counter.
+	Count int //cfsf:guarded-by Mu
+	// Limits never changes after construction.
+	Limits []int //cfsf:immutable
+}
+
+// New builds a Store; the composite literal is a construction site.
+func New(limits []int) *Store {
+	return &Store{Limits: limits}
+}

@@ -1,0 +1,38 @@
+// Package guarduser accesses guarded.Store fields from outside the
+// declaring package: the contracts arrive as imported facts.
+package guarduser
+
+import "guarded"
+
+// read holds the mutex: legal.
+func read(s *guarded.Store) int {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	return s.Count
+}
+
+// sneak reads the guarded field without the lock: flagged.
+func sneak(s *guarded.Store) int {
+	return s.Count // want "guarded field Count accessed without s.Mu held"
+}
+
+// bump writes it without the lock: flagged.
+func bump(s *guarded.Store) {
+	s.Mu.Lock()
+	s.Count++
+	s.Mu.Unlock()
+	s.Count++ // want "guarded field Count accessed without s.Mu held"
+}
+
+// clobber mutates an immutable field of a published value: flagged.
+func clobber(s *guarded.Store) {
+	s.Limits[0] = 0 // want "write to immutable field Store.Limits"
+}
+
+// construct writes during construction: legal (fresh value).
+func construct(limits []int) *guarded.Store {
+	s := &guarded.Store{}
+	s.Limits = limits
+	s.Count = 1
+	return s
+}

@@ -1,0 +1,445 @@
+// Package lockorder builds the program-wide mutex acquisition-order
+// graph and flags AB-BA cycles — the deadlock class that needs two
+// goroutines and two call paths to fire, so no single-function or even
+// single-package check can see it.
+//
+// Locks are grouped into classes: a struct-field mutex is
+// "pkgpath.Type.field" (every instance of core.shard.mu is one class —
+// ordering between instances of the same class is out of scope, so
+// self-edges are ignored), a package-level mutex is "pkgpath.var".
+// While walking each function with the shared held-lock tracker, two
+// events add edges held-class -> new-class:
+//
+//   - a direct Lock/RLock with other classes held;
+//   - a call to a function whose AcquiresFact (the transitive set of
+//     classes it may lock, propagated bottom-up through package-local
+//     calls and imported facts) is non-empty.
+//
+// Each package exports its edges as an EdgesFact; the Finish hook
+// merges all packages' edges, finds strongly connected components, and
+// reports every edge inside a cycle at the acquisition (or call) site
+// that created it.
+//
+// Escape: //cfsf:lock-order-ok <why> on the acquiring line, for pairs
+// with an external ordering guarantee the graph cannot see (e.g. tiered
+// locks never taken by the same goroutine). Suppressing one direction
+// breaks the cycle, so the reverse direction stops firing too.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"cfsf/internal/analysis"
+	"cfsf/internal/analysis/lockstate"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockorder",
+	Doc:       "detects AB-BA mutex acquisition cycles across the whole program",
+	Run:       run,
+	Finish:    finish,
+	FactTypes: []analysis.Fact{(*AcquiresFact)(nil), (*EdgesFact)(nil)},
+}
+
+// AcquiresFact lists the lock classes a function may acquire,
+// transitively through its callees.
+type AcquiresFact struct {
+	Classes []string
+}
+
+// AFact marks AcquiresFact as a fact.
+func (*AcquiresFact) AFact() {}
+
+// LockEdge records "To was acquired while From was held" at one site.
+type LockEdge struct {
+	From string
+	To   string
+	File string
+	Line int
+}
+
+// EdgesFact is one package's contribution to the acquisition-order
+// graph.
+type EdgesFact struct {
+	Edges []LockEdge
+}
+
+// AFact marks EdgesFact as a fact.
+func (*EdgesFact) AFact() {}
+
+func run(pass *analysis.Pass) error {
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+	// Fixpoint over AcquiresFact so package-local calls resolve
+	// regardless of declaration order (and mutual recursion converges).
+	for round := 0; ; round++ {
+		changed := false
+		for _, fd := range decls {
+			if newWalker(pass, fd, false).walk() {
+				changed = true
+			}
+		}
+		if !changed || round >= 4 {
+			break
+		}
+	}
+	// Final pass: facts are stable; collect edges once.
+	var edges []LockEdge
+	seen := map[string]bool{}
+	for _, fd := range decls {
+		w := newWalker(pass, fd, true)
+		w.walk()
+		for _, e := range w.edges {
+			k := e.From + "\x00" + e.To
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			edges = append(edges, e)
+		}
+	}
+	if len(edges) > 0 {
+		pass.ExportPackageFact(&EdgesFact{Edges: edges})
+	}
+	return nil
+}
+
+type walker struct {
+	pass  *analysis.Pass
+	fd    *ast.FuncDecl
+	fn    *types.Func
+	final bool
+
+	w         *lockstate.Walker
+	heldClass map[string]string // held key ("m.mu") -> lock class
+	acquires  map[string]bool   // classes this function may lock
+	edges     []LockEdge
+	imported  map[*types.Func]*AcquiresFact
+	exported  bool
+}
+
+func newWalker(pass *analysis.Pass, fd *ast.FuncDecl, final bool) *walker {
+	c := &walker{
+		pass:      pass,
+		fd:        fd,
+		final:     final,
+		heldClass: map[string]string{},
+		acquires:  map[string]bool{},
+		imported:  map[*types.Func]*AcquiresFact{},
+	}
+	c.fn, _ = pass.Info.Defs[fd.Name].(*types.Func)
+	c.w = &lockstate.Walker{
+		Info:      pass.Info,
+		OnAcquire: c.onAcquire,
+		OnExpr:    c.onExpr,
+	}
+	if a, ok := analysis.FuncAnnotation(fd.Doc, "locked"); ok {
+		// Same grammar as lockcheck: the first word names the receiver's
+		// mutex field. The receiver type resolves it to a class, so locks
+		// held by contract still order against locks acquired here.
+		mutex, _, _ := strings.Cut(a.Arg, " ")
+		if mutex != "" && fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+			recv := fd.Recv.List[0].Names[0]
+			key := recv.Name + "." + mutex
+			c.w.Seed(key)
+			// The class context lets direct acquisitions inside the helper
+			// order against the contract lock. It is NOT added to acquires:
+			// the helper's caller holds it already — claiming the helper
+			// acquires it would fabricate edges in the caller's order.
+			if obj := pass.Info.Defs[recv]; obj != nil {
+				if tn := namedName(obj.Type()); tn != "" {
+					c.heldClass[key] = pass.Pkg.Path() + "." + tn + "." + mutex
+				}
+			}
+		}
+	}
+	return c
+}
+
+func (c *walker) walk() bool {
+	c.w.Walk(c.fd.Body)
+	if c.fn != nil && !c.final && len(c.acquires) > 0 {
+		classes := make([]string, 0, len(c.acquires))
+		for cl := range c.acquires {
+			classes = append(classes, cl)
+		}
+		sort.Strings(classes)
+		var have AcquiresFact
+		if !(c.pass.ImportObjectFact(c.fn, &have) && len(have.Classes) == len(classes)) {
+			c.pass.ExportObjectFact(c.fn, &AcquiresFact{Classes: classes})
+			c.exported = true
+		}
+	}
+	return c.exported
+}
+
+// onAcquire fires for a direct Lock/RLock: record the class and the
+// edges from everything already held.
+func (c *walker) onAcquire(sel *ast.SelectorExpr, key string) {
+	class := c.classOf(sel.X)
+	if class == "" {
+		return
+	}
+	c.heldClass[key] = class
+	c.acquires[class] = true
+	c.addEdges(sel.Pos(), key, []string{class})
+}
+
+// onExpr scans evaluated expressions for calls whose callees acquire
+// locks (per AcquiresFact), adding edges from the held set.
+func (c *walker) onExpr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(c.pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		fact := c.acquiresOf(fn)
+		if fact == nil || len(fact.Classes) == 0 {
+			return true
+		}
+		for _, cl := range fact.Classes {
+			c.acquires[cl] = true
+		}
+		c.addEdges(call.Pos(), "", fact.Classes)
+		return true
+	})
+}
+
+func (c *walker) acquiresOf(fn *types.Func) *AcquiresFact {
+	if fact, ok := c.imported[fn]; ok {
+		return fact
+	}
+	var af AcquiresFact
+	var fact *AcquiresFact
+	if c.pass.ImportObjectFact(fn, &af) {
+		fact = &af
+	}
+	c.imported[fn] = fact
+	return fact
+}
+
+// addEdges records held-class -> new-class edges for every class in
+// acquired, skipping self-edges and suppressed sites. selfKey, when
+// non-empty, is the held key of the acquisition itself.
+func (c *walker) addEdges(pos token.Pos, selfKey string, acquired []string) {
+	if !c.final {
+		return
+	}
+	held := c.w.HeldSet()
+	suppressed := false
+	if a, ok := c.pass.Annotations().Covering(c.pass.Fset, pos, "lock-order-ok"); ok {
+		suppressed = c.pass.JustificationOrReport(a)
+	}
+	if suppressed {
+		return
+	}
+	p := c.pass.Fset.Position(pos)
+	for key := range held {
+		if key == selfKey {
+			continue
+		}
+		from := c.heldClass[key]
+		if from == "" {
+			continue
+		}
+		for _, to := range acquired {
+			if to == from {
+				continue
+			}
+			c.edges = append(c.edges, LockEdge{From: from, To: to, File: p.Filename, Line: p.Line})
+		}
+	}
+}
+
+// classOf maps a mutex expression to its lock class: a field mutex to
+// "pkgpath.Type.field", a package-level mutex var to "pkgpath.var",
+// anything else (locals, unresolvable shapes) to "".
+func (c *walker) classOf(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := c.pass.Info.Selections[v]; ok && s.Kind() == types.FieldVal {
+			obj := s.Obj()
+			if tn := namedName(s.Recv()); tn != "" && obj.Pkg() != nil {
+				return obj.Pkg().Path() + "." + tn + "." + obj.Name()
+			}
+			return ""
+		}
+		if obj, ok := c.pass.Info.Uses[v.Sel].(*types.Var); ok && !obj.IsField() && obj.Pkg() != nil {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	case *ast.Ident:
+		obj, _ := c.pass.Info.Uses[v].(*types.Var)
+		if obj != nil && !obj.IsField() && obj.Parent() == c.pass.Pkg.Scope() {
+			return c.pass.Pkg.Path() + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+// namedName returns the name of the (pointer-stripped) named type, or
+// "" for anonymous shapes.
+func namedName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// finish merges every package's edges, finds the strongly connected
+// components of the class graph, and reports each edge inside one.
+func finish(prog *analysis.Program) []analysis.Diagnostic {
+	facts, err := prog.PackageFacts("lockorder")
+	if err != nil {
+		return []analysis.Diagnostic{{
+			Analyzer: "lockorder",
+			Message:  fmt.Sprintf("loading lock-order facts: %v", err),
+		}}
+	}
+	type site struct {
+		edge LockEdge
+		pkg  string
+	}
+	var sites []site
+	seen := map[string]bool{}
+	adj := map[string][]string{}
+	for _, pf := range facts {
+		ef, ok := pf.Fact.(*EdgesFact)
+		if !ok || pf.Object != "" {
+			continue
+		}
+		for _, e := range ef.Edges {
+			k := e.From + "\x00" + e.To
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			sites = append(sites, site{edge: e, pkg: pf.Package})
+			adj[e.From] = append(adj[e.From], e.To)
+		}
+	}
+	scc := stronglyConnected(adj)
+	var diags []analysis.Diagnostic
+	for _, s := range sites {
+		comp, ok := scc[s.edge.From]
+		if !ok || comp != scc[s.edge.To] {
+			continue
+		}
+		// Both endpoints in one nontrivial SCC: this edge is part of a
+		// cycle. (Self-edges were never recorded, so comp equality implies
+		// a multi-class cycle.)
+		members := make([]string, 0)
+		for cl, id := range scc {
+			if id == comp {
+				members = append(members, cl)
+			}
+		}
+		sort.Strings(members)
+		diags = append(diags, analysis.Diagnostic{
+			Analyzer: "lockorder",
+			Package:  s.pkg,
+			Pos:      token.Position{Filename: s.edge.File, Line: s.edge.Line},
+			Message: fmt.Sprintf(
+				"lock order cycle: %s is acquired here while %s is held, and the opposite order occurs elsewhere (cycle through %s); pick one global order or //cfsf:lock-order-ok <why>",
+				s.edge.To, s.edge.From, strings.Join(members, ", ")),
+		})
+	}
+	return diags
+}
+
+// stronglyConnected returns a component id per node, where only nodes
+// in components with more than one member (i.e. on a cycle, given no
+// self-edges) are assigned. Tarjan's algorithm, iterative enough for
+// the handful of lock classes a real program has.
+func stronglyConnected(adj map[string][]string) map[string]int {
+	nodes := make([]string, 0, len(adj))
+	inAdj := map[string]bool{}
+	for from, tos := range adj {
+		if !inAdj[from] {
+			inAdj[from] = true
+			nodes = append(nodes, from)
+		}
+		for _, to := range tos {
+			if !inAdj[to] {
+				inAdj[to] = true
+				nodes = append(nodes, to)
+			}
+		}
+	}
+	sort.Strings(nodes)
+	for _, tos := range adj {
+		sort.Strings(tos)
+	}
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	comp := map[string]int{}
+	compSize := map[int]int{}
+	ncomp := 0
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, ok := index[w]; !ok {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			id := ncomp
+			ncomp++
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = id
+				compSize[id]++
+				if w == v {
+					break
+				}
+			}
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strong(v)
+		}
+	}
+	// Keep only multi-member components.
+	for v, id := range comp {
+		if compSize[id] < 2 {
+			delete(comp, v)
+		}
+	}
+	return comp
+}

@@ -1,0 +1,18 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"cfsf/internal/analysis/analysistest"
+	"cfsf/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "lockab")
+}
+
+func TestLockOrderCrossPackage(t *testing.T) {
+	// lockapi first so Add's AcquiresFact is sealed before lockuser's
+	// pass imports it.
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "lockapi", "lockuser")
+}

@@ -1,0 +1,102 @@
+// Package lockab exercises the acquisition-order graph inside one
+// package: a direct AB-BA cycle, a transitive cycle through a helper's
+// AcquiresFact, same-class self-edges (ignored), and the
+// lock-order-ok escape hatch breaking a would-be cycle.
+package lockab
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+
+type sys struct {
+	a A
+	b B
+	c C
+	d D
+	e E
+}
+
+// abPath acquires a then b; with baPath below, a direct AB-BA cycle.
+func (s *sys) abPath() {
+	s.a.mu.Lock()
+	s.b.mu.Lock() // want "lock order cycle"
+	s.b.mu.Unlock()
+	s.a.mu.Unlock()
+}
+
+// baPath is the reverse order.
+func (s *sys) baPath() {
+	s.b.mu.Lock()
+	s.a.mu.Lock() // want "lock order cycle"
+	s.a.mu.Unlock()
+	s.b.mu.Unlock()
+}
+
+// abAgain repeats abPath's order: same edge, reported once at its
+// first site, so no want here.
+func (s *sys) abAgain() {
+	s.a.mu.Lock()
+	defer s.a.mu.Unlock()
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+}
+
+// aThenC holds a across a call to lockC (declared below, so the
+// summary only resolves through the fixpoint): edge A.mu -> C.mu.
+func (s *sys) aThenC() {
+	s.a.mu.Lock()
+	s.lockC() // want "lock order cycle"
+	s.a.mu.Unlock()
+}
+
+// cThenA closes the transitive cycle.
+func (s *sys) cThenA() {
+	s.c.mu.Lock()
+	s.a.mu.Lock() // want "lock order cycle"
+	s.a.mu.Unlock()
+	s.c.mu.Unlock()
+}
+
+// lockC gives aThenC its AcquiresFact.
+func (s *sys) lockC() {
+	s.c.mu.Lock()
+	s.c.mu.Unlock()
+}
+
+// transfer locks two instances of one class: self-edges are out of
+// scope, no finding.
+func transfer(x, y *A) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// dThenE/eThenD would be a cycle, but the D->E direction carries a
+// justified suppression, which removes that edge and breaks the cycle
+// for both sites.
+func (s *sys) dThenE() {
+	s.d.mu.Lock()
+	s.e.mu.Lock() //cfsf:lock-order-ok fixture: stands in for a tiered-lock pair with an external ordering guarantee
+	s.e.mu.Unlock()
+	s.d.mu.Unlock()
+}
+
+func (s *sys) eThenD() {
+	s.e.mu.Lock()
+	s.d.mu.Lock()
+	s.d.mu.Unlock()
+	s.e.mu.Unlock()
+}
+
+// releasedBetween holds nothing when b is taken: no edge.
+func (s *sys) releasedBetween() {
+	s.a.mu.Lock()
+	s.a.mu.Unlock()
+	s.b.mu.Lock()
+	s.b.mu.Unlock()
+}

@@ -1,0 +1,17 @@
+// Package lockapi exports a locking type so a dependent package's
+// acquisition order can cycle against it through AcquiresFact.
+package lockapi
+
+import "sync"
+
+type Registry struct {
+	Mu    sync.Mutex
+	names []string
+}
+
+// Add locks the registry; the fact travels to importers.
+func (r *Registry) Add(n string) {
+	r.Mu.Lock()
+	r.names = append(r.names, n)
+	r.Mu.Unlock()
+}

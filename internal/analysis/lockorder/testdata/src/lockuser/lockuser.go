@@ -1,0 +1,30 @@
+// Package lockuser cycles its own mutex against lockapi.Registry's:
+// one direction through an imported AcquiresFact, the other directly.
+package lockuser
+
+import (
+	"sync"
+
+	"lockapi"
+)
+
+type cache struct {
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+// fill calls into the registry with the cache lock held:
+// cache.mu -> Registry.Mu.
+func (c *cache) fill(r *lockapi.Registry) {
+	c.mu.Lock()
+	r.Add("x") // want "lock order cycle"
+	c.mu.Unlock()
+}
+
+// reverse takes the registry lock first: Registry.Mu -> cache.mu.
+func (c *cache) reverse(r *lockapi.Registry) {
+	r.Mu.Lock()
+	c.mu.Lock() // want "lock order cycle"
+	c.mu.Unlock()
+	r.Mu.Unlock()
+}

@@ -15,6 +15,10 @@
 //     body is genuinely commutative (pure dense-array writes, per-key
 //     counters). The justification string is required: the annotation
 //     records why order cannot matter, and review enforces it.
+//
+// The pass is deliberately intraprocedural (no facts): the
+// order-sensitivity of a loop body is visible where the loop is
+// written, and the sorted-keys escape is a same-function idiom.
 package mapiterfloat
 
 import (

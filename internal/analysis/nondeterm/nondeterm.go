@@ -18,6 +18,11 @@
 //   - select statements with more than one communication case (Go picks
 //     a ready case pseudorandomly) — allowed with //cfsf:select-ok. A
 //     single case plus default is fine: that shape is deterministic.
+//
+// The pass is deliberately intraprocedural (no facts): clock reads in
+// non-replay packages are metrics-only by design, so propagating
+// "calls time.Now" summaries across the package boundary would flag
+// exactly the calls the scoping rule exists to allow.
 package nondeterm
 
 import (

@@ -1,0 +1,719 @@
+// Package poolescape enforces the ownership contract of sync.Pool
+// scratch memory (lmScratchPool, recScratchPool): a value fetched with
+// Get is owned exclusively between Get and Put, and memory it backs
+// must not outlive the Put — not returned to callers, not stored into
+// longer-lived structures, not published through an atomic Store, not
+// captured by a goroutine, and not touched again after the Put.
+// Violating any of these hands two concurrent requests the same
+// buffer, which corrupts results silently (the bug class pooling
+// introduced in PR 7).
+//
+// The analysis is a per-function taint walk with interprocedural
+// summaries as facts:
+//
+//   - DerivesFact on a function whose results alias parameter memory
+//     (gatherCandidates returns buf; TopSelect.AppendRanked returns
+//     dst) — at a call site the result inherits the argument's taint;
+//   - PutsFact on a function that returns a parameter to a pool
+//     (putRecScratch) — after the call the argument is dead;
+//   - GetsFact on an annotated handout function that returns pool
+//     memory to an owning caller — its results are taint sources.
+//
+// Aliasing follows Go's backing-array semantics: slicing (b[:0]),
+// field selection, &x, type assertions, and append's first argument
+// propagate taint; element copies (append's appended values, x[i] of a
+// value element, range values) do not. Pointer-typed elements inside
+// pooled slices are out of scope.
+//
+// Escape: //cfsf:pool-escape-ok <why> on the offending line or the
+// function's doc comment. A function annotated at the doc level that
+// returns pool memory exports GetsFact, so its callers inherit the
+// ownership obligation instead of a blind spot.
+package poolescape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"math/bits"
+
+	"cfsf/internal/analysis"
+	"cfsf/internal/analysis/lockstate"
+)
+
+// Analyzer is the poolescape pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "poolescape",
+	Doc:       "flags sync.Pool scratch memory that escapes or is used past its Put",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*DerivesFact)(nil), (*PutsFact)(nil), (*GetsFact)(nil)},
+}
+
+// DerivesFact: the function's results may alias the memory of the
+// listed parameters (flattened index: receiver first, then parameters).
+type DerivesFact struct {
+	Params []int
+}
+
+// AFact marks DerivesFact as a fact.
+func (*DerivesFact) AFact() {}
+
+// PutsFact: the function returns the listed parameters (flattened
+// index) to a sync.Pool; the caller's arguments are dead afterwards.
+type PutsFact struct {
+	Params []int
+}
+
+// AFact marks PutsFact as a fact.
+func (*PutsFact) AFact() {}
+
+// GetsFact: the function hands out pool-owned memory (an annotated
+// handout like a Get wrapper); call results are taint sources.
+type GetsFact struct {
+	Pool string // description, for diagnostics
+}
+
+// AFact marks GetsFact as a fact.
+func (*GetsFact) AFact() {}
+
+// taint tracks which flattened parameters and which per-function pool
+// Get sites a value may alias. Both are bitmasks (functions with more
+// than 64 parameters or Gets saturate into the last bit, erring loud).
+type taint struct {
+	params uint64
+	pools  uint64
+}
+
+func (t taint) or(u taint) taint { return taint{t.params | u.params, t.pools | u.pools} }
+func (t taint) empty() bool      { return t.params == 0 && t.pools == 0 }
+
+func bitList(mask uint64) []int {
+	var out []int
+	for mask != 0 {
+		i := bits.TrailingZeros64(mask)
+		out = append(out, i)
+		mask &^= 1 << i
+	}
+	return out
+}
+
+func maskOf(list []int) uint64 {
+	var m uint64
+	for _, i := range list {
+		if i < 64 {
+			m |= 1 << i
+		} else {
+			m |= 1 << 63
+		}
+	}
+	return m
+}
+
+func run(pass *analysis.Pass) error {
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+	// Phase A: compute summaries to a fixpoint so intra-package calls to
+	// functions declared later (or mutually recursive helpers) resolve.
+	// Each round re-walks every function with the facts exported so far;
+	// the export set only grows, so the loop terminates.
+	for round := 0; ; round++ {
+		changed := false
+		for _, fd := range decls {
+			if newFnChecker(pass, fd, false).walk() {
+				changed = true
+			}
+		}
+		if !changed || round >= 4 {
+			break
+		}
+	}
+	// Phase B: report violations with the full summary set in hand.
+	for _, fd := range decls {
+		newFnChecker(pass, fd, true).walk()
+	}
+	return nil
+}
+
+// fnChecker walks one function body in source order.
+type fnChecker struct {
+	pass   *analysis.Pass
+	fd     *ast.FuncDecl
+	fn     *types.Func
+	report bool
+
+	vars      map[types.Object]taint
+	deadPools uint64 // Get sites already Put on this path
+	deferred  uint64 // Get sites Put by a deferred call (dead at return)
+	nextPool  uint
+
+	retParams uint64 // param memory aliased by some result
+	retPools  bool   // some result aliases pool memory
+	putParams uint64 // params this function returns to a pool
+
+	annOK    bool // //cfsf:pool-escape-ok on the function doc
+	handout  bool // a return site carries the annotation instead
+	reported map[token.Pos]bool
+	exported bool // a new fact was exported this walk
+}
+
+func newFnChecker(pass *analysis.Pass, fd *ast.FuncDecl, report bool) *fnChecker {
+	c := &fnChecker{
+		pass:     pass,
+		fd:       fd,
+		report:   report,
+		vars:     map[types.Object]taint{},
+		reported: map[token.Pos]bool{},
+	}
+	c.fn, _ = pass.Info.Defs[fd.Name].(*types.Func)
+	if a, ok := analysis.FuncAnnotation(fd.Doc, "pool-escape-ok"); ok {
+		c.annOK = pass.JustificationOrReport(a)
+	}
+	// Seed parameters (receiver first) with their own taint bit.
+	idx := 0
+	seed := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					c.vars[obj] = taint{params: 1 << min63(idx)}
+				}
+				idx++
+			}
+			if len(f.Names) == 0 {
+				idx++
+			}
+		}
+	}
+	seed(fd.Recv)
+	seed(fd.Type.Params)
+	return c
+}
+
+func min63(i int) int {
+	if i > 63 {
+		return 63
+	}
+	return i
+}
+
+// walk runs the function and exports its summary; it reports whether a
+// fact not previously exported was produced.
+func (c *fnChecker) walk() bool {
+	c.stmts(c.fd.Body.List)
+	if c.fn != nil && !c.report {
+		if c.retParams != 0 {
+			c.exportOnce(&DerivesFact{Params: bitList(c.retParams)})
+		}
+		if c.putParams != 0 {
+			c.exportOnce(&PutsFact{Params: bitList(c.putParams)})
+		}
+		if c.retPools && (c.annOK || c.handout) {
+			c.exportOnce(&GetsFact{Pool: c.fn.Name()})
+		}
+	}
+	return c.exported
+}
+
+// exportOnce exports f unless an identical fact is already in place.
+func (c *fnChecker) exportOnce(f analysis.Fact) {
+	switch want := f.(type) {
+	case *DerivesFact:
+		var have DerivesFact
+		if c.pass.ImportObjectFact(c.fn, &have) && maskOf(have.Params) == maskOf(want.Params) {
+			return
+		}
+	case *PutsFact:
+		var have PutsFact
+		if c.pass.ImportObjectFact(c.fn, &have) && maskOf(have.Params) == maskOf(want.Params) {
+			return
+		}
+	case *GetsFact:
+		var have GetsFact
+		if c.pass.ImportObjectFact(c.fn, &have) {
+			return
+		}
+	}
+	c.pass.ExportObjectFact(c.fn, f)
+	c.exported = true
+}
+
+func (c *fnChecker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+func (c *fnChecker) stmt(s ast.Stmt) {
+	switch v := s.(type) {
+	case *ast.ExprStmt:
+		c.expr(v.X)
+		c.poolCall(v.X, false)
+	case *ast.DeferStmt:
+		c.expr(v.Call)
+		c.poolCall(v.Call, true)
+	case *ast.GoStmt:
+		c.goCall(v.Call)
+	case *ast.AssignStmt:
+		c.assign(v)
+	case *ast.DeclStmt:
+		if gd, ok := v.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					c.valueSpec(vs)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		c.ret(v)
+	case *ast.IfStmt:
+		if v.Init != nil {
+			c.stmt(v.Init)
+		}
+		c.expr(v.Cond)
+		// Early-put-and-return branches must not kill the scratch on the
+		// fall-through path (same restoration as lockstate).
+		savedDead, savedDeferred := c.deadPools, c.deferred
+		c.stmts(v.Body.List)
+		if lockstate.Terminates(v.Body.List) {
+			c.deadPools, c.deferred = savedDead, savedDeferred
+		}
+		if v.Else != nil {
+			savedDead, savedDeferred = c.deadPools, c.deferred
+			c.stmt(v.Else)
+			if blk, ok := v.Else.(*ast.BlockStmt); ok && lockstate.Terminates(blk.List) {
+				c.deadPools, c.deferred = savedDead, savedDeferred
+			}
+		}
+	case *ast.ForStmt:
+		if v.Init != nil {
+			c.stmt(v.Init)
+		}
+		if v.Cond != nil {
+			c.expr(v.Cond)
+		}
+		c.stmts(v.Body.List)
+		if v.Post != nil {
+			c.stmt(v.Post)
+		}
+	case *ast.RangeStmt:
+		c.expr(v.X)
+		c.stmts(v.Body.List)
+	case *ast.BlockStmt:
+		c.stmts(v.List)
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			c.stmt(v.Init)
+		}
+		if v.Tag != nil {
+			c.expr(v.Tag)
+		}
+		for _, cl := range v.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					c.expr(e)
+				}
+				c.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			c.stmt(v.Init)
+		}
+		c.stmt(v.Assign)
+		for _, cl := range v.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range v.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					c.stmt(cc.Comm)
+				}
+				c.stmts(cc.Body)
+			}
+		}
+	case *ast.SendStmt:
+		c.expr(v.Chan)
+		c.expr(v.Value)
+		if t := c.taintOf(v.Value); t.pools != 0 {
+			c.violation(v.Value.Pos(), "pool-backed scratch sent on a channel escapes its Put")
+		}
+	case *ast.IncDecStmt:
+		c.expr(v.X)
+	case *ast.LabeledStmt:
+		c.stmt(v.Stmt)
+	}
+}
+
+func (c *fnChecker) valueSpec(vs *ast.ValueSpec) {
+	for _, val := range vs.Values {
+		c.expr(val)
+	}
+	if len(vs.Values) == 1 && len(vs.Names) >= 1 {
+		t := c.taintOf(vs.Values[0])
+		for _, name := range vs.Names {
+			c.bind(name, t)
+		}
+	} else if len(vs.Values) == len(vs.Names) {
+		for i, name := range vs.Names {
+			c.bind(name, c.taintOf(vs.Values[i]))
+		}
+	}
+}
+
+func (c *fnChecker) assign(v *ast.AssignStmt) {
+	for _, rhs := range v.Rhs {
+		c.expr(rhs)
+		c.poolCall(rhs, false)
+	}
+	// Bind taints: n:n assignments map one to one; n:1 (multi-value
+	// call) gives every LHS the call's taint — the taintable-kind
+	// filter in bind keeps ints and strings clean.
+	if len(v.Lhs) == len(v.Rhs) {
+		for i, lhs := range v.Lhs {
+			c.assignOne(lhs, c.taintOf(v.Rhs[i]))
+		}
+	} else if len(v.Rhs) == 1 {
+		t := c.taintOf(v.Rhs[0])
+		for _, lhs := range v.Lhs {
+			c.assignOne(lhs, t)
+		}
+	}
+	for _, lhs := range v.Lhs {
+		c.expr(lhs)
+	}
+}
+
+// assignOne records taint flow into one assignment target and checks
+// store-escapes: pool memory written somewhere that outlives the Put.
+func (c *fnChecker) assignOne(lhs ast.Expr, t taint) {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		obj := c.pass.Info.Defs[id]
+		if obj == nil {
+			obj = c.pass.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if vr, ok := obj.(*types.Var); ok && vr.Parent() == c.pass.Pkg.Scope() {
+			// Package-level variable: anything stored here outlives the Put.
+			if t.pools != 0 {
+				c.violation(lhs.Pos(), "pool-backed scratch stored in package variable %s escapes its Put", id.Name)
+			}
+			return
+		}
+		c.bind(id, t)
+		return
+	}
+	if t.pools == 0 {
+		return
+	}
+	// Writing pool memory into a field or element of something that is
+	// not itself pool-backed publishes it past the Put.
+	if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+		if c.taintOf(sel.X).pools == 0 {
+			c.violation(lhs.Pos(), "pool-backed scratch stored in %s escapes its Put", analysis.ExprString(sel))
+		}
+		return
+	}
+	if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+		if c.taintOf(idx.X).pools == 0 {
+			c.violation(lhs.Pos(), "pool-backed scratch stored in %s escapes its Put", analysis.ExprString(idx.X))
+		}
+	}
+}
+
+func (c *fnChecker) bind(id *ast.Ident, t taint) {
+	obj := c.pass.Info.Defs[id]
+	if obj == nil {
+		obj = c.pass.Info.Uses[id]
+	}
+	if obj == nil || !taintableKind(obj.Type()) {
+		return
+	}
+	if t.empty() {
+		delete(c.vars, obj)
+		return
+	}
+	c.vars[obj] = t
+}
+
+// taintableKind limits tracking to reference-shaped types; scalar
+// copies (counts, scores) cannot alias pool memory.
+func taintableKind(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map, *types.Chan, *types.Interface, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// ret checks returned values and accumulates the result summary.
+func (c *fnChecker) ret(v *ast.ReturnStmt) {
+	for _, r := range v.Results {
+		t := c.taintOf(r)
+		c.retParams |= t.params
+		if t.pools == 0 {
+			c.expr(r)
+			continue
+		}
+		if t.pools&(c.deadPools|c.deferred) != 0 {
+			// Report the return-specific message; the generic
+			// use-after-put scan would fire at the same position.
+			c.violation(r.Pos(), "returns pool-backed memory that is already (or deferred to be) returned to the pool: the caller would race the next Get")
+			continue
+		}
+		c.expr(r)
+		c.retPools = true
+		if c.annOK {
+			continue
+		}
+		if a, ok := c.pass.Annotations().Covering(c.pass.Fset, r.Pos(), "pool-escape-ok"); ok {
+			c.handout = true
+			if c.report {
+				c.pass.JustificationOrReport(a)
+			}
+			continue
+		}
+		c.violation(r.Pos(), "returns pool-backed scratch memory: the buffer escapes its Put (copy it, or annotate an ownership-transferring handout with //cfsf:pool-escape-ok <why>)")
+	}
+	// Named-result bare returns: nothing tracked (the repo style binds
+	// results explicitly before returning).
+}
+
+// goCall flags pool memory crossing into a goroutine: by argument or by
+// closure capture.
+func (c *fnChecker) goCall(call *ast.CallExpr) {
+	c.expr(call)
+	for _, arg := range call.Args {
+		if c.taintOf(arg).pools != 0 {
+			c.violation(arg.Pos(), "pool-backed scratch passed to a goroutine escapes its Put")
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := c.pass.Info.Uses[id]; obj != nil {
+				if t, ok := c.vars[obj]; ok && t.pools != 0 {
+					c.violation(id.Pos(), "pool-backed scratch %s captured by a goroutine escapes its Put", id.Name)
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// poolCall handles Put effects: (*sync.Pool).Put kills the argument's
+// pool taint; a call with PutsFact kills the listed arguments'.
+func (c *fnChecker) poolCall(e ast.Expr, deferredCall bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := analysis.Callee(c.pass.Info, call)
+	if fn == nil {
+		return
+	}
+	kill := func(argTaint taint) {
+		c.putParams |= argTaint.params
+		if deferredCall {
+			c.deferred |= argTaint.pools
+		} else {
+			c.deadPools |= argTaint.pools
+		}
+	}
+	if isPoolMethod(fn, "Put") && len(call.Args) == 1 {
+		kill(c.taintOf(call.Args[0]))
+		return
+	}
+	var puts PutsFact
+	if c.pass.ImportObjectFact(fn, &puts) {
+		flat := c.flatArgs(call, fn)
+		for _, i := range puts.Params {
+			if i < len(flat) {
+				kill(c.taintOf(flat[i]))
+			}
+		}
+	}
+}
+
+// flatArgs returns the call's arguments with the receiver (if any)
+// first, matching the flattened parameter indexing of the facts.
+func (c *fnChecker) flatArgs(call *ast.CallExpr, fn *types.Func) []ast.Expr {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if s, ok := c.pass.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+				return append([]ast.Expr{sel.X}, call.Args...)
+			}
+		}
+	}
+	return call.Args
+}
+
+// taintOf evaluates an expression's taint under Go's backing-array
+// aliasing rules.
+func (c *fnChecker) taintOf(e ast.Expr) taint {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.pass.Info.Uses[v]
+		if obj == nil {
+			obj = c.pass.Info.Defs[v]
+		}
+		if obj != nil {
+			return c.vars[obj]
+		}
+	case *ast.SelectorExpr:
+		if s, ok := c.pass.Info.Selections[v]; ok && s.Kind() == types.FieldVal {
+			return c.taintOf(v.X)
+		}
+	case *ast.SliceExpr:
+		return c.taintOf(v.X)
+	case *ast.StarExpr:
+		return c.taintOf(v.X)
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return c.taintOf(v.X)
+		}
+	case *ast.TypeAssertExpr:
+		return c.taintOf(v.X)
+	case *ast.CallExpr:
+		return c.callTaint(v)
+	}
+	return taint{}
+}
+
+// callTaint resolves the taint of a call's results.
+func (c *fnChecker) callTaint(call *ast.CallExpr) taint {
+	// append aliases its first argument's backing array; the appended
+	// values are copies.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := c.pass.Info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+			return c.taintOf(call.Args[0])
+		}
+	}
+	fn := analysis.Callee(c.pass.Info, call)
+	if fn == nil {
+		return taint{}
+	}
+	if isPoolMethod(fn, "Get") {
+		bit := uint64(1) << min63(int(c.nextPool))
+		c.nextPool++
+		return taint{pools: bit}
+	}
+	var out taint
+	var gets GetsFact
+	if c.pass.ImportObjectFact(fn, &gets) {
+		bit := uint64(1) << min63(int(c.nextPool))
+		c.nextPool++
+		out.pools |= bit
+	}
+	var derives DerivesFact
+	if c.pass.ImportObjectFact(fn, &derives) {
+		flat := c.flatArgs(call, fn)
+		for _, i := range derives.Params {
+			if i < len(flat) {
+				out = out.or(c.taintOf(flat[i]))
+			}
+		}
+	}
+	return out
+}
+
+// expr scans e for uses of values whose pool was already Put on this
+// path. It also lets atomic publication of pool memory surface: a
+// tainted argument to an atomic Store/Swap escapes.
+func (c *fnChecker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			// Closure bodies run with the walker's current state (the
+			// repo's closures are synchronous: parallel.For and friends);
+			// goroutine captures are handled in goCall.
+			return true
+		case *ast.CallExpr:
+			if fn := analysis.Callee(c.pass.Info, v); fn != nil && isAtomicStore(fn) {
+				for _, arg := range v.Args {
+					if c.taintOf(arg).pools != 0 {
+						c.violation(arg.Pos(), "pool-backed scratch published through %s escapes its Put", fn.Name())
+					}
+				}
+			}
+		case *ast.Ident:
+			obj := c.pass.Info.Uses[v]
+			if obj == nil {
+				return true
+			}
+			if t, ok := c.vars[obj]; ok && t.pools&c.deadPools != 0 {
+				c.violation(v.Pos(), "%s used after it was returned to the pool: the next Get may already own it", v.Name)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func isPoolMethod(fn *types.Func, name string) bool {
+	if fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return analysis.IsNamedType(sig.Recv().Type(), "sync", "Pool")
+}
+
+// isAtomicStore matches Store/Swap/CompareAndSwap methods of the typed
+// sync/atomic wrappers (atomic.Pointer[T].Store publishes its argument).
+func isAtomicStore(fn *types.Func) bool {
+	switch fn.Name() {
+	case "Store", "Swap", "CompareAndSwap":
+	default:
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// violation reports once per position, only in the reporting phase, and
+// honors a covering //cfsf:pool-escape-ok line annotation.
+func (c *fnChecker) violation(pos token.Pos, format string, args ...any) {
+	if !c.report || c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	if a, ok := c.pass.Annotations().Covering(c.pass.Fset, pos, "pool-escape-ok"); ok {
+		c.pass.JustificationOrReport(a)
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,18 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"cfsf/internal/analysis/analysistest"
+	"cfsf/internal/analysis/poolescape"
+)
+
+func TestPoolEscape(t *testing.T) {
+	analysistest.Run(t, "testdata", poolescape.Analyzer, "pool")
+}
+
+func TestPoolEscapeCrossPackage(t *testing.T) {
+	// poolapi is listed first so its ownership facts are sealed before
+	// pooluser's pass imports them.
+	analysistest.Run(t, "testdata", poolescape.Analyzer, "poolapi", "pooluser")
+}

@@ -1,0 +1,125 @@
+// Package pool exercises poolescape within one package.
+package pool
+
+import "sync"
+
+type scratch struct {
+	buf []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// sink is a package-level escape target.
+var sink []int
+
+// holder is a longer-lived structure.
+type holder struct {
+	kept []int
+}
+
+// fill derives its result from sc's memory: exports DerivesFact.
+func fill(sc *scratch, n int) []int {
+	b := sc.buf[:0]
+	for i := 0; i < n; i++ {
+		b = append(b, i)
+	}
+	return b
+}
+
+// put returns the scratch through a helper: exports PutsFact.
+func put(sc *scratch) {
+	scratchPool.Put(sc)
+}
+
+// clean copies what it keeps before the Put: legal.
+func clean(n int) []int {
+	sc := scratchPool.Get().(*scratch)
+	b := fill(sc, n)
+	out := make([]int, len(b))
+	copy(out, b)
+	sc.buf = b[:0]
+	put(sc)
+	return out
+}
+
+// escapeReturn returns scratch-backed memory already handed back: the
+// derived slice dies with the helper Put.
+func escapeReturn(n int) []int {
+	sc := scratchPool.Get().(*scratch)
+	b := fill(sc, n)
+	put(sc)
+	return b // want "already .or deferred to be. returned to the pool"
+}
+
+// escapeLive returns scratch memory that was never Put: leak and alias
+// escape in one.
+func escapeLive(n int) []int {
+	sc := scratchPool.Get().(*scratch)
+	return fill(sc, n) // want "returns pool-backed scratch memory"
+}
+
+// escapeStore parks scratch memory in a package variable.
+func escapeStore(n int) {
+	sc := scratchPool.Get().(*scratch)
+	sink = fill(sc, n) // want "stored in package variable sink"
+	put(sc)
+}
+
+// escapeField parks scratch memory in a caller-provided struct.
+func escapeField(h *holder, n int) {
+	sc := scratchPool.Get().(*scratch)
+	h.kept = fill(sc, n) // want "stored in h.kept"
+	put(sc)
+}
+
+// useAfterPut touches the scratch after handing it back.
+func useAfterPut(n int) int {
+	sc := scratchPool.Get().(*scratch)
+	put(sc)
+	return len(sc.buf) // want "used after it was returned to the pool"
+}
+
+// earlyPut puts on an error branch and returns clean data on the main
+// path: the branch's kill must not leak onto the fall-through.
+func earlyPut(n int) []int {
+	sc := scratchPool.Get().(*scratch)
+	if n < 0 {
+		put(sc)
+		return nil
+	}
+	b := fill(sc, n)
+	out := append([]int(nil), b...)
+	put(sc)
+	return out
+}
+
+// escapeGo hands the scratch to a goroutine.
+func escapeGo() {
+	sc := scratchPool.Get().(*scratch)
+	go func() {
+		_ = sc.buf // want "captured by a goroutine"
+	}()
+	scratchPool.Put(sc)
+}
+
+// deferPut returns scratch memory whose Put is deferred: the caller
+// would race the next Get.
+func deferPut(n int) []int {
+	sc := scratchPool.Get().(*scratch)
+	defer put(sc)
+	return fill(sc, n) // want "already .or deferred to be. returned to the pool"
+}
+
+// handout transfers ownership deliberately.
+//
+//cfsf:pool-escape-ok callers own the scratch and must hand it to put when done
+func handout() *scratch {
+	return scratchPool.Get().(*scratch)
+}
+
+// viaHandout consumes a handout and leaks it: the GetsFact on handout
+// keeps the taint flowing.
+func viaHandout(n int) []int {
+	sc := handout()
+	return fill(sc, n) // want "returns pool-backed scratch memory"
+}

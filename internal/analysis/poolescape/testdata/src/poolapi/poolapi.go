@@ -1,0 +1,33 @@
+// Package poolapi exports a pooled-scratch API whose ownership
+// contract travels to pooluser as facts.
+package poolapi
+
+import "sync"
+
+// Scratch is request-scoped pooled memory.
+type Scratch struct {
+	Buf []int
+}
+
+var p = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch hands a scratch to the caller.
+//
+//cfsf:pool-escape-ok callers own the scratch until PutScratch
+func GetScratch() *Scratch {
+	return p.Get().(*Scratch)
+}
+
+// PutScratch returns it.
+func PutScratch(sc *Scratch) {
+	p.Put(sc)
+}
+
+// Fill appends into the scratch's buffer and returns the alias.
+func Fill(sc *Scratch, n int) []int {
+	b := sc.Buf[:0]
+	for i := 0; i < n; i++ {
+		b = append(b, i)
+	}
+	return b
+}

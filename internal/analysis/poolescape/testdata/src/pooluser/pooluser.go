@@ -1,0 +1,28 @@
+// Package pooluser drives poolapi from another package: GetsFact,
+// DerivesFact, and PutsFact all cross the boundary.
+package pooluser
+
+import "poolapi"
+
+// ok consumes the scratch fully inside the Get/Put window.
+func ok(n int) int {
+	sc := poolapi.GetScratch()
+	b := poolapi.Fill(sc, n)
+	t := len(b)
+	poolapi.PutScratch(sc)
+	return t
+}
+
+// leak returns memory the Put already reclaimed.
+func leak(n int) []int {
+	sc := poolapi.GetScratch()
+	b := poolapi.Fill(sc, n)
+	poolapi.PutScratch(sc)
+	return b // want "already .or deferred to be. returned to the pool"
+}
+
+// hold returns live pool memory without owning annotation.
+func hold(n int) []int {
+	sc := poolapi.GetScratch()
+	return poolapi.Fill(sc, n) // want "returns pool-backed scratch memory"
+}

@@ -30,10 +30,23 @@ import (
 
 // Analyzer is the walerr pass.
 var Analyzer = &analysis.Analyzer{
-	Name: "walerr",
-	Doc:  "flags discarded errors from internal/wal calls, os.File Sync/Close on write paths, and os.Rename",
-	Run:  run,
+	Name:      "walerr",
+	Doc:       "flags discarded errors from internal/wal calls, os.File Sync/Close on write paths, and os.Rename",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*CriticalAPIFact)(nil)},
 }
+
+// CriticalAPIFact marks one wal function whose error return is
+// durability-critical. Exported while the wal package itself is
+// analyzed; dependents then police their calls by fact lookup instead
+// of re-deriving what counts as a WAL call. Requires the wal package to
+// be in the analyzed set (cfsf-lint runs on ./...; fixtures list it).
+type CriticalAPIFact struct {
+	Func string // function or Type.Method name, for diagnostics
+}
+
+// AFact marks CriticalAPIFact as a fact.
+func (*CriticalAPIFact) AFact() {}
 
 // isWALPackage matches the real module path and the analysistest fixture
 // path alike.
@@ -41,7 +54,37 @@ func isWALPackage(path string) bool {
 	return path == "wal" || strings.HasSuffix(path, "/wal")
 }
 
+// exportCriticalAPI marks every error-returning function and method of a
+// wal package, exported and unexported alike (unexported ones matter to
+// the package's own internal calls).
+func exportCriticalAPI(pass *analysis.Pass) {
+	if !isWALPackage(pass.Pkg.Path()) {
+		return
+	}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		switch o := scope.Lookup(name).(type) {
+		case *types.Func:
+			if analysis.ReturnsError(o) {
+				pass.ExportObjectFact(o, &CriticalAPIFact{Func: o.Name()})
+			}
+		case *types.TypeName:
+			named, ok := o.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			for i := 0; i < named.NumMethods(); i++ {
+				m := named.Method(i)
+				if analysis.ReturnsError(m) {
+					pass.ExportObjectFact(m, &CriticalAPIFact{Func: name + "." + m.Name()})
+				}
+			}
+		}
+	}
+}
+
 func run(pass *analysis.Pass) error {
+	exportCriticalAPI(pass)
 	writeHandles := collectWriteHandles(pass)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -118,8 +161,10 @@ func check(pass *analysis.Pass, call *ast.CallExpr, writeHandles map[types.Objec
 	if fn == nil {
 		return
 	}
-	// Case 1: any error-returning call into a wal package.
-	if fn.Pkg() != nil && isWALPackage(fn.Pkg().Path()) && analysis.ReturnsError(fn) {
+	// Case 1: any call to a function the wal package's own analysis
+	// marked durability-critical (fact lookup spans packages).
+	var crit CriticalAPIFact
+	if pass.ImportObjectFact(fn, &crit) {
 		pass.Reportf(call.Pos(),
 			"error from %s.%s is silently discarded; WAL errors must be checked and propagated (use `_ =` only for deliberate discards)",
 			fn.Pkg().Name(), fn.Name())

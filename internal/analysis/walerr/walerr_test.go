@@ -8,5 +8,7 @@ import (
 )
 
 func TestWALErr(t *testing.T) {
-	analysistest.Run(t, "testdata", walerr.Analyzer, "walclient")
+	// wal is listed so its pass exports the CriticalAPIFact set that
+	// walclient's pass imports.
+	analysistest.Run(t, "testdata", walerr.Analyzer, "wal", "walclient")
 }

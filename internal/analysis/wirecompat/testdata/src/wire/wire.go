@@ -1,0 +1,12 @@
+// Package wire grew a field without a version bump: the committed
+// golden still records the reviewed v1 shape.
+package wire
+
+//cfsf:wire snapshotVersion
+type snapshot struct {
+	Version int
+	Users   []int32
+	Scores  []float64
+}
+
+const snapshotVersion = 1 // want "changed shape without bumping"

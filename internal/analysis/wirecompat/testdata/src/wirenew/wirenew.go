@@ -1,0 +1,10 @@
+// Package wirenew declares a wire type that has never been recorded.
+package wirenew
+
+//cfsf:wire blobVersion
+type blob struct { // want "no entry"
+	Version int
+	Payload []byte
+}
+
+const blobVersion = 1

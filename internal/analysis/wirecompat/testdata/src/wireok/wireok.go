@@ -1,0 +1,17 @@
+// Package wireok is in sync with its golden: same shape, same version.
+// The nested named struct exercises same-module expansion — its fields
+// are part of record's wire format.
+package wireok
+
+//cfsf:wire recVersion
+type record struct {
+	Version int
+	Names   []string
+	Meta    meta
+}
+
+type meta struct {
+	Tag string `json:"tag"`
+}
+
+const recVersion = 2

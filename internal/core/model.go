@@ -152,7 +152,9 @@ type TrainStats struct {
 // Model is a trained CFSF model. A published Model is never mutated:
 // Train, Load, WithUpdates, and the shard paths each build a fresh value
 // and hand it over complete, which is what lets readers use it without
-// locks (the //cfsf:immutable contracts below are enforced by lockcheck).
+// locks. The //cfsf:immutable contracts below are enforced by lockcheck;
+// the //cfsf:cow mirrors (whose builders write them inside parallel.For
+// closures, before publication) by cowcheck.
 type Model struct {
 	cfg      Config              //cfsf:immutable
 	m        *ratings.Matrix     //cfsf:immutable
@@ -165,14 +167,14 @@ type Model struct {
 	// neighborCache[u] holds the Eq. 10 top-K selection for user u. The
 	// slice header is fixed at construction; elements are atomic
 	// pointers, so the lazy fill on the read path stays race-free.
-	neighborCache []atomic.Pointer[[]likeMinded] //cfsf:immutable
+	neighborCache []atomic.Pointer[[]likeMinded] //cfsf:cow slice header swapped whole at publication; elements are atomic slots
 
 	// recCache[u] holds user u's cached top-C recommendation ranking
 	// (reccache.go). Same publication discipline as neighborCache: the
 	// slice header is fixed at construction, elements are atomic
 	// pointers filled on the read path and carried copy-on-write across
 	// Apply generations. nil when the cache is disabled.
-	recCache []atomic.Pointer[recEntry] //cfsf:immutable
+	recCache []atomic.Pointer[recEntry] //cfsf:cow slice header swapped whole at publication; elements are atomic slots
 
 	// topM[i] is the id-sorted mirror of item i's top-M GIS prefix: the
 	// same entries topItems(i) returns, re-sorted by ascending item id so
@@ -181,19 +183,19 @@ type Model struct {
 	// score-sorted list (and hence its truncation) changes — buildTopM
 	// re-derives every mirror row and only shares a previous model's row
 	// when the underlying GIS prefix is provably identical.
-	topM [][]mathx.Scored //cfsf:immutable
+	topM [][]mathx.Scored //cfsf:cow rows shared across generations; never written after the model pointer is published
 
 	// topM2[i][k] is topM[i][k].Score², precomputed so the Eq. 13 pair
 	// weight in suirLocal feeds its sqrt without re-squaring the item
 	// similarity K times per request. Built and shared in lockstep with
 	// topM (same float64 multiply, so values are bit-identical to
 	// squaring at request time).
-	topM2 [][]float64 //cfsf:immutable
+	topM2 [][]float64 //cfsf:cow built and shared in lockstep with topM
 
 	// decay[u] aligns a recency multiplier with every entry of the
 	// user's row; nil when time decay is off or the matrix carries no
 	// timestamps.
-	decay [][]float64 //cfsf:immutable
+	decay [][]float64 //cfsf:cow rows shared across generations like topM
 }
 
 // likeMinded is one selected neighbour of an active user.

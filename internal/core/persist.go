@@ -17,6 +17,8 @@ import (
 // expensive offline artefacts (matrix, GIS, clustering) and rebuilds the
 // cheap ones (smoothing tables, iCluster rankings) at load time, which
 // keeps snapshots small and forward-compatible.
+//
+//cfsf:wire modelWireVersion
 type modelWire struct {
 	Version  int
 	Config   Config

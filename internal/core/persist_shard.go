@@ -44,6 +44,8 @@ var blobMagic = [8]byte{'C', 'F', 'S', 'F', 'B', 'L', 'B', 1}
 
 // sharedWire is the gob payload of the shared blob: everything global to
 // the model except the matrix rows.
+//
+//cfsf:wire shardBlobVersion
 type sharedWire struct {
 	Version   int
 	Config    Config
@@ -59,6 +61,8 @@ type sharedWire struct {
 // shardWire is the gob payload of one shard blob: the matrix rows (and
 // aligned timestamps, when the matrix carries them) of the shard's users
 // at write time.
+//
+//cfsf:wire shardBlobVersion
 type shardWire struct {
 	Version int
 	Shard   int

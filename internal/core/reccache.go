@@ -36,14 +36,14 @@ type recEntry struct {
 	// ranked is the top-C prefix of the user's full candidate ranking in
 	// canonical order (score desc, id asc), scored on the model
 	// generation the entry was built or last repaired against.
-	ranked []mathx.Scored
+	ranked []mathx.Scored //cfsf:cow entries are swapped whole through the recCache slot; repair builds a replacement
 	// complete reports that ranked holds *every* eligible item (fewer
 	// candidates than capacity), so any n can be served from it.
 	complete bool
 	// pending is the sorted set of item ids whose scores the carry
 	// proofs could not pin since the entry was last scored. A read
 	// re-scores exactly these before serving. nil when clean.
-	pending []int32
+	pending []int32 //cfsf:cow same discipline as ranked
 }
 
 // recCacheCap returns the per-user entry capacity: the configured size,

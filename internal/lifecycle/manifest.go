@@ -65,6 +65,8 @@ type shardBlobRef struct {
 
 // manifest is one durable recovery point: the applied watermark it
 // covers and the blob set that reassembles the model at that watermark.
+//
+//cfsf:wire manifestVersion
 type manifest struct {
 	Version int            `json:"version"`
 	Seq     uint64         `json:"seq"`

@@ -9,6 +9,8 @@ import (
 // matrixWire is the stable on-disk representation of a Matrix: dims,
 // scale and the rating triples in row-major order. Versioned so the
 // format can evolve without breaking old snapshots.
+//
+//cfsf:wire matrixWireVersion
 type matrixWire struct {
 	Version   int
 	NumUsers  int
