@@ -44,8 +44,9 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "", "output file (default stdout)")
 	zeroAllocs := flag.String("require-zero-allocs", "", "regexp of benchmark names that must report allocs/op == 0 (run with -benchmem); nonzero or missing allocs fail the run")
-	var maxes maxFlags
+	var maxes, mins gateFlags
 	flag.Var(&maxes, "max", "threshold gate 'NameRegexp:metric=value' (repeatable): every matching benchmark's metric must be <= value; a pattern matching nothing fails too")
+	flag.Var(&mins, "min", "floor gate 'NameRegexp:metric=value' (repeatable): every matching benchmark's metric must be >= value; a pattern matching nothing fails too")
 	flag.Parse()
 
 	doc, err := parse(os.Stdin)
@@ -61,7 +62,12 @@ func main() {
 		}
 	}
 	for _, m := range maxes {
-		if err := requireMax(doc.Results, m); err != nil {
+		if err := requireGate(doc.Results, m, "max", func(v float64) bool { return v <= m.Value }); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, m := range mins {
+		if err := requireGate(doc.Results, m, "min", func(v float64) bool { return v >= m.Value }); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -116,19 +122,20 @@ func requireZeroAllocs(results []result, pattern string) error {
 	return nil
 }
 
-// maxSpec is one parsed -max gate: benchmarks whose name matches Name
-// must report Metric at or below Value.
-type maxSpec struct {
+// gateSpec is one parsed -max or -min gate: benchmarks whose name
+// matches Name must report Metric on the right side of Value.
+type gateSpec struct {
 	Name   *regexp.Regexp
 	Metric string
 	Value  float64
 }
 
-// maxFlags accumulates repeated -max flags, parsing each at set time so
-// a malformed spec fails before any benchmark output is consumed.
-type maxFlags []maxSpec
+// gateFlags accumulates repeated -max/-min flags, parsing each at set
+// time so a malformed spec fails before any benchmark output is
+// consumed.
+type gateFlags []gateSpec
 
-func (m *maxFlags) String() string {
+func (m *gateFlags) String() string {
 	parts := make([]string, len(*m))
 	for i, s := range *m {
 		parts[i] = fmt.Sprintf("%s:%s=%g", s.Name, s.Metric, s.Value)
@@ -136,48 +143,49 @@ func (m *maxFlags) String() string {
 	return strings.Join(parts, ",")
 }
 
-func (m *maxFlags) Set(v string) error {
+func (m *gateFlags) Set(v string) error {
 	name, rest, ok := strings.Cut(v, ":")
 	if !ok {
-		return fmt.Errorf("bad -max %q: want 'NameRegexp:metric=value'", v)
+		return fmt.Errorf("bad gate %q: want 'NameRegexp:metric=value'", v)
 	}
 	metric, valStr, ok := strings.Cut(rest, "=")
 	if !ok {
-		return fmt.Errorf("bad -max %q: want 'NameRegexp:metric=value'", v)
+		return fmt.Errorf("bad gate %q: want 'NameRegexp:metric=value'", v)
 	}
 	re, err := regexp.Compile(name)
 	if err != nil {
-		return fmt.Errorf("bad -max pattern %q: %w", name, err)
+		return fmt.Errorf("bad gate pattern %q: %w", name, err)
 	}
 	val, err := strconv.ParseFloat(valStr, 64)
 	if err != nil {
-		return fmt.Errorf("bad -max value %q: %w", valStr, err)
+		return fmt.Errorf("bad gate value %q: %w", valStr, err)
 	}
-	*m = append(*m, maxSpec{Name: re, Metric: metric, Value: val})
+	*m = append(*m, gateSpec{Name: re, Metric: metric, Value: val})
 	return nil
 }
 
-// requireMax enforces one threshold gate: every matching result must
-// carry the metric and stay at or below the ceiling. Like the
-// zero-allocs gate, a spec matching no benchmark is itself an error so
-// a renamed benchmark cannot silently disarm the gate.
-func requireMax(results []result, spec maxSpec) error {
+// requireGate enforces one threshold gate: every matching result must
+// carry the metric and satisfy ok (<= ceiling for -max, >= floor for
+// -min). Like the zero-allocs gate, a spec matching no benchmark is
+// itself an error so a renamed benchmark cannot silently disarm the
+// gate.
+func requireGate(results []result, spec gateSpec, kind string, ok func(float64) bool) error {
 	matched := 0
 	for _, r := range results {
 		if !spec.Name.MatchString(r.Name) {
 			continue
 		}
 		matched++
-		v, ok := r.Metrics[spec.Metric]
-		if !ok {
+		v, present := r.Metrics[spec.Metric]
+		if !present {
 			return fmt.Errorf("%s: no %s metric", r.Name, spec.Metric)
 		}
-		if v > spec.Value {
-			return fmt.Errorf("%s: %v %s exceeds ceiling %v", r.Name, v, spec.Metric, spec.Value)
+		if !ok(v) {
+			return fmt.Errorf("%s: %v %s violates -%s %v", r.Name, v, spec.Metric, kind, spec.Value)
 		}
 	}
 	if matched == 0 {
-		return fmt.Errorf("no benchmark matched -max %q", spec.Name)
+		return fmt.Errorf("no benchmark matched -%s %q", kind, spec.Name)
 	}
 	return nil
 }

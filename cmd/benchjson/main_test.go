@@ -76,3 +76,54 @@ func TestParseRejectsEmptyAndOddLines(t *testing.T) {
 		}
 	}
 }
+
+func TestGateFlagsAndRequireGate(t *testing.T) {
+	var gates gateFlags
+	if err := gates.Set("^BenchmarkScaling:x=2.5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gates.Set("nonsense"); err == nil {
+		t.Error("spec without metric accepted")
+	}
+	if err := gates.Set("^B:metric=notanumber"); err == nil {
+		t.Error("non-numeric gate value accepted")
+	}
+	if err := gates.Set("(:x=1"); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+
+	results := []result{
+		{Name: "BenchmarkScaling", Metrics: map[string]float64{"x": 2.9}},
+		{Name: "BenchmarkParity", Metrics: map[string]float64{"ok": 0}},
+	}
+	spec := gates[0]
+	// Floor gate (-min): 2.9 >= 2.5 passes, a 3.0 floor fails.
+	if err := requireGate(results, spec, "min", func(v float64) bool { return v >= spec.Value }); err != nil {
+		t.Errorf("scaling 2.9 failed a 2.5 floor: %v", err)
+	}
+	if err := requireGate(results, spec, "min", func(v float64) bool { return v >= 3.0 }); err == nil {
+		t.Error("scaling 2.9 passed a 3.0 floor")
+	}
+	// Ceiling gate (-max) over the same machinery.
+	if err := requireGate(results, spec, "max", func(v float64) bool { return v <= spec.Value }); err == nil {
+		t.Error("scaling 2.9 passed a 2.5 ceiling")
+	}
+	// A spec matching nothing must fail rather than silently disarm.
+	var renamed gateFlags
+	if err := renamed.Set("^BenchmarkRenamedAway:x=1"); err != nil {
+		t.Fatal(err)
+	}
+	r := renamed[0]
+	if err := requireGate(results, r, "min", func(v float64) bool { return v >= r.Value }); err == nil {
+		t.Error("pattern matching nothing passed the gate")
+	}
+	// Missing metric on a matched benchmark fails.
+	var pg gateFlags
+	if err := pg.Set("^BenchmarkParity:missing=1"); err != nil {
+		t.Fatal(err)
+	}
+	p := pg[0]
+	if err := requireGate(results, p, "min", func(v float64) bool { return v >= p.Value }); err == nil {
+		t.Error("matched benchmark without the metric passed the gate")
+	}
+}

@@ -1,0 +1,366 @@
+// Fleet mode: spawn a leader plus N-1 replication followers, drive the
+// whole fleet round-robin, and measure what replication buys — aggregate
+// read throughput versus a single node, catch-up time after a follower
+// is SIGKILLed mid-stream, and bit-identical leader/follower parity via
+// the model fingerprint.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cfsf/internal/loadgen"
+)
+
+// fleetOpts carries the fleet-mode command-line surface.
+type fleetOpts struct {
+	serverBin      string
+	dataDir        string
+	fsync          string
+	serverArgs     []string
+	replicas       int
+	killFollowerMS int
+	compareSingle  bool
+	adminToken     string
+	maxQPS         int
+	logf           func(format string, args ...any)
+}
+
+// fleetOutcome is everything fleet mode reports beyond the standard
+// per-run reports: the scaling ratio, catch-up measurement, and parity.
+type fleetOutcome struct {
+	reports []*loadgen.Report
+	bench   []string
+	pass    bool
+}
+
+func (o *fleetOpts) log(format string, args ...any) {
+	if o.logf != nil {
+		o.logf(format, args...)
+	}
+}
+
+// runFleet executes one scenario in fleet mode. With compareSingle it
+// first replays the identical stream against a single node (same
+// -max-qps capacity), so "fleet ok/s ÷ single ok/s" is a controlled
+// scaling measurement rather than two unrelated runs.
+func runFleet(ctx context.Context, runner *loadgen.Runner, sc *loadgen.Scenario, o fleetOpts) (*fleetOutcome, error) {
+	if o.replicas < 2 {
+		return nil, fmt.Errorf("fleet mode needs -replicas >= 2, got %d", o.replicas)
+	}
+	out := &fleetOutcome{pass: true}
+	var logSink io.Writer
+	if o.logf != nil {
+		logSink = os.Stderr
+	}
+
+	baseDir := o.dataDir
+	if baseDir == "" {
+		tmp, err := os.MkdirTemp("", "cfsf-fleet-"+sc.Name+"-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		baseDir = tmp
+	}
+
+	leaderOpts := loadgen.ProcOptions{
+		ServerBin:    o.serverBin,
+		DataDir:      filepath.Join(baseDir, "leader"),
+		Dataset:      sc.Dataset,
+		GrowthMargin: sc.GrowthMargin(),
+		Fsync:        o.fsync,
+		Stderr:       logSink,
+		ExtraArgs:    o.serverArgs,
+		AdminToken:   o.adminToken,
+		MaxQPS:       o.maxQPS,
+	}
+	if err := os.MkdirAll(leaderOpts.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+
+	// Baseline: the same stream against one node with the same per-node
+	// capacity. Its SLO verdict is informational — a capped single node
+	// is expected to shed load — so it never fails the run.
+	var singleOKPS float64
+	if o.compareSingle {
+		o.log("fleet: baseline run against a single node (max-qps=%d)", o.maxQPS)
+		st, err := loadgen.BuildStream(sc)
+		if err != nil {
+			return nil, err
+		}
+		single, err := loadgen.SpawnServer(leaderOpts)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := runner.Run(ctx, st, single)
+		cerr := single.Close()
+		if err != nil {
+			return nil, fmt.Errorf("baseline run: %w", err)
+		}
+		if cerr != nil {
+			return nil, fmt.Errorf("close baseline server: %w", cerr)
+		}
+		rep.Scenario = sc.Name + "_single"
+		out.reports = append(out.reports, rep)
+		singleOKPS = totalOKPS(rep)
+		// A fresh data dir for the real leader: the baseline already
+		// trained and snapshotted into leader/, which is exactly what we
+		// want — the leader boots from that snapshot, fast.
+	}
+
+	o.log("fleet: spawning leader + %d follower(s)", o.replicas-1)
+	leader, err := loadgen.SpawnServer(leaderOpts)
+	if err != nil {
+		return nil, err
+	}
+	members := []loadgen.Target{leader}
+	closeAll := func() {
+		for _, t := range members {
+			_ = t.Close()
+		}
+	}
+	if err := runner.AwaitReady(ctx, leader); err != nil {
+		closeAll()
+		return nil, fmt.Errorf("leader not ready: %w", err)
+	}
+	var followers []*loadgen.ProcTarget
+	for i := 1; i < o.replicas; i++ {
+		f, err := loadgen.SpawnServer(loadgen.ProcOptions{
+			ServerBin:  o.serverBin,
+			FollowURL:  leader.URL(),
+			AdminToken: o.adminToken,
+			MaxQPS:     o.maxQPS,
+			Stderr:     logSink,
+		})
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("spawn follower %d: %w", i, err)
+		}
+		members = append(members, f)
+		followers = append(followers, f)
+	}
+	for i, f := range followers {
+		if err := runner.AwaitReady(ctx, f); err != nil {
+			closeAll()
+			return nil, fmt.Errorf("follower %d never bootstrapped: %w", i+1, err)
+		}
+	}
+
+	mt, err := loadgen.NewMultiTarget(members...)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	defer func() {
+		if err := mt.Close(); err != nil {
+			o.log("fleet: close: %v", err)
+		}
+	}()
+	runner.ControlTarget = loadgen.StaticTarget(leader.URL())
+	defer func() { runner.ControlTarget = nil }()
+
+	// The kill drill runs beside the traffic: SIGKILL one follower
+	// mid-stream, restart it (fresh bootstrap + tail catch-up), measure
+	// kill-to-ready-and-caught-up, put it back in rotation.
+	var catchupMS float64
+	killErr := make(chan error, 1)
+	if o.killFollowerMS > 0 {
+		go func() {
+			select {
+			case <-time.After(time.Duration(o.killFollowerMS) * time.Millisecond):
+			case <-ctx.Done():
+				killErr <- nil
+				return
+			}
+			victimIdx := len(members) - 1 // rotation slot of the last follower
+			victim := followers[len(followers)-1]
+			o.log("fleet: killing follower %s mid-stream", victim.URL())
+			mt.Suspend(victimIdx)
+			// Connection drain, as a real balancer would: requests already
+			// dispatched to the victim get a moment to complete before the
+			// SIGKILL, so the drill measures replication catch-up, not the
+			// truism that killing a socket kills its in-flight reads.
+			select {
+			case <-time.After(300 * time.Millisecond):
+			case <-ctx.Done():
+				killErr <- nil
+				return
+			}
+			t0 := time.Now()
+			if err := victim.Kill(); err != nil {
+				killErr <- err
+				return
+			}
+			if err := victim.Restart(); err != nil {
+				killErr <- err
+				return
+			}
+			if err := runner.AwaitReady(ctx, victim); err != nil {
+				killErr <- fmt.Errorf("killed follower never recovered: %w", err)
+				return
+			}
+			if err := awaitCaughtUp(ctx, leader.URL(), victim.URL(), o.adminToken, 30*time.Second); err != nil {
+				killErr <- err
+				return
+			}
+			catchupMS = float64(time.Since(t0)) / float64(time.Millisecond)
+			mt.Resume(victimIdx)
+			o.log("fleet: follower back in rotation after %.0fms", catchupMS)
+			killErr <- nil
+		}()
+	} else {
+		killErr <- nil
+	}
+
+	st, err := loadgen.BuildStream(sc)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := runner.Run(ctx, st, mt)
+	if err != nil {
+		return nil, err
+	}
+	if err := <-killErr; err != nil {
+		return nil, fmt.Errorf("kill drill: %w", err)
+	}
+	out.reports = append(out.reports, rep)
+	if !rep.Pass {
+		out.pass = false
+	}
+
+	// Parity: every member must converge to the same applied seq and the
+	// same model fingerprint — the bit-identical replication guarantee.
+	parity := 1.0
+	if err := awaitParity(ctx, members, o.adminToken, 30*time.Second); err != nil {
+		o.log("fleet: parity check failed: %v", err)
+		parity = 0
+		out.pass = false
+	}
+
+	fleetOKPS := totalOKPS(rep)
+	out.bench = append(out.bench,
+		fmt.Sprintf("BenchmarkReplication/%s/fleet-%d 1 %.2f ok-per-sec", sc.Name, o.replicas, fleetOKPS),
+		fmt.Sprintf("BenchmarkReplication/%s/parity 1 %.0f ok", sc.Name, parity),
+	)
+	if o.compareSingle && singleOKPS > 0 {
+		ratio := fleetOKPS / singleOKPS
+		out.bench = append(out.bench,
+			fmt.Sprintf("BenchmarkReplication/%s/single 1 %.2f ok-per-sec", sc.Name, singleOKPS),
+			fmt.Sprintf("BenchmarkReplication/%s/scaling 1 %.3f x", sc.Name, ratio),
+		)
+		o.log("fleet: scaling %.2fx (%.1f ok/s over %d nodes vs %.1f single)", ratio, fleetOKPS, o.replicas, singleOKPS)
+	}
+	if o.killFollowerMS > 0 {
+		out.bench = append(out.bench,
+			fmt.Sprintf("BenchmarkReplication/%s/catchup 1 %.0f catchup-ms", sc.Name, catchupMS))
+	}
+	return out, nil
+}
+
+// totalOKPS sums successful responses per second across operations.
+func totalOKPS(rep *loadgen.Report) float64 {
+	var total float64
+	for _, o := range rep.Ops {
+		total += o.OKPerSec
+	}
+	return total
+}
+
+// fingerprintOf fetches /admin/fingerprint from one node.
+func fingerprintOf(ctx context.Context, base, token string) (fp string, seq uint64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/admin/fingerprint", nil)
+	if err != nil {
+		return "", 0, err
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return "", 0, fmt.Errorf("%s: status %d: %s", base, resp.StatusCode, body)
+	}
+	var doc struct {
+		Fingerprint string `json:"fingerprint"`
+		Seq         uint64 `json:"seq"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return "", 0, err
+	}
+	return doc.Fingerprint, doc.Seq, nil
+}
+
+// awaitCaughtUp polls until the follower's applied seq reaches the
+// leader's — the restarted replica is streaming again and has folded
+// everything the leader has.
+func awaitCaughtUp(ctx context.Context, leaderURL, followerURL, token string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		_, lseq, lerr := fingerprintOf(ctx, leaderURL, token)
+		_, fseq, ferr := fingerprintOf(ctx, followerURL, token)
+		if lerr == nil && ferr == nil && fseq >= lseq {
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("follower %s did not catch up to leader within %v", followerURL, timeout)
+}
+
+// awaitParity polls until every member reports the same (seq,
+// fingerprint) pair. Seqs converge once the leader's queue has drained
+// and followers have applied the tail; fingerprints must then be
+// byte-identical or replication broke its bit-for-bit contract.
+func awaitParity(ctx context.Context, members []loadgen.Target, token string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		type state struct {
+			fp  string
+			seq uint64
+		}
+		states := make([]state, len(members))
+		ok := true
+		for i, m := range members {
+			fp, seq, err := fingerprintOf(ctx, m.URL(), token)
+			if err != nil {
+				lastErr = err
+				ok = false
+				break
+			}
+			states[i] = state{fp, seq}
+		}
+		if ok {
+			same := true
+			for i := 1; i < len(states); i++ {
+				if states[i] != states[0] {
+					same = false
+					lastErr = fmt.Errorf("member %d at seq %d fp %.16s…, member 0 at seq %d fp %.16s…",
+						i, states[i].seq, states[i].fp, states[0].seq, states[0].fp)
+					break
+				}
+			}
+			if same {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("fleet did not reach parity within %v: %v", timeout, lastErr)
+}

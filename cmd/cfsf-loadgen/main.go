@@ -44,7 +44,7 @@ func run() int {
 
 	var (
 		list      = flag.Bool("list", false, "list committed scenarios and exit")
-		target    = flag.String("target", "", "base URL of a running cfsf-server; empty spawns one with -server-bin")
+		target    = flag.String("target", "", "base URL(s) of running cfsf-server(s), comma-separated for round-robin over a replica fleet; empty spawns one with -server-bin")
 		serverBin = flag.String("server-bin", "", "path to a prebuilt cfsf-server binary (required without -target)")
 		dataDir   = flag.String("data-dir", "", "durability root for the spawned server (default: per-run temp dir)")
 		fsync     = flag.String("fsync", "always", "WAL fsync policy for the spawned server")
@@ -56,6 +56,12 @@ func run() int {
 		bench     = flag.Bool("bench", false, "emit go-bench-format result lines (for cmd/benchjson)")
 		outPath   = flag.String("o", "", "also write the JSON report array to this file")
 		verbose   = flag.Bool("v", false, "log runner progress to stderr")
+
+		replicas   = flag.Int("replicas", 0, "fleet mode: spawn a leader plus replicas-1 followers and drive them round-robin (needs -server-bin)")
+		killMS     = flag.Int("kill-follower-ms", 0, "fleet mode: SIGKILL one follower this many ms into the run, restart it, and report catch-up time")
+		cmpSingle  = flag.Bool("compare-single", false, "fleet mode: first run the same stream against one node and report the fleet/single scaling ratio")
+		adminToken = flag.String("admin-token", "", "shared admin bearer token forwarded to spawned servers (and used for parity probes)")
+		maxQPS     = flag.Int("max-qps", 0, "per-node -max-qps admission cap forwarded to spawned servers (fleet scaling runs)")
 	)
 	flag.Parse()
 
@@ -72,6 +78,16 @@ func run() int {
 	if *target == "" && *serverBin == "" {
 		log.Printf("need either -target URL or -server-bin path")
 		return 2
+	}
+	if *replicas > 0 {
+		if *serverBin == "" || *target != "" {
+			log.Printf("fleet mode (-replicas) spawns its own processes: needs -server-bin, not -target")
+			return 2
+		}
+		if *replicas < 2 {
+			log.Printf("fleet mode needs -replicas >= 2")
+			return 2
+		}
 	}
 
 	// Resolve and validate every scenario up front: a bad config in the
@@ -99,8 +115,8 @@ func run() int {
 			log.Printf("after overrides: %v", err)
 			return 2
 		}
-		if sc.Kind == loadgen.KindKillRecover && *target != "" {
-			log.Printf("scenario %q: killrecover cannot run against an external -target (nothing to kill)", sc.Name)
+		if sc.Kind == loadgen.KindKillRecover && (*target != "" || *replicas > 0) {
+			log.Printf("scenario %q: killrecover needs a single self-spawned server (no -target, no -replicas; fleet mode has -kill-follower-ms instead)", sc.Name)
 			return 2
 		}
 		scenarios = append(scenarios, sc)
@@ -116,16 +132,8 @@ func run() int {
 
 	var reports []*loadgen.Report
 	allPass := true
-	for _, sc := range scenarios {
-		rep, err := runScenario(ctx, runner, sc, *target, *serverBin, *dataDir, *fsync, strings.Fields(*serverArg))
-		if err != nil {
-			log.Printf("scenario %q: %v", sc.Name, err)
-			return 2
-		}
+	emit := func(rep *loadgen.Report) error {
 		reports = append(reports, rep)
-		if !rep.Pass {
-			allPass = false
-		}
 		switch {
 		case *bench:
 			for _, line := range rep.BenchLines() {
@@ -135,11 +143,63 @@ func run() int {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(rep); err != nil {
-				log.Printf("encode report: %v", err)
-				return 2
+				return fmt.Errorf("encode report: %w", err)
 			}
 		default:
 			fmt.Print(rep.Text())
+		}
+		return nil
+	}
+	for _, sc := range scenarios {
+		if *replicas > 0 {
+			out, err := runFleet(ctx, runner, sc, fleetOpts{
+				serverBin:      *serverBin,
+				dataDir:        *dataDir,
+				fsync:          *fsync,
+				serverArgs:     strings.Fields(*serverArg),
+				replicas:       *replicas,
+				killFollowerMS: *killMS,
+				compareSingle:  *cmpSingle,
+				adminToken:     *adminToken,
+				maxQPS:         *maxQPS,
+				logf:           runner.Logf,
+			})
+			if err != nil {
+				log.Printf("scenario %q: %v", sc.Name, err)
+				return 2
+			}
+			// The single-node baseline's SLO verdict is informational
+			// (out.pass already excludes it): a capacity-capped node
+			// shedding load is the expected contrast, not a failure.
+			for _, rep := range out.reports {
+				if err := emit(rep); err != nil {
+					log.Printf("%v", err)
+					return 2
+				}
+			}
+			for _, line := range out.bench {
+				if *bench {
+					fmt.Println(line)
+				} else {
+					log.Printf("fleet: %s", line)
+				}
+			}
+			if !out.pass {
+				allPass = false
+			}
+			continue
+		}
+		rep, err := runScenario(ctx, runner, sc, *target, *serverBin, *dataDir, *fsync, strings.Fields(*serverArg))
+		if err != nil {
+			log.Printf("scenario %q: %v", sc.Name, err)
+			return 2
+		}
+		if !rep.Pass {
+			allPass = false
+		}
+		if err := emit(rep); err != nil {
+			log.Printf("%v", err)
+			return 2
 		}
 	}
 
@@ -172,7 +232,28 @@ func runScenario(ctx context.Context, runner *loadgen.Runner, sc *loadgen.Scenar
 
 	var tgt loadgen.Target
 	if targetURL != "" {
-		tgt = loadgen.StaticTarget(strings.TrimSuffix(targetURL, "/"))
+		// Comma-separated URLs form a round-robin fleet target; control
+		// probes (readiness, drain) go to the first member, by convention
+		// the leader.
+		var members []loadgen.Target
+		for _, u := range strings.Split(targetURL, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				members = append(members, loadgen.StaticTarget(strings.TrimSuffix(u, "/")))
+			}
+		}
+		if len(members) > 1 {
+			mt, err := loadgen.NewMultiTarget(members...)
+			if err != nil {
+				return nil, err
+			}
+			tgt = mt
+			runner.ControlTarget = members[0]
+			defer func() { runner.ControlTarget = nil }()
+		} else if len(members) == 1 {
+			tgt = members[0]
+		} else {
+			return nil, fmt.Errorf("-target %q resolves to no URLs", targetURL)
+		}
 	} else {
 		dir := dataDir
 		if dir == "" {

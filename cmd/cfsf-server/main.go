@@ -41,6 +41,7 @@ import (
 	"cfsf/internal/core"
 	"cfsf/internal/lifecycle"
 	"cfsf/internal/obs"
+	"cfsf/internal/replication"
 	"cfsf/internal/server"
 	"cfsf/internal/wal"
 )
@@ -73,6 +74,10 @@ func main() {
 		snapVerify    = flag.Bool("snapshot-verify", true, "read each written snapshot blob back and compare it to the serving model before the manifest may prune the WAL")
 		compact       = flag.Bool("compact", false, "fold checkpoint-covered WAL segments into a deduped compacted base after each snapshot instead of deleting them")
 		compactMinSeg = flag.Int("compact-min-segments", 2, "skip the post-snapshot compaction pass below this many WAL segments")
+
+		follow     = flag.String("follow", "", "run as a read replica of this leader URL (e.g. http://leader:8080); ignores -data/-model/-data-dir")
+		adminToken = flag.String("admin-token", "", "shared secret gating /admin/* (Authorization: Bearer <token>); also sent to the leader under -follow")
+		maxQPS     = flag.Int("max-qps", 0, "cap serving endpoints at this many requests/second per process (429 beyond it; 0 = unlimited)")
 
 		debug           = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 		growthMargin    = flag.Int("growth-margin", 1, "how far past current matrix bounds a /rate id may grow the model")
@@ -159,6 +164,8 @@ func main() {
 		MaxBatch:     *maxBatch,
 		Debug:        *debug,
 		Registry:     registry,
+		AdminToken:   *adminToken,
+		MaxQPS:       *maxQPS,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -178,12 +185,30 @@ func main() {
 	log.Printf("listening on %s (debug=%v durable=%v, warming)", *addr, *debug, *dataDir != "")
 
 	type bootResult struct {
-		model *core.Model
-		mgr   *lifecycle.Manager
-		err   error
+		model    *core.Model
+		mgr      *lifecycle.Manager
+		follower *replication.Follower
+		err      error
 	}
 	bootc := make(chan bootResult, 1)
 	go func() {
+		if *follow != "" {
+			// Follower boot: no local training, no local WAL — bootstrap
+			// from the leader's newest snapshot and stream its tail. Start
+			// retries until the leader is reachable (or we get a signal).
+			f, err := replication.Start(ctx, replication.Options{
+				LeaderURL:  *follow,
+				AdminToken: *adminToken,
+				Registry:   registry,
+				Logf:       log.Printf,
+			})
+			if err != nil {
+				bootc <- bootResult{err: fmt.Errorf("follow %s: %w", *follow, err)}
+				return
+			}
+			bootc <- bootResult{follower: f}
+			return
+		}
 		if *dataDir == "" {
 			model, err := bootstrap()
 			bootc <- bootResult{model: model, err: err}
@@ -226,6 +251,7 @@ func main() {
 	}()
 
 	var mgr *lifecycle.Manager
+	var fol *replication.Follower
 	for {
 		select {
 		case err := <-errc:
@@ -234,20 +260,27 @@ func main() {
 			if b.err != nil {
 				log.Fatalf("build model: %v", b.err)
 			}
-			mgr = b.mgr
-			srv.Activate(b.model, titles, b.mgr)
-			log.Printf("ready (durable=%v)", mgr != nil)
+			mgr, fol = b.mgr, b.follower
+			if fol != nil {
+				srv.ActivateFollower(fol, nil)
+				log.Printf("ready (follower of %s, applied seq %d)", fol.LeaderURL(), fol.AppliedSeq())
+			} else {
+				srv.Activate(b.model, titles, b.mgr)
+				log.Printf("ready (durable=%v)", mgr != nil)
+			}
 			bootc = nil // this arm fires once
 		case <-ctx.Done():
 			stop() // restore default signal handling: a second signal kills immediately
 			log.Printf("signal received, draining for up to %v", *shutdownTimeout)
 			if bootc != nil {
 				// Boot is still running; let it finish so an opened
-				// lifecycle manager is closed cleanly below.
+				// lifecycle manager (or follower stream) is closed cleanly
+				// below.
 				if b := <-bootc; b.err == nil {
-					mgr = b.mgr
+					mgr, fol = b.mgr, b.follower
 				}
 			}
+			srv.CloseReplication() // end follower WAL streams so Shutdown can drain
 			sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 			defer cancel()
 			if err := httpSrv.Shutdown(sctx); err != nil {
@@ -255,6 +288,10 @@ func main() {
 			}
 			if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Fatalf("serve: %v", err)
+			}
+			if fol != nil {
+				fol.Close()
+				log.Printf("replication stream closed")
 			}
 			if mgr != nil {
 				if err := mgr.Close(); err != nil {

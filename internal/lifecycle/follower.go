@@ -1,0 +1,381 @@
+// Follower-mode lifecycle: a read replica does not own a WAL or a
+// snapshot schedule — it assembles a model from a leader's manifest and
+// blobs, then ingests the leader's WAL records in stream order and
+// applies them through the exact micro-batch machinery boot replay uses.
+// The grouping rule is the same one bit-for-bit crash recovery relies
+// on: a batch-commit record closes the batch of queued ratings with
+// sequence <= Covered routed to its shard (every queued rating for a
+// shard -1 commit), so the follower folds exactly the batches the leader
+// folded, in the same order, and its model is bit-identical to the
+// leader's at the same applied sequence.
+//
+// This file also holds the leader-side accessors the replication wire
+// protocol serves from: WAL cursors, the newest manifest document, and
+// validated snapshot-blob handles.
+package lifecycle
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cfsf/internal/core"
+	"cfsf/internal/obs"
+	"cfsf/internal/ratings"
+	"cfsf/internal/wal"
+)
+
+// followerState pairs the follower's serving model with its contiguous
+// applied watermark, swapped atomically (the read-path contract is the
+// same as the leader's modelState).
+type followerState struct {
+	sharded *core.ShardedModel
+	seq     uint64
+}
+
+// Follower applies a leader's WAL record stream on top of a
+// bootstrap-assembled model. Ingest is single-writer (one stream
+// goroutine); the read accessors are safe from any goroutine.
+type Follower struct {
+	logf func(format string, args ...any) //cfsf:immutable
+	reg  *obs.Registry                    //cfsf:immutable
+
+	state atomic.Pointer[followerState]
+
+	mu         sync.Mutex
+	queued     []pendingUpdate //cfsf:guarded-by mu // journaled-but-unapplied ratings, stream order
+	received   uint64          //cfsf:guarded-by mu // highest record sequence ingested (any type)
+	lastRating uint64          //cfsf:guarded-by mu // highest rating sequence ingested
+	oldestAt   time.Time       //cfsf:guarded-by mu // arrival of the oldest still-queued rating
+
+	mApplied   *obs.Counter
+	mBatches   *obs.Counter
+	mApplyErrs *obs.Counter
+}
+
+// NewFollower returns an applier with no model; Reset must install a
+// bootstrap point before Ingest or Model are used.
+func NewFollower(reg *obs.Registry, logf func(format string, args ...any)) *Follower {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Follower{
+		logf:       logf,
+		reg:        reg,
+		mApplied:   reg.Counter("follower_applied_total"),
+		mBatches:   reg.Counter("follower_batches_total"),
+		mApplyErrs: reg.Counter("follower_apply_errors_total"),
+	}
+}
+
+// Reset installs a freshly bootstrapped model covering every rating with
+// sequence <= seq, discarding any queued tail (a re-bootstrap lands on a
+// newer snapshot, which already folds whatever was queued).
+//
+//cfsf:wallclock-ok arrival times feed the lag estimate only; apply grouping comes from journaled commit records
+func (f *Follower) Reset(mod *core.Model, seq uint64) {
+	f.mu.Lock()
+	f.queued = nil
+	f.received = seq
+	f.lastRating = seq
+	f.oldestAt = time.Time{}
+	f.mu.Unlock()
+	f.state.Store(&followerState{sharded: core.NewSharded(mod), seq: seq})
+}
+
+// Ingest folds one streamed WAL record: ratings queue, batch commits cut
+// and apply exactly the leader's batch, checkpoints only advance the
+// cursor. Records at or below the already-ingested position (a reconnect
+// overlap) are skipped.
+//
+//cfsf:wallclock-ok arrival times feed the lag estimate only; apply grouping comes from journaled commit records
+func (f *Follower) Ingest(rec wal.Record) error {
+	switch rec.Type {
+	case wal.RecordRating:
+		f.mu.Lock()
+		if rec.Seq <= f.received {
+			f.mu.Unlock()
+			return nil
+		}
+		f.received = rec.Seq
+		f.lastRating = rec.Seq
+		if len(f.queued) == 0 {
+			f.oldestAt = time.Now()
+		}
+		f.queued = append(f.queued, pendingUpdate{seq: rec.Seq, u: rec.Update, shard: rec.Shard})
+		f.mu.Unlock()
+		return nil
+	case wal.RecordBatchCommit:
+		return f.applyCommit(rec)
+	case wal.RecordCheckpoint:
+		f.mu.Lock()
+		if rec.Seq > f.received {
+			f.received = rec.Seq
+		}
+		f.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("lifecycle: follower: unknown record type %d at seq %d", rec.Type, rec.Seq)
+}
+
+// applyCommit cuts the commit's batch from the queue — the same
+// sequence-and-shard rule boot replay uses — and folds it into the
+// serving model.
+func (f *Follower) applyCommit(rec wal.Record) error {
+	f.mu.Lock()
+	if rec.Seq <= f.received {
+		f.mu.Unlock()
+		return nil
+	}
+	f.received = rec.Seq
+	var batch []core.RatingUpdate
+	kept := f.queued[:0]
+	for _, p := range f.queued {
+		if p.seq <= rec.Covered && (rec.Shard < 0 || p.shard == rec.Shard) {
+			batch = append(batch, p.u)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	f.queued = kept
+	f.mu.Unlock()
+
+	if len(batch) == 0 {
+		// A commit wholly covered by the bootstrap snapshot (its ratings
+		// were already folded into the assembled model); also updates the
+		// watermark when the queue just drained.
+		f.storeWatermark()
+		return nil
+	}
+	st := f.state.Load()
+	if st == nil {
+		return fmt.Errorf("lifecycle: follower: commit at seq %d before any bootstrap", rec.Seq)
+	}
+	next, _, err := applyWithFallback(st.sharded, batch, f.logf, f.mApplyErrs)
+	if err != nil {
+		return fmt.Errorf("lifecycle: follower: apply batch through seq %d: %w", rec.Covered, err)
+	}
+	f.mApplied.Add(int64(len(batch)))
+	f.mBatches.Inc()
+	f.storeSharded(next)
+	return nil
+}
+
+// storeSharded publishes a new model at the current contiguous
+// watermark.
+func (f *Follower) storeSharded(sm *core.ShardedModel) {
+	f.mu.Lock()
+	seq := f.watermarkLocked()
+	f.mu.Unlock()
+	f.state.Store(&followerState{sharded: sm, seq: seq})
+}
+
+// storeWatermark republishes the current model at a possibly advanced
+// watermark (the queue shrank without the model changing).
+func (f *Follower) storeWatermark() {
+	st := f.state.Load()
+	if st == nil {
+		return
+	}
+	f.mu.Lock()
+	seq := f.watermarkLocked()
+	f.mu.Unlock()
+	if seq != st.seq {
+		f.state.Store(&followerState{sharded: st.sharded, seq: seq})
+	}
+}
+
+// watermarkLocked computes the contiguous applied watermark: every
+// rating at or below it is folded in. Mirrors the leader's rule — the
+// oldest queued rating bounds it; with an empty queue it is the last
+// rating sequence ingested.
+//
+//cfsf:locked mu callers hold it
+func (f *Follower) watermarkLocked() uint64 {
+	if len(f.queued) > 0 {
+		return f.queued[0].seq - 1
+	}
+	return f.lastRating
+}
+
+// Model returns the follower's currently served model (nil before the
+// first Reset).
+func (f *Follower) Model() *core.Model {
+	if st := f.state.Load(); st != nil {
+		return st.sharded.Model()
+	}
+	return nil
+}
+
+// Sharded returns the follower's current sharded model (nil before the
+// first Reset).
+func (f *Follower) Sharded() *core.ShardedModel {
+	if st := f.state.Load(); st != nil {
+		return st.sharded
+	}
+	return nil
+}
+
+// AppliedSeq returns the contiguous applied watermark.
+func (f *Follower) AppliedSeq() uint64 {
+	if st := f.state.Load(); st != nil {
+		return st.seq
+	}
+	return 0
+}
+
+// Cursor returns the stream resume position: the highest record sequence
+// already ingested (queued ratings included — they survive a reconnect
+// in memory).
+func (f *Follower) Cursor() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.received
+}
+
+// QueueLen returns how many ingested ratings await their batch commit.
+func (f *Follower) QueueLen() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.queued)
+}
+
+// OldestQueuedAge estimates how long the oldest unapplied rating has
+// been waiting (zero with an empty queue) — the wall-clock component of
+// replication lag.
+//
+//cfsf:wallclock-ok lag estimate only; never feeds applied state
+func (f *Follower) OldestQueuedAge() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.queued) == 0 {
+		return 0
+	}
+	return time.Since(f.oldestAt)
+}
+
+// AssembleRemotePoint reassembles a model from a manifest document plus
+// a blob-fetch function — the follower bootstrap path, where the blobs
+// come from the leader's snapshot endpoints instead of local disk. It
+// returns the model and the watermark the manifest covers. Unlike boot's
+// loadManifestPoint there is no shard-patching fallback: a follower that
+// cannot fetch a consistent blob set simply retries (the leader's next
+// snapshot supersedes the torn one).
+func AssembleRemotePoint(manifestJSON []byte, fetch func(name string) ([]byte, error)) (*core.Model, uint64, error) {
+	man, err := parseManifest(manifestJSON, "remote")
+	if err != nil {
+		return nil, 0, err
+	}
+	sharedData, err := fetch(man.Shared.File)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fetch shared blob %s: %w", man.Shared.File, err)
+	}
+	sp, err := core.LoadSharedPart(bytes.NewReader(sharedData))
+	if err != nil {
+		return nil, 0, fmt.Errorf("shared blob %s: %w", man.Shared.File, err)
+	}
+	if sp.NumUsers != man.Users || sp.NumItems != man.Items {
+		return nil, 0, fmt.Errorf("shared blob %s is %dx%d, manifest says %dx%d",
+			man.Shared.File, sp.NumUsers, sp.NumItems, man.Users, man.Items)
+	}
+	if sp.NumShards() != len(man.Shards) {
+		return nil, 0, fmt.Errorf("shared blob %s has %d shards, manifest lists %d",
+			man.Shared.File, sp.NumShards(), len(man.Shards))
+	}
+	rows := make([][]ratings.Entry, sp.NumUsers)
+	var times [][]int64
+	if sp.HasTimes {
+		times = make([][]int64, sp.NumUsers)
+	}
+	for _, ref := range man.Shards {
+		data, ferr := fetch(ref.File)
+		if ferr != nil {
+			return nil, 0, fmt.Errorf("fetch shard blob %s: %w", ref.File, ferr)
+		}
+		part, perr := core.LoadShardPart(bytes.NewReader(data))
+		if perr == nil {
+			perr = checkShardPart(part, ref, sp)
+		}
+		if perr != nil {
+			return nil, 0, fmt.Errorf("shard %d blob %s: %w", ref.ID, ref.File, perr)
+		}
+		for j, u := range part.Users {
+			rows[u] = part.Rows[j]
+			if sp.HasTimes && part.Times != nil {
+				times[u] = part.Times[j]
+			}
+		}
+	}
+	mod, err := core.AssembleModel(sp, rows, times)
+	if err != nil {
+		return nil, 0, err
+	}
+	return mod, man.Seq, nil
+}
+
+// --- leader-side accessors for the replication wire protocol ---
+
+// NewWALCursor returns a streaming cursor over the manager's WAL
+// delivering every record with sequence > afterSeq; it fails with
+// wal.ErrRebootstrap when that position is no longer batch-exactly
+// streamable (the caller maps it to the re-bootstrap signal).
+func (m *Manager) NewWALCursor(afterSeq uint64) (*wal.Cursor, error) {
+	return m.w.NewCursor(afterSeq)
+}
+
+// WALAppendSignal exposes the WAL's append notification for tail
+// followers: the channel is closed by the next append, and the returned
+// sequence is the log end at the time of the call.
+func (m *Manager) WALAppendSignal() (<-chan struct{}, uint64) {
+	return m.w.AppendSignal()
+}
+
+// WALAvailableFrom exposes the WAL's contiguous-stream floor (the 410
+// payload tells a behind follower where serveability starts).
+func (m *Manager) WALAvailableFrom() uint64 { return m.w.AvailableFrom() }
+
+// WALDedupedBelow exposes the WAL's compaction dedupe horizon.
+func (m *Manager) WALDedupedBelow() uint64 { return m.w.DedupedBelow() }
+
+// NewestManifest returns the newest loadable manifest document and the
+// watermark it covers. Retention can delete a point between listing and
+// reading; such a point is skipped in favour of an older one, exactly as
+// the boot ladder does.
+func (m *Manager) NewestManifest() (data []byte, seq uint64, err error) {
+	points, err := listDurablePoints(m.cfg.DataDir)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, pt := range points {
+		if !pt.manifest {
+			continue
+		}
+		data, rerr := os.ReadFile(pt.path)
+		if rerr != nil {
+			continue
+		}
+		if _, perr := parseManifest(data, filepath.Base(pt.path)); perr != nil {
+			continue
+		}
+		return data, pt.seq, nil
+	}
+	return nil, 0, fmt.Errorf("lifecycle: no loadable manifest in %s", m.cfg.DataDir)
+}
+
+// OpenSnapshotBlob opens one snapshot blob by its manifest-referenced
+// name. The name must be a bare blob file name (no path separators) —
+// the same validation manifests pass — so a remote caller cannot read
+// outside the snapshot directory.
+func (m *Manager) OpenSnapshotBlob(name string) (*os.File, error) {
+	if !isBlobName(name) {
+		return nil, fmt.Errorf("lifecycle: %q is not a snapshot blob name", name)
+	}
+	return os.Open(filepath.Join(snapshotDir(m.cfg.DataDir), name))
+}

@@ -651,18 +651,27 @@ func maxU64(a, b uint64) uint64 {
 // it performed — the fallback path chains several, each carrying only
 // its own step's dirt.
 func (m *Manager) applyUpdates(sm *core.ShardedModel, updates []core.RatingUpdate) (*core.ShardedModel, []int, error) {
+	return applyWithFallback(sm, updates, m.cfg.Logf, m.mApplyErrs)
+}
+
+// applyWithFallback is the single apply-a-batch code path shared by the
+// leader's lifecycle loop, boot replay, and the follower applier: the
+// identical batch-or-per-update semantics on every path is what makes
+// crash replay and follower streaming both bit-identical to the live
+// process.
+func applyWithFallback(sm *core.ShardedModel, updates []core.RatingUpdate, logf func(string, ...any), applyErrs *obs.Counter) (*core.ShardedModel, []int, error) {
 	next, err := sm.Apply(updates)
 	if err == nil {
 		return next, next.DirtyShards(), nil
 	}
-	m.cfg.Logf("lifecycle: batch of %d failed (%v); retrying per update", len(updates), err)
+	logf("lifecycle: batch of %d failed (%v); retrying per update", len(updates), err)
 	cur := sm
 	dirty := map[int]bool{}
 	for _, u := range updates {
 		n, uerr := cur.Apply([]core.RatingUpdate{u})
 		if uerr != nil {
-			m.mApplyErrs.Inc()
-			m.cfg.Logf("lifecycle: dropping unappliable update (%d,%d)=%g: %v", u.User, u.Item, u.Value, uerr)
+			applyErrs.Inc()
+			logf("lifecycle: dropping unappliable update (%d,%d)=%g: %v", u.User, u.Item, u.Value, uerr)
 			continue
 		}
 		for _, s := range n.DirtyShards() {

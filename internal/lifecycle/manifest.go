@@ -81,26 +81,33 @@ func readManifest(path string) (*manifest, error) {
 	if err != nil {
 		return nil, err
 	}
+	return parseManifest(data, filepath.Base(path))
+}
+
+// parseManifest decodes and validates one manifest document; label names
+// the source in errors (a file name, or the leader URL for a manifest
+// fetched over the replication protocol).
+func parseManifest(data []byte, label string) (*manifest, error) {
 	var man manifest
 	if err := json.Unmarshal(data, &man); err != nil {
-		return nil, fmt.Errorf("manifest %s: %w", filepath.Base(path), err)
+		return nil, fmt.Errorf("manifest %s: %w", label, err)
 	}
 	if man.Version != manifestVersion {
-		return nil, fmt.Errorf("manifest %s: unsupported version %d", filepath.Base(path), man.Version)
+		return nil, fmt.Errorf("manifest %s: unsupported version %d", label, man.Version)
 	}
 	if len(man.Shards) == 0 {
-		return nil, fmt.Errorf("manifest %s: no shard refs", filepath.Base(path))
+		return nil, fmt.Errorf("manifest %s: no shard refs", label)
 	}
 	for i, ref := range man.Shards {
 		if ref.ID != i {
-			return nil, fmt.Errorf("manifest %s: shard ref %d has id %d", filepath.Base(path), i, ref.ID)
+			return nil, fmt.Errorf("manifest %s: shard ref %d has id %d", label, i, ref.ID)
 		}
 		if !isBlobName(ref.File) {
-			return nil, fmt.Errorf("manifest %s: shard ref %d file %q", filepath.Base(path), i, ref.File)
+			return nil, fmt.Errorf("manifest %s: shard ref %d file %q", label, i, ref.File)
 		}
 	}
 	if !isBlobName(man.Shared.File) {
-		return nil, fmt.Errorf("manifest %s: shared ref file %q", filepath.Base(path), man.Shared.File)
+		return nil, fmt.Errorf("manifest %s: shared ref file %q", label, man.Shared.File)
 	}
 	return &man, nil
 }

@@ -1,0 +1,77 @@
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MultiTarget fans requests out over a replica fleet, round-robin. A
+// member can be suspended (taken out of rotation) while it is down —
+// the fleet kill-and-catch-up drill uses this so offered load keeps
+// flowing to the survivors instead of burning error budget on a corpse.
+type MultiTarget struct {
+	members []Target //cfsf:immutable
+	next    atomic.Uint64
+
+	mu   sync.Mutex
+	down []bool //cfsf:guarded-by mu
+}
+
+// NewMultiTarget wraps the members; at least one is required. Closing
+// the MultiTarget closes every member.
+func NewMultiTarget(members ...Target) (*MultiTarget, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("multi-target: no members")
+	}
+	return &MultiTarget{members: members, down: make([]bool, len(members))}, nil
+}
+
+// URL returns the next member's URL, skipping suspended members. With
+// every member suspended it falls back to plain rotation (the request
+// will fail and be counted, which is the honest outcome).
+func (m *MultiTarget) URL() string {
+	n := len(m.members)
+	i := int(m.next.Add(1)-1) % n
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for probe := 0; probe < n; probe++ {
+		j := (i + probe) % n
+		if !m.down[j] {
+			return m.members[j].URL()
+		}
+	}
+	return m.members[i].URL()
+}
+
+// Suspend takes member i out of rotation.
+func (m *MultiTarget) Suspend(i int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.down[i] = true
+}
+
+// Resume puts member i back into rotation.
+func (m *MultiTarget) Resume(i int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.down[i] = false
+}
+
+// Members returns the wrapped targets in rotation order.
+func (m *MultiTarget) Members() []Target { return m.members }
+
+// Close closes every member, reporting the first error.
+func (m *MultiTarget) Close() error {
+	var errs []string
+	for _, t := range m.members {
+		if err := t.Close(); err != nil {
+			errs = append(errs, err.Error())
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("multi-target close: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}

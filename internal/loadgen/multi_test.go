@@ -1,0 +1,58 @@
+package loadgen
+
+import (
+	"fmt"
+	"testing"
+)
+
+type namedTarget string
+
+func (n namedTarget) URL() string  { return string(n) }
+func (n namedTarget) Close() error { return nil }
+
+func TestMultiTargetRoundRobin(t *testing.T) {
+	mt, err := NewMultiTarget(namedTarget("a"), namedTarget("b"), namedTarget("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []string{mt.URL(), mt.URL(), mt.URL(), mt.URL(), mt.URL(), mt.URL()}
+	want := []string{"a", "b", "c", "a", "b", "c"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("rotation = %v, want %v", got, want)
+	}
+}
+
+func TestMultiTargetSuspendResume(t *testing.T) {
+	mt, err := NewMultiTarget(namedTarget("a"), namedTarget("b"), namedTarget("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt.Suspend(1) // "b" is down
+	for i := 0; i < 9; i++ {
+		if u := mt.URL(); u == "b" {
+			t.Fatalf("rotation hit suspended member on call %d", i)
+		}
+	}
+	mt.Resume(1)
+	seen := map[string]bool{}
+	for i := 0; i < 6; i++ {
+		seen[mt.URL()] = true
+	}
+	if !seen["b"] {
+		t.Fatal("resumed member never re-entered rotation")
+	}
+
+	// All down: plain rotation rather than spinning forever.
+	for i := 0; i < 3; i++ {
+		mt.Suspend(i)
+	}
+	if u := mt.URL(); u == "" {
+		t.Fatal("all-suspended fleet returned no target")
+	}
+}
+
+func TestMultiTargetRequiresMembers(t *testing.T) {
+	if _, err := NewMultiTarget(); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+}

@@ -10,14 +10,16 @@ import (
 // OpReport summarises one operation's outcomes. Latencies are
 // milliseconds measured from scheduled arrival (see Runner).
 type OpReport struct {
-	Sent     int64   `json:"sent"`
-	Errors   int64   `json:"errors"`
-	Rejected int64   `json:"rejected,omitempty"`
-	MeanMS   float64 `json:"mean_ms"`
-	P50MS    float64 `json:"p50_ms"`
-	P95MS    float64 `json:"p95_ms"`
-	P99MS    float64 `json:"p99_ms"`
-	MaxMS    float64 `json:"max_ms"`
+	Sent      int64   `json:"sent"`
+	Errors    int64   `json:"errors"`
+	Rejected  int64   `json:"rejected,omitempty"`
+	Throttled int64   `json:"throttled,omitempty"` // 429s from -max-qps admission control
+	OKPerSec  float64 `json:"ok_per_sec"`          // successful responses per wall second
+	MeanMS    float64 `json:"mean_ms"`
+	P50MS     float64 `json:"p50_ms"`
+	P95MS     float64 `json:"p95_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	MaxMS     float64 `json:"max_ms"`
 }
 
 // SLOCheck is one evaluated gate. Most checks are "actual <= limit";
@@ -67,18 +69,24 @@ func buildReport(sc *Scenario, st *Stream, counters map[string]*opCounters, elap
 		DrainMS:         drainMS,
 		ExpectedRejects: int64(st.ExpectedRejects),
 	}
+	elapsedSec := elapsed.Seconds()
 	for op, c := range counters {
 		snap := c.hist.Snapshot()
-		rep.Ops[op] = &OpReport{
-			Sent:     c.sent.Load(),
-			Errors:   c.errors.Load(),
-			Rejected: c.rejected.Load(),
-			MeanMS:   snap.Mean,
-			P50MS:    snap.P50,
-			P95MS:    snap.P95,
-			P99MS:    snap.P99,
-			MaxMS:    snap.Max,
+		o := &OpReport{
+			Sent:      c.sent.Load(),
+			Errors:    c.errors.Load(),
+			Rejected:  c.rejected.Load(),
+			Throttled: c.throttled.Load(),
+			MeanMS:    snap.Mean,
+			P50MS:     snap.P50,
+			P95MS:     snap.P95,
+			P99MS:     snap.P99,
+			MaxMS:     snap.Max,
 		}
+		if elapsedSec > 0 {
+			o.OKPerSec = float64(o.Sent-o.Errors-o.Throttled-o.Rejected) / elapsedSec
+		}
+		rep.Ops[op] = o
 		rep.ObservedRejects += c.rejected.Load()
 	}
 	return rep
@@ -148,8 +156,8 @@ func (rep *Report) Text() string {
 	fmt.Fprintf(&b, "  %d requests in %.0fms\n", rep.Requests, rep.ElapsedMS)
 	for _, op := range sortedOps(rep.Ops) {
 		o := rep.Ops[op]
-		fmt.Fprintf(&b, "  %-10s sent=%-6d err=%-4d p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms\n",
-			op, o.Sent, o.Errors, o.P50MS, o.P95MS, o.P99MS, o.MaxMS)
+		fmt.Fprintf(&b, "  %-10s sent=%-6d err=%-4d thr=%-4d ok/s=%-7.1f p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms\n",
+			op, o.Sent, o.Errors, o.Throttled, o.OKPerSec, o.P50MS, o.P95MS, o.P99MS, o.MaxMS)
 	}
 	if rep.Kind == KindKillRecover {
 		fmt.Fprintf(&b, "  recovery-to-ready %.0fms\n", rep.RecoveryMS)
@@ -187,8 +195,8 @@ func (rep *Report) BenchLines() []string {
 			rate = float64(o.Errors) / float64(o.Sent)
 		}
 		lines = append(lines, fmt.Sprintf(
-			"BenchmarkLoadgen/%s/%s %d %.3f p50-ms %.3f p99-ms %.4f err-rate",
-			rep.Scenario, op, o.Sent, o.P50MS, o.P99MS, rate))
+			"BenchmarkLoadgen/%s/%s %d %.3f p50-ms %.3f p99-ms %.4f err-rate %.2f ok-per-sec",
+			rep.Scenario, op, o.Sent, o.P50MS, o.P99MS, rate, o.OKPerSec))
 	}
 	if rep.Kind == KindKillRecover {
 		lines = append(lines, fmt.Sprintf(

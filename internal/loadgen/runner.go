@@ -49,6 +49,12 @@ type Runner struct {
 	// DrainTimeout bounds the post-run lifecycle-queue drain poll.
 	// <= 0 means 30s.
 	DrainTimeout time.Duration
+	// ControlTarget, when non-nil, is where the readiness and drain
+	// probes go instead of the traffic target. A replica fleet sets this
+	// to the leader: traffic round-robins over every member, but "is the
+	// queue drained" is a leader question (followers have no lifecycle
+	// section and would report drained instantly).
+	ControlTarget Target
 }
 
 // opCounters aggregates one operation's outcomes. Latency is recorded
@@ -56,10 +62,11 @@ type Runner struct {
 // server-side stalls surface as tail latency instead of being absorbed
 // by a slower send rate (no coordinated omission).
 type opCounters struct {
-	hist     *obs.Histogram
-	sent     atomic.Int64
-	errors   atomic.Int64
-	rejected atomic.Int64
+	hist      *obs.Histogram
+	sent      atomic.Int64
+	errors    atomic.Int64
+	rejected  atomic.Int64
+	throttled atomic.Int64
 }
 
 type timedReq struct {
@@ -89,7 +96,7 @@ func (r *Runner) Run(ctx context.Context, st *Stream, target Target) (*Report, e
 	}
 	defer client.CloseIdleConnections()
 
-	if err := r.awaitReady(ctx, client, target, "warm-up"); err != nil {
+	if err := r.awaitReady(ctx, client, r.controlTarget(target), "warm-up"); err != nil {
 		return nil, err
 	}
 
@@ -163,7 +170,7 @@ func (r *Runner) Run(ctx context.Context, st *Stream, target Target) (*Report, e
 		return nil, dispatchErr
 	}
 
-	drainMS, err := r.awaitDrain(ctx, client, target)
+	drainMS, err := r.awaitDrain(ctx, client, r.controlTarget(target))
 	if err != nil {
 		return nil, err
 	}
@@ -215,9 +222,34 @@ func (r *Runner) execute(client *http.Client, target Target, tr timedReq, c *opC
 			// exists to catch.
 			c.errors.Add(1)
 		}
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// Admission control (-max-qps) shedding offered load beyond the
+		// node's declared capacity: deliberate, not a failure.
+		c.throttled.Add(1)
 	case resp.StatusCode >= 400:
 		c.errors.Add(1)
 	}
+}
+
+// controlTarget is where readiness/drain probes go: the explicit
+// ControlTarget when set, otherwise the traffic target itself.
+func (r *Runner) controlTarget(target Target) Target {
+	if r.ControlTarget != nil {
+		return r.ControlTarget
+	}
+	return target
+}
+
+// AwaitReady polls a target's /healthz?ready=1 until it answers 200 —
+// exported for fleet orchestration (cfsf-loadgen waits for each replica
+// before traffic starts, and for a restarted follower before resuming
+// its rotation slot).
+func (r *Runner) AwaitReady(ctx context.Context, target Target) error {
+	client := r.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return r.awaitReady(ctx, client, target, "fleet")
 }
 
 // awaitReady polls /healthz?ready=1 until it answers 200.

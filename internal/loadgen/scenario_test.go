@@ -11,7 +11,7 @@ import (
 
 func TestEmbeddedScenariosLoadAndValidate(t *testing.T) {
 	names := Names()
-	want := []string{"churn", "coldstart", "flashcrowd", "junkflood", "killrecover", "steady"}
+	want := []string{"churn", "coldstart", "flashcrowd", "junkflood", "killrecover", "replication", "steady"}
 	if len(names) != len(want) {
 		t.Fatalf("Names() = %v, want %v", names, want)
 	}

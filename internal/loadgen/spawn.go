@@ -36,6 +36,16 @@ type ProcOptions struct {
 	// ("-compact=true"); Restart re-execs the same vector, so recovery
 	// runs under the same flags traffic did.
 	ExtraArgs []string
+	// FollowURL, when set, spawns the server as a read replica
+	// (-follow): it bootstraps from the leader instead of training, so
+	// the dataset/data-dir/fsync knobs above are not forwarded.
+	FollowURL string
+	// AdminToken is forwarded as -admin-token (and authenticates the
+	// replication stream under FollowURL).
+	AdminToken string
+	// MaxQPS is forwarded as -max-qps: per-process serving capacity for
+	// the scaling benchmark. 0 omits the flag.
+	MaxQPS int
 }
 
 // ProcTarget runs cfsf-server as a child process. Kill is a real
@@ -63,18 +73,28 @@ func SpawnServer(opts ProcOptions) (*ProcTarget, error) {
 	if err != nil {
 		return nil, err
 	}
-	args := []string{
-		"-addr", addr,
-		"-synth-users", fmt.Sprint(opts.Dataset.Users),
-		"-synth-items", fmt.Sprint(opts.Dataset.Items),
-		"-seed", fmt.Sprint(opts.Dataset.Seed),
-		"-growth-margin", fmt.Sprint(opts.GrowthMargin),
+	args := []string{"-addr", addr}
+	if opts.FollowURL != "" {
+		args = append(args, "-follow", opts.FollowURL)
+	} else {
+		args = append(args,
+			"-synth-users", fmt.Sprint(opts.Dataset.Users),
+			"-synth-items", fmt.Sprint(opts.Dataset.Items),
+			"-seed", fmt.Sprint(opts.Dataset.Seed),
+			"-growth-margin", fmt.Sprint(opts.GrowthMargin),
+		)
+		if opts.DataDir != "" {
+			args = append(args, "-data-dir", opts.DataDir)
+		}
+		if opts.Fsync != "" {
+			args = append(args, "-fsync", opts.Fsync)
+		}
 	}
-	if opts.DataDir != "" {
-		args = append(args, "-data-dir", opts.DataDir)
+	if opts.AdminToken != "" {
+		args = append(args, "-admin-token", opts.AdminToken)
 	}
-	if opts.Fsync != "" {
-		args = append(args, "-fsync", opts.Fsync)
+	if opts.MaxQPS > 0 {
+		args = append(args, "-max-qps", fmt.Sprint(opts.MaxQPS))
 	}
 	args = append(args, opts.ExtraArgs...)
 	t := &ProcTarget{opts: opts, addr: addr, args: args}

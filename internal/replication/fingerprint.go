@@ -1,0 +1,28 @@
+package replication
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"cfsf/internal/core"
+)
+
+// Fingerprint hashes a model's full persisted form: the shared blob
+// followed by every shard blob, in shard order. The blob wire structs
+// hold only slices and scalars (no maps), so gob encoding is
+// deterministic and two models hash equal iff they are bit-identical in
+// persisted state. Leader and follower expose this at /admin/fingerprint;
+// comparing the two at the same applied sequence is the parity check.
+func Fingerprint(mod *core.Model) (string, error) {
+	h := sha256.New()
+	if err := mod.SaveSharedBlob(h); err != nil {
+		return "", fmt.Errorf("fingerprint shared: %w", err)
+	}
+	for s := 0; s < mod.Clusters().K; s++ {
+		if err := mod.SaveShardBlob(h, s); err != nil {
+			return "", fmt.Errorf("fingerprint shard %d: %w", s, err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,56 @@
+// Package replication turns one cfsf-server process into a read fleet:
+// a leader serves its durable state over three admin endpoints and a
+// follower consumes them to hold a bit-identical model.
+//
+// Wire protocol (all GET, all under the admin-auth gate):
+//
+//	/admin/manifest          newest manifest JSON; X-Cfsf-Snapshot-Seq
+//	                         carries the watermark it covers
+//	/admin/blob?file=<name>  one manifest-referenced snapshot blob,
+//	                         verbatim (the same checksummed container
+//	                         local recovery loads)
+//	/admin/wal?after=<seq>   chunked stream of raw CRC-framed WAL record
+//	                         frames with sequence > seq, following the
+//	                         live tail; X-Cfsf-Last-Seq carries the log
+//	                         end at connect. 410 Gone is the re-bootstrap
+//	                         signal: the log can no longer serve that
+//	                         position batch-exactly (compaction deduped
+//	                         it, retention pruned it, or the follower's
+//	                         cursor is beyond this leader's log), so the
+//	                         follower must restart from a newer snapshot
+//	                         instead of patching forward.
+//
+// The bootstrap ladder on the follower side is: fetch the newest
+// manifest, fetch its shared + per-shard blobs, assemble the model at
+// the manifest watermark (lifecycle.AssembleRemotePoint), then stream
+// the WAL tail from that watermark and apply it through the same
+// micro-batch grouping crash replay uses. Every transition that loses
+// the tail (leader compacted past the cursor) degrades to a clean
+// re-bootstrap, never to a silent gap.
+package replication
+
+import "time"
+
+// Wire protocol paths and headers.
+const (
+	PathWAL         = "/admin/wal"
+	PathManifest    = "/admin/manifest"
+	PathBlob        = "/admin/blob"
+	PathFingerprint = "/admin/fingerprint"
+
+	// HeaderLastSeq is the leader's WAL end at stream connect.
+	HeaderLastSeq = "X-Cfsf-Last-Seq"
+	// HeaderSnapshotSeq is the watermark a served manifest covers.
+	HeaderSnapshotSeq = "X-Cfsf-Snapshot-Seq"
+)
+
+const (
+	// streamChunkBytes bounds one write+flush on the WAL stream.
+	streamChunkBytes = 256 << 10
+	// streamIdleWait re-arms the tail wait so a stream notices context
+	// cancellation and new appends even if a signal is missed.
+	streamIdleWait = time.Second
+
+	defaultReconnectMin = 100 * time.Millisecond
+	defaultReconnectMax = 5 * time.Second
+)

@@ -1,0 +1,333 @@
+package replication
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cfsf/internal/core"
+	"cfsf/internal/lifecycle"
+	"cfsf/internal/synth"
+	"cfsf/internal/wal"
+)
+
+func newBaseModel(t testing.TB) *core.Model {
+	t.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.Users = 40
+	cfg.Items = 50
+	cfg.MinPerUser = 8
+	cfg.MeanPerUser = 12
+	cfg.Archetypes = 4
+	d, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := core.DefaultConfig()
+	mcfg.M = 8
+	mcfg.K = 4
+	mcfg.Clusters = 4
+	mod, err := core.Train(d.Matrix, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func openManager(t *testing.T, dir string, mod *core.Model) *lifecycle.Manager {
+	t.Helper()
+	mgr, err := lifecycle.Open(
+		func() (*core.Model, error) { return mod, nil },
+		lifecycle.Config{
+			DataDir:        dir,
+			Fsync:          wal.SyncAlways,
+			SegmentBytes:   512,
+			SnapshotKeep:   1,
+			CompactEnabled: true,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr
+}
+
+// leaderServer exposes a Leader over httptest with a switchable fault:
+// while failWAL is set, new /admin/wal requests answer 503 and
+// cutStreams aborts in-flight ones, so the follower is parked in its
+// reconnect loop while the test rearranges the log under it.
+type leaderServer struct {
+	ts      *httptest.Server
+	failWAL atomic.Bool
+
+	mu      sync.Mutex
+	cancels map[int]context.CancelFunc
+	nextID  int
+}
+
+func newLeaderServer(l *Leader) *leaderServer {
+	ls := &leaderServer{cancels: map[int]context.CancelFunc{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathWAL, func(w http.ResponseWriter, r *http.Request) {
+		if ls.failWAL.Load() {
+			http.Error(w, "induced outage", http.StatusServiceUnavailable)
+			return
+		}
+		ctx, cancel := context.WithCancel(r.Context())
+		ls.mu.Lock()
+		id := ls.nextID
+		ls.nextID++
+		ls.cancels[id] = cancel
+		ls.mu.Unlock()
+		defer func() {
+			cancel()
+			ls.mu.Lock()
+			delete(ls.cancels, id)
+			ls.mu.Unlock()
+		}()
+		l.ServeWAL(w, r.WithContext(ctx))
+	})
+	mux.HandleFunc(PathManifest, l.ServeManifest)
+	mux.HandleFunc(PathBlob, l.ServeBlob)
+	ls.ts = httptest.NewServer(mux)
+	return ls
+}
+
+// cutStreams aborts every in-flight WAL stream.
+func (ls *leaderServer) cutStreams() {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	for _, cancel := range ls.cancels {
+		cancel()
+	}
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func mustFingerprint(t *testing.T, mod *core.Model) string {
+	t.Helper()
+	fp, err := Fingerprint(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+func testUpdate(i int) core.RatingUpdate {
+	return core.RatingUpdate{User: i % 41, Item: i % 50, Value: float64(i%5) + 1, Time: int64(2000 + i)}
+}
+
+// submitAndDrain feeds n updates through the leader and waits until they
+// are applied (so the WAL holds their batch commits too).
+func submitAndDrain(t *testing.T, mgr *lifecycle.Manager, from, n int) {
+	t.Helper()
+	var last uint64
+	for i := from; i < from+n; i++ {
+		seq, _, err := mgr.Submit(testUpdate(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = seq
+	}
+	waitUntil(t, "leader applied submissions", func() bool { return mgr.AppliedSeq() >= last })
+}
+
+// TestFollowerBootstrapAndStreamParity is the tentpole's core promise: a
+// follower that bootstraps from the newest snapshot and streams the WAL
+// tail converges to a bit-identical model — same fingerprint at the same
+// applied sequence — and keeps converging as the leader takes new writes.
+func TestFollowerBootstrapAndStreamParity(t *testing.T) {
+	mgr := openManager(t, t.TempDir(), newBaseModel(t))
+	defer mgr.Close()
+	ls := newLeaderServer(NewLeader(mgr, nil))
+	defer ls.ts.Close()
+
+	submitAndDrain(t, mgr, 0, 5)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f, err := Start(ctx, Options{
+		LeaderURL:    ls.ts.URL,
+		ReconnectMin: 5 * time.Millisecond,
+		ReconnectMax: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	waitUntil(t, "follower caught up", func() bool { return f.AppliedSeq() >= mgr.AppliedSeq() })
+	if got, want := mustFingerprint(t, f.Model()), mustFingerprint(t, mgr.Model()); got != want {
+		t.Fatalf("post-bootstrap fingerprints differ:\n  follower %s\n  leader   %s", got, want)
+	}
+
+	// Live tail: new writes land on the follower through the stream, not
+	// through another bootstrap.
+	boots := f.Stats()["bootstraps"]
+	submitAndDrain(t, mgr, 5, 7)
+	waitUntil(t, "follower streamed the tail", func() bool { return f.AppliedSeq() >= mgr.AppliedSeq() })
+	if got, want := mustFingerprint(t, f.Model()), mustFingerprint(t, mgr.Model()); got != want {
+		t.Fatalf("post-stream fingerprints differ:\n  follower %s\n  leader   %s", got, want)
+	}
+	if f.Stats()["bootstraps"] != boots {
+		t.Fatalf("tail records triggered a re-bootstrap: %v -> %v", boots, f.Stats()["bootstraps"])
+	}
+}
+
+// TestFollowerRebootstrapsAfterCompaction forces the 410 path: while the
+// follower is cut off, the leader takes writes, snapshots, and compacts
+// under a horizon past the follower's cursor. On reconnect the stream
+// position is gone — the leader must answer 410, and the follower must
+// recover by re-bootstrapping from the newer snapshot, never by patching
+// over the gap.
+func TestFollowerRebootstrapsAfterCompaction(t *testing.T) {
+	mgr := openManager(t, t.TempDir(), newBaseModel(t))
+	defer mgr.Close()
+	ls := newLeaderServer(NewLeader(mgr, nil))
+	defer ls.ts.Close()
+
+	submitAndDrain(t, mgr, 0, 4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f, err := Start(ctx, Options{
+		LeaderURL:    ls.ts.URL,
+		ReconnectMin: 5 * time.Millisecond,
+		ReconnectMax: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	waitUntil(t, "follower caught up", func() bool { return f.AppliedSeq() >= mgr.AppliedSeq() })
+	cutoffSeq := f.AppliedSeq()
+
+	// Cut the stream, then move the log's floor past the follower: new
+	// writes (rotating the 512-byte segments several times), a snapshot
+	// that becomes the only retained recovery point (SnapshotKeep=1), and
+	// a forced compaction folding everything under that snapshot's seq.
+	ls.failWAL.Store(true)
+	ls.cutStreams()
+	submitAndDrain(t, mgr, 4, 20)
+	if _, err := mgr.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Compact(true); err != nil {
+		t.Fatal(err)
+	}
+	if db := mgr.WALDedupedBelow(); db <= cutoffSeq {
+		t.Fatalf("test setup: dedupe horizon %d did not pass follower cursor %d", db, cutoffSeq)
+	}
+
+	ls.failWAL.Store(false)
+	waitUntil(t, "follower re-bootstrapped past the gap", func() bool {
+		return f.Stats()["rebootstraps"].(int64) >= 1 && f.AppliedSeq() >= mgr.AppliedSeq()
+	})
+	if got, want := mustFingerprint(t, f.Model()), mustFingerprint(t, mgr.Model()); got != want {
+		t.Fatalf("post-re-bootstrap fingerprints differ:\n  follower %s\n  leader   %s", got, want)
+	}
+
+	// And the stream keeps working afterwards.
+	submitAndDrain(t, mgr, 24, 3)
+	waitUntil(t, "follower streams again after re-bootstrap", func() bool { return f.AppliedSeq() >= mgr.AppliedSeq() })
+}
+
+// TestLeaderServes410WithFloorInfo checks the wire contract directly: an
+// unserveable position answers 410 Gone (not 404, not a silent empty
+// stream) so a follower can distinguish "re-bootstrap" from "retry".
+func TestLeaderServes410WithFloorInfo(t *testing.T) {
+	mgr := openManager(t, t.TempDir(), newBaseModel(t))
+	defer mgr.Close()
+	ls := newLeaderServer(NewLeader(mgr, nil))
+	defer ls.ts.Close()
+
+	submitAndDrain(t, mgr, 0, 12)
+	if _, err := mgr.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Compact(true); err != nil {
+		t.Fatal(err)
+	}
+	db := mgr.WALDedupedBelow()
+	if db == 0 {
+		t.Fatal("test setup: no dedupe horizon")
+	}
+
+	resp, err := http.Get(ls.ts.URL + PathWAL + "?after=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("status = %d, want 410", resp.StatusCode)
+	}
+
+	// A position beyond the log end is equally unserveable: the follower
+	// has a divergent log and must restart from a snapshot.
+	resp2, err := http.Get(ls.ts.URL + PathWAL + "?after=999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusGone {
+		t.Fatalf("beyond-end status = %d, want 410", resp2.StatusCode)
+	}
+}
+
+// TestCatchupStreamStopsWhenAsked covers follow=0: a bounded read that
+// returns the current backlog and then ends instead of tailing forever.
+func TestCatchupStreamStopsWhenAsked(t *testing.T) {
+	mgr := openManager(t, t.TempDir(), newBaseModel(t))
+	defer mgr.Close()
+	ls := newLeaderServer(NewLeader(mgr, nil))
+	defer ls.ts.Close()
+
+	submitAndDrain(t, mgr, 0, 6)
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(ls.ts.URL + PathWAL + "?after=0&follow=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var n int
+	buf := make([]byte, 0, 1<<20)
+	tmp := make([]byte, 32<<10)
+	for {
+		k, err := resp.Body.Read(tmp)
+		buf = append(buf, tmp[:k]...)
+		if err != nil {
+			break // EOF: the bounded stream ended by itself
+		}
+	}
+	for len(buf) > 0 {
+		rec, fn, err := wal.DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("decode relayed frame: %v", err)
+		}
+		if rec.Seq == 0 {
+			t.Fatal("relayed record without a sequence")
+		}
+		n++
+		buf = buf[fn:]
+	}
+	if n == 0 {
+		t.Fatal("bounded catch-up stream relayed no records")
+	}
+}

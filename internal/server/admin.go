@@ -10,7 +10,11 @@ import (
 // handleAdminSnapshot writes a model snapshot synchronously via the
 // lifecycle manager and reports where it landed. Without a manager the
 // server has no durability layer and responds 503.
-func (s *Server) handleAdminSnapshot(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleAdminSnapshot(w http.ResponseWriter, r *http.Request) {
+	if f := s.follower(); f != nil {
+		s.redirectToLeader(w, r, f)
+		return
+	}
 	mgr := s.manager()
 	if mgr == nil {
 		writeError(w, http.StatusServiceUnavailable, errNoManager)
@@ -46,6 +50,10 @@ func (s *Server) handleAdminSnapshot(w http.ResponseWriter, _ *http.Request) {
 // when compaction is disabled (-compact=false) or to reclaim space
 // without waiting for the next snapshot.
 func (s *Server) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
+	if f := s.follower(); f != nil {
+		s.redirectToLeader(w, r, f)
+		return
+	}
 	mgr := s.manager()
 	if mgr == nil {
 		writeError(w, http.StatusServiceUnavailable, errNoManager)
@@ -84,6 +92,10 @@ func (s *Server) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
 // swapped in without blocking reads; 409 when a retrain is already in
 // flight, 400 for an unknown mode.
 func (s *Server) handleAdminRetrain(w http.ResponseWriter, r *http.Request) {
+	if f := s.follower(); f != nil {
+		s.redirectToLeader(w, r, f)
+		return
+	}
 	mgr := s.manager()
 	if mgr == nil {
 		writeError(w, http.StatusServiceUnavailable, errNoManager)

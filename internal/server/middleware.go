@@ -54,6 +54,15 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush passes through to the underlying writer so chunked streams (the
+// replication WAL tail) deliver frames as they are written, not when the
+// handler returns.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument wraps a handler so every request records count, status
 // class, in-flight gauge, and latency under the endpoint's name.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {

@@ -48,6 +48,7 @@ import (
 	"cfsf/internal/core"
 	"cfsf/internal/lifecycle"
 	"cfsf/internal/obs"
+	"cfsf/internal/replication"
 )
 
 // Options tunes the request-safety limits of the server. The zero value
@@ -75,6 +76,15 @@ type Options struct {
 	// endpoints become operational. Share its obs.Registry with this
 	// Options' Registry so /metrics covers wal/lifecycle instrumentation.
 	Manager *lifecycle.Manager
+	// AdminToken, when non-empty, gates every /admin/* endpoint behind
+	// "Authorization: Bearer <token>" (constant-time compare). Empty
+	// leaves admin open, preserving single-operator deployments.
+	AdminToken string
+	// MaxQPS caps the serving endpoints (/predict, /predict/batch,
+	// /recommend, /rate) at this many requests per second with a
+	// one-second burst; excess answers 429 + Retry-After. <= 0 disables
+	// the cap.
+	MaxQPS int
 }
 
 func (o Options) withDefaults() Options {
@@ -106,14 +116,17 @@ func (o Options) withDefaults() Options {
 // harness measuring recovery time — can watch /healthz?ready=1 go green
 // the moment the model is actually servable.
 type Server struct {
-	model  atomic.Pointer[core.Model]
-	mu     sync.Mutex                        // serialises /rate refreshes (no-manager mode)
-	mgr    atomic.Pointer[lifecycle.Manager] // owns the model when non-nil
-	ready  atomic.Bool                       // model (and manager, if any) installed
-	titles atomic.Pointer[[]string]          // optional item display names
-	opts   Options
-	reg    *obs.Registry
-	start  time.Time
+	model   atomic.Pointer[core.Model]
+	mu      sync.Mutex                        // serialises /rate refreshes (no-manager mode)
+	mgr     atomic.Pointer[lifecycle.Manager] // owns the model when non-nil
+	flw     atomic.Pointer[replication.Follower]
+	repl    atomic.Pointer[replication.Leader]
+	limiter *qpsLimiter              // nil when MaxQPS is unset
+	ready   atomic.Bool              // model (and manager or follower) installed
+	titles  atomic.Pointer[[]string] // optional item display names
+	opts    Options
+	reg     *obs.Registry
+	start   time.Time
 
 	epMu      sync.Mutex
 	endpoints map[string]*endpointMetrics //cfsf:guarded-by epMu
@@ -144,6 +157,9 @@ func NewWarming(opts Options) *Server {
 		reg:       opts.Registry,
 		start:     time.Now(),
 		endpoints: map[string]*endpointMetrics{},
+	}
+	if opts.MaxQPS > 0 {
+		s.limiter = newQPSLimiter(opts.MaxQPS)
 	}
 	s.reg.Gauge("server_ready").Set(0)
 	return s
@@ -177,6 +193,9 @@ func (s *Server) manager() *lifecycle.Manager { return s.mgr.Load() }
 // (which swaps it on every micro-batch) or the server's own pointer. It
 // is nil until Activate.
 func (s *Server) current() *core.Model {
+	if f := s.follower(); f != nil {
+		return f.Model()
+	}
 	if mgr := s.manager(); mgr != nil {
 		return mgr.Model()
 	}
@@ -204,13 +223,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.instrument("GET /healthz", s.handleHealth))
 	mux.HandleFunc("GET /stats", s.instrument("GET /stats", s.requireReady(s.handleStats)))
 	mux.HandleFunc("GET /metrics", s.instrument("GET /metrics", s.handleMetrics))
-	mux.HandleFunc("GET /predict", s.instrument("GET /predict", s.requireReady(s.handlePredict)))
-	mux.HandleFunc("POST /predict/batch", s.instrument("POST /predict/batch", s.requireReady(s.handlePredictBatch)))
-	mux.HandleFunc("GET /recommend", s.instrument("GET /recommend", s.requireReady(s.handleRecommend)))
-	mux.HandleFunc("POST /rate", s.instrument("POST /rate", s.requireReady(s.handleRate)))
-	mux.HandleFunc("POST /admin/snapshot", s.instrument("POST /admin/snapshot", s.requireReady(s.handleAdminSnapshot)))
-	mux.HandleFunc("POST /admin/retrain", s.instrument("POST /admin/retrain", s.requireReady(s.handleAdminRetrain)))
-	mux.HandleFunc("POST /admin/compact", s.instrument("POST /admin/compact", s.requireReady(s.handleAdminCompact)))
+	mux.HandleFunc("GET /predict", s.instrument("GET /predict", s.limitQPS(s.requireReady(s.handlePredict))))
+	mux.HandleFunc("POST /predict/batch", s.instrument("POST /predict/batch", s.limitQPS(s.requireReady(s.handlePredictBatch))))
+	mux.HandleFunc("GET /recommend", s.instrument("GET /recommend", s.limitQPS(s.requireReady(s.handleRecommend))))
+	mux.HandleFunc("POST /rate", s.instrument("POST /rate", s.limitQPS(s.requireReady(s.handleRate))))
+	mux.HandleFunc("POST /admin/snapshot", s.instrument("POST /admin/snapshot", s.requireAdmin(s.requireReady(s.handleAdminSnapshot))))
+	mux.HandleFunc("POST /admin/retrain", s.instrument("POST /admin/retrain", s.requireAdmin(s.requireReady(s.handleAdminRetrain))))
+	mux.HandleFunc("POST /admin/compact", s.instrument("POST /admin/compact", s.requireAdmin(s.requireReady(s.handleAdminCompact))))
+	mux.HandleFunc("GET "+replication.PathWAL, s.instrument("GET "+replication.PathWAL, s.requireAdmin(s.requireReady(s.handleReplWAL))))
+	mux.HandleFunc("GET "+replication.PathManifest, s.instrument("GET "+replication.PathManifest, s.requireAdmin(s.requireReady(s.handleReplManifest))))
+	mux.HandleFunc("GET "+replication.PathBlob, s.instrument("GET "+replication.PathBlob, s.requireAdmin(s.requireReady(s.handleReplBlob))))
+	mux.HandleFunc("GET "+replication.PathFingerprint, s.instrument("GET "+replication.PathFingerprint, s.requireAdmin(s.requireReady(s.handleFingerprint))))
 	if s.opts.Debug {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -331,6 +354,10 @@ type rateReq struct {
 // not see the ratings until their batch lands (see the README's
 // read-your-write note).
 func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
+	if f := s.follower(); f != nil {
+		s.redirectToLeader(w, r, f)
+		return
+	}
 	var raw json.RawMessage
 	if err := decodeJSON(w, r, s.opts.MaxBodyBytes, &raw); err != nil {
 		status := http.StatusBadRequest
@@ -542,7 +569,10 @@ func (s *Server) handleRateQueued(w http.ResponseWriter, mgr *lifecycle.Manager,
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	ready := s.ready.Load()
 	resp := map[string]any{"status": "ok", "ready": ready}
-	if mgr := s.manager(); mgr != nil {
+	if f := s.follower(); f != nil {
+		resp["role"] = "follower"
+		resp["applied_seq"] = f.AppliedSeq()
+	} else if mgr := s.manager(); mgr != nil {
 		resp["pending"] = mgr.Pending()
 		resp["applied_seq"] = mgr.AppliedSeq()
 	}
@@ -624,6 +654,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		}
 		resp["lifecycle"] = lc
 	}
+	if rs := s.replicationStats(); rs != nil {
+		resp["replication"] = rs
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -636,6 +669,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.recordModelGauges(s.current())
 	if mgr := s.manager(); mgr != nil {
 		mgr.PublishGauges()
+	}
+	if f := s.follower(); f != nil {
+		f.Stats() // refreshes the replication lag gauges at scrape time
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds": time.Since(s.start).Seconds(),

@@ -1,0 +1,236 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// drainCursor pulls frames until the cursor reports caught-up, decoding
+// every frame back into records.
+func drainCursor(t *testing.T, c *Cursor) []Record {
+	t.Helper()
+	var recs []Record
+	for {
+		buf, n, err := c.Next(nil, 1<<20)
+		if err != nil {
+			t.Fatalf("cursor next: %v", err)
+		}
+		if n == 0 {
+			return recs
+		}
+		got := decodeAll(t, buf)
+		if len(got) != n {
+			t.Fatalf("chunk decoded %d records, cursor reported %d", len(got), n)
+		}
+		recs = append(recs, got...)
+	}
+}
+
+func decodeAll(t *testing.T, buf []byte) []Record {
+	t.Helper()
+	var recs []Record
+	for len(buf) > 0 {
+		rec, n, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("decode frame at tail %d: %v", len(buf), err)
+		}
+		recs = append(recs, rec)
+		buf = buf[n:]
+	}
+	return recs
+}
+
+func sameRecords(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCursorMatchesReplayEveryAfterSeq is the boundary matrix: over a
+// log with a deduped compacted base, several sealed segments, and a live
+// tail, every single starting position either streams the exact record
+// sequence Replay delivers or refuses with ErrRebootstrap — and which of
+// the two happens is fully determined by the published floors
+// (DedupedBelow, AvailableFrom). Segment seams, the base/segment
+// boundary, and the log end all fall out of the exhaustive sweep.
+func TestCursorMatchesReplayEveryAfterSeq(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, smallSeg())
+	defer w.Close()
+
+	covered := fillBatches(t, w, 12)
+	horizon := uint64(9)
+	if _, err := w.Compact(covered, horizon, false); err != nil {
+		t.Fatal(err)
+	}
+	// Keep growing after compaction so the cursor crosses base → sealed
+	// segments → active segment.
+	fillBatches(t, w, 8)
+
+	db, af, last := w.DedupedBelow(), w.AvailableFrom(), w.LastSeq()
+	if db == 0 {
+		t.Fatal("compaction did not record a dedupe horizon; matrix would be vacuous")
+	}
+	for after := uint64(0); after <= last; after++ {
+		cur, err := w.NewCursor(after)
+		if after+1 <= db || after+1 < af {
+			if !errors.Is(err, ErrRebootstrap) {
+				t.Fatalf("after=%d (db=%d af=%d): err = %v, want ErrRebootstrap", after, db, af, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("after=%d: NewCursor: %v", after, err)
+		}
+		got := drainCursor(t, cur)
+		want := collect(t, w, after)
+		if !sameRecords(got, want) {
+			t.Fatalf("after=%d: cursor delivered %d records, replay %d (or contents differ)", after, len(got), len(want))
+		}
+		if err := cur.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One past the end is not a valid position: a follower claiming a
+	// future sequence has a divergent log and must re-bootstrap.
+	if _, err := w.NewCursor(last + 1); !errors.Is(err, ErrRebootstrap) {
+		t.Fatalf("cursor beyond end: err = %v, want ErrRebootstrap", err)
+	}
+}
+
+// TestCursorFollowsMidStreamAppends exercises the tail-follow handshake:
+// arm the append signal, confirm the cursor is caught up, append, and
+// the armed channel plus a fresh Next deliver exactly the new records.
+func TestCursorFollowsMidStreamAppends(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{})
+	defer w.Close()
+	fillBatches(t, w, 3)
+
+	cur, err := w.NewCursor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if got := drainCursor(t, cur); len(got) == 0 {
+		t.Fatal("initial drain delivered nothing")
+	}
+
+	sig, lastAtArm := w.AppendSignal()
+	if cur.NextSeq() != lastAtArm+1 {
+		t.Fatalf("drained cursor at %d, log end %d", cur.NextSeq(), lastAtArm)
+	}
+	if buf, n, err := cur.Next(nil, 1<<20); err != nil || n != 0 || len(buf) != 0 {
+		t.Fatalf("caught-up cursor returned n=%d err=%v", n, err)
+	}
+
+	seq, err := w.AppendRating(upd(99), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendBatchCommit(seq, 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sig:
+	case <-time.After(2 * time.Second):
+		t.Fatal("append signal never fired")
+	}
+	got := drainCursor(t, cur)
+	if len(got) != 2 || got[0].Type != RecordRating || got[0].Seq != seq || got[1].Type != RecordBatchCommit {
+		t.Fatalf("tail records = %+v, want the appended rating+commit", got)
+	}
+}
+
+// TestCursorCompactionRaceRebootstraps races a live stream against a
+// dedupe pass: once compaction rewrites records under a horizon at or
+// past the cursor position, the very next read refuses with
+// ErrRebootstrap — never a silent gap or a regrouped batch.
+func TestCursorCompactionRaceRebootstraps(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, smallSeg())
+	defer w.Close()
+	covered := fillBatches(t, w, 10)
+
+	cur, err := w.NewCursor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	// Read a little, then let compaction dedupe everything delivered so
+	// far and more.
+	buf, n, err := cur.Next(nil, 64)
+	if err != nil || n == 0 {
+		t.Fatalf("first chunk: n=%d err=%v", n, err)
+	}
+	_ = buf
+
+	if _, err := w.Compact(covered, covered, false); err != nil {
+		t.Fatal(err)
+	}
+	if db := w.DedupedBelow(); db < cur.NextSeq() {
+		t.Fatalf("test setup: horizon %d did not pass cursor position %d", db, cur.NextSeq())
+	}
+	if _, _, err := cur.Next(nil, 1<<20); !errors.Is(err, ErrRebootstrap) {
+		t.Fatalf("post-compaction next: err = %v, want ErrRebootstrap", err)
+	}
+}
+
+// TestCursorPruneRaceRebootstraps covers the other floor: a prune that
+// removes covered segments out from under an un-started position.
+func TestCursorPruneRaceRebootstraps(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, smallSeg())
+	defer w.Close()
+	covered := fillBatches(t, w, 10)
+
+	cur, err := w.NewCursor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if _, err := w.Prune(covered); err != nil {
+		t.Fatal(err)
+	}
+	if af := w.AvailableFrom(); af <= 1 {
+		t.Fatalf("test setup: prune kept the log start (available from %d)", af)
+	}
+	if _, _, err := cur.Next(nil, 1<<20); !errors.Is(err, ErrRebootstrap) {
+		t.Fatalf("post-prune next: err = %v, want ErrRebootstrap", err)
+	}
+}
+
+// TestCursorStreamsAcrossRotation starts a cursor, then appends enough
+// to rotate segments several times mid-stream; the cursor must deliver
+// every record exactly once across the seams.
+func TestCursorStreamsAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, smallSeg())
+	defer w.Close()
+	fillBatches(t, w, 2)
+
+	cur, err := w.NewCursor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	got := drainCursor(t, cur)
+
+	// Rotations happen while the cursor holds an open handle on the
+	// then-active segment.
+	fillBatches(t, w, 15)
+	got = append(got, drainCursor(t, cur)...)
+
+	want := collect(t, w, 0)
+	if !sameRecords(got, want) {
+		t.Fatalf("streamed %d records across rotations, replay has %d (or contents differ)", len(got), len(want))
+	}
+}

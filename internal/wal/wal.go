@@ -135,6 +135,9 @@ type WAL struct {
 	base     *baseInfo //cfsf:guarded-by mu // compacted base, nil when none
 	stats    OpenStats //cfsf:guarded-by mu
 	closed   bool      //cfsf:guarded-by mu
+	// appendSig is closed and replaced on every append (and on close) to
+	// wake tail-following cursors; nil until someone asks for it.
+	appendSig chan struct{} //cfsf:guarded-by mu
 
 	// compactMu serialises Compact passes; separate from mu so appends
 	// continue while a pass reads sealed files.
@@ -436,6 +439,7 @@ func (w *WAL) AppendRatings(ups []core.RatingUpdate, shards []int) ([]uint64, er
 			return nil, fmt.Errorf("wal: fsync: %w", err)
 		}
 	}
+	w.notifyAppendLocked()
 	return seqs, nil
 }
 
@@ -478,6 +482,7 @@ func (w *WAL) append(rec Record) (uint64, error) {
 			return 0, fmt.Errorf("wal: fsync: %w", err)
 		}
 	}
+	w.notifyAppendLocked()
 	return rec.Seq, nil
 }
 
@@ -534,6 +539,7 @@ func (w *WAL) Close() error {
 		return nil
 	}
 	w.closed = true
+	w.notifyAppendLocked()
 	if err := w.f.Sync(); err != nil {
 		_ = w.f.Close()
 		return fmt.Errorf("wal: sync on close: %w", err)
@@ -552,6 +558,7 @@ func (w *WAL) CloseAbrupt() error {
 		return nil
 	}
 	w.closed = true
+	w.notifyAppendLocked()
 	return w.f.Close()
 }
 
